@@ -1,0 +1,32 @@
+"""Shared settings for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure at reduced scale (fewer
+requests / a benchmark subset) so the whole harness completes in minutes.
+Full-scale regeneration: ``python -m repro.experiments.<table|figure>``.
+
+The simulations are deterministic, so a single measured round per benchmark
+is the honest configuration for pytest-benchmark.
+"""
+
+import pytest
+
+# Workloads spanning the paper's spectrum: bandwidth-bound, latency-bound,
+# cache-friendly.
+SUBSET = ["bwaves", "mcf", "libquantum", "astar"]
+REQUESTS = 1200
+SEED = 2017
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _clear_experiment_cache():
+    from repro.experiments import clear_cache
+
+    clear_cache()
+    yield
+
+
+def run_once(benchmark_fixture, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark_fixture.pedantic(
+        function, args=args, kwargs=kwargs, iterations=1, rounds=1
+    )

@@ -1,0 +1,59 @@
+"""Ablation: the three dummy-address designs of §3.3.
+
+RANDOM loses locality and writes the array; ORIGINAL keeps locality but
+still writes; FIXED (the paper's choice) is droppable — zero extra cell
+writes and the lowest execution overhead (Observation 2).
+"""
+
+from conftest import SEED, run_once
+
+from repro.core.config import DummyAddressPolicy
+from repro.cpu.spec_profiles import SPEC_PROFILES
+from repro.system.config import MachineConfig, ProtectionLevel
+from repro.system.simulator import run_benchmark
+
+REQUESTS = 1000
+
+
+def _cell_writes(stats):
+    return sum(v for k, v in stats.items() if k.endswith(".array_writes"))
+
+
+def _run_all_policies():
+    profile = SPEC_PROFILES["lbm"]
+    baseline = run_benchmark(
+        profile, ProtectionLevel.UNPROTECTED, num_requests=REQUESTS, seed=SEED
+    )
+    outcomes = {}
+    for policy in DummyAddressPolicy:
+        machine = MachineConfig(dummy_policy=policy)
+        result = run_benchmark(
+            profile,
+            ProtectionLevel.OBFUSMEM,
+            machine=machine,
+            num_requests=REQUESTS,
+            seed=SEED,
+        )
+        outcomes[policy] = (
+            result.overhead_pct(baseline),
+            _cell_writes(result.stats),
+        )
+    return outcomes, _cell_writes(baseline.stats)
+
+
+def test_dummy_policy_ablation(benchmark):
+    outcomes, baseline_writes = run_once(benchmark, _run_all_policies)
+    fixed_overhead, fixed_writes = outcomes[DummyAddressPolicy.FIXED]
+    original_overhead, original_writes = outcomes[DummyAddressPolicy.ORIGINAL]
+    random_overhead, random_writes = outcomes[DummyAddressPolicy.RANDOM]
+    print(f"\nfixed:    {fixed_overhead:6.1f}%  cell writes {fixed_writes:6.0f}")
+    print(f"original: {original_overhead:6.1f}%  cell writes {original_writes:6.0f}")
+    print(f"random:   {random_overhead:6.1f}%  cell writes {random_writes:6.0f}")
+
+    # Observation 2: FIXED adds no cell writes over the unprotected run.
+    assert fixed_writes <= baseline_writes * 1.05
+    # ORIGINAL and RANDOM really write the array on every dummy.
+    assert original_writes > 1.5 * fixed_writes
+    assert random_writes > original_writes  # random also destroys locality
+    # Performance follows the same ordering.
+    assert fixed_overhead < original_overhead < random_overhead

@@ -1,0 +1,39 @@
+"""Bench: regenerate the §5.2 energy/lifetime analysis.
+
+Paper numbers reproduced exactly by the analytical model: ORAM ~780x read
+energy per access vs ObfusMem 3.9x (a ~200x PCM energy reduction), 800
+pads per ORAM access vs 64 (worst case, 4 channels) / 16 (best case) for
+ObfusMem, and ~100x lifetime improvement.  The measured columns come from
+simulation statistics.
+"""
+
+import pytest
+from conftest import SEED, run_once
+
+from repro.experiments import energy
+
+
+def test_energy_lifetime(benchmark):
+    result = run_once(
+        benchmark, energy.run, benchmark="lbm", num_requests=800, seed=SEED
+    )
+    print("\n" + energy.format_results(result))
+    analytical = result.analytical
+
+    # §5.2 arithmetic, exactly.
+    assert analytical.oram_energy_factor == pytest.approx(780.0)
+    assert analytical.obfusmem_energy_factor == pytest.approx(3.9)
+    assert analytical.pcm_energy_reduction == pytest.approx(200.0)
+    assert analytical.oram_pads_per_access == 800
+    assert analytical.obfusmem_pads_worst_case == 64
+    assert analytical.obfusmem_pads_best_case == 16
+    assert analytical.lifetime_improvement == pytest.approx(100.0)
+
+    # Measured pads: between the best and worst case per §5.2.
+    measured = result.obfusmem_measured
+    assert 16 <= measured.pads_per_access <= 64
+    # Measured wear: ORAM rewrites ~100 blocks per access; ObfusMem adds no
+    # writes beyond the workload's own (dummies dropped).
+    assert result.oram_measured.cell_writes_per_access == pytest.approx(100.0)
+    assert measured.cell_writes_per_access < 2.0
+    assert measured.dummy_writes_dropped > 0

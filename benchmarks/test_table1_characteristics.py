@@ -1,0 +1,21 @@
+"""Bench: regenerate Table 1 (benchmark characteristics) and check shape."""
+
+from conftest import REQUESTS, SEED, SUBSET, run_once
+
+from repro.experiments import table1
+
+
+def test_table1_characteristics(benchmark):
+    rows = run_once(
+        benchmark, table1.run, benchmarks=SUBSET, num_requests=REQUESTS, seed=SEED
+    )
+    print("\n" + table1.format_results(rows))
+    by_name = {row.benchmark: row for row in rows}
+    # MPKI is matched by construction; measured gaps track the paper's
+    # within a modest tolerance.
+    for row in rows:
+        assert row.measured_mpki == row.paper_mpki
+        assert abs(row.gap_error_pct) < 25.0
+    # The ordering of memory intensity is preserved.
+    assert by_name["bwaves"].measured_gap_ns < by_name["libquantum"].measured_gap_ns
+    assert by_name["libquantum"].measured_gap_ns < by_name["astar"].measured_gap_ns

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Attack lab: run the paper's passive and active attacks against the stack.
+
+Demonstrates, with real cryptography and wire traffic:
+
+* the **dictionary attack** that breaks the ECB strawman of §3.2 and fails
+  against counter-mode obfuscation;
+* every **active tampering scenario** of §3.5 (bit-flip, drop, replay,
+  injection) being detected by the encrypt-and-MAC scheme — and the one
+  deliberate gap (data tampering deferred to the Merkle tree,
+  Observation 4).
+
+    python examples/attack_lab.py
+"""
+
+from repro.analysis.attacks import (
+    EcbAddressObfuscation,
+    command_bitflip_attack,
+    data_tamper_attack,
+    dictionary_attack,
+    injection_attack,
+    message_drop_attack,
+    replay_attack,
+)
+from repro.crypto.rng import DeterministicRng
+
+
+def passive_lab() -> None:
+    print("=== passive: dictionary attack on address encodings ===")
+    rng = DeterministicRng(404)
+    hot_addresses = [0x1000, 0x2000, 0x3000, 0x4000, 0x5000]
+    weights = [40, 30, 15, 10, 5]
+    accesses = [a for a, w in zip(hot_addresses, weights) for _ in range(w)]
+    rng.shuffle(accesses)
+
+    ecb = EcbAddressObfuscation(rng.token_bytes(16))
+    ecb_wire = [ecb.encrypt_address(a) for a in accesses]
+    result = dictionary_attack(accesses, ecb_wire, top_k=5)
+    print(f"ECB-encrypted bus:     attacker recovers {result.correct_matches}/"
+          f"{result.candidates} hot addresses by frequency rank")
+
+    ctr_wire = [rng.token_bytes(16) for _ in accesses]  # CTR: unique encodings
+    result = dictionary_attack(accesses, ctr_wire, top_k=5)
+    print(f"Counter-mode bus:      attacker recovers {result.correct_matches}/"
+          f"{result.candidates} (frequency structure destroyed)")
+
+
+def active_lab() -> None:
+    print("\n=== active: tampering with the authenticated channel ===")
+    scenarios = [
+        ("flip a bit in an encrypted command", command_bitflip_attack),
+        ("delete a request from the bus", message_drop_attack),
+        ("replay a captured valid command", replay_attack),
+        ("inject a fabricated command", injection_attack),
+        ("flip bits in a data burst", data_tamper_attack),
+    ]
+    for description, attack in scenarios:
+        outcome = attack()
+        verdict = "DETECTED" if outcome.detected else "not detected at bus level"
+        print(f"  {description:38s} -> {verdict}")
+        if outcome.error:
+            print(f"      {outcome.error}")
+    print("\n(data-burst tampering is the documented exception: the bus MAC")
+    print(" covers (type|address|counter); data integrity is the Merkle")
+    print(" tree's job and is caught when the block is read back - Obs. 4)")
+
+
+def main() -> None:
+    passive_lab()
+    active_lab()
+
+
+if __name__ == "__main__":
+    main()

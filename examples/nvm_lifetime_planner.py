@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""NVM lifetime planner: how long does a PCM DIMM survive under each scheme?
+
+The paper's §5.2 argues ObfusMem preserves PCM lifetime while ORAM's
+~100-block path rewrites destroy it.  This example sizes that claim for a
+concrete deployment: it simulates a write-heavy workload on both systems,
+measures actual cell writes, and projects device lifetime from cell
+endurance — then sweeps the dummy-address policy ablation to show why the
+paper's FIXED design is the only one that is wear-free.
+
+    python examples/nvm_lifetime_planner.py
+"""
+
+from dataclasses import replace
+
+from repro.analysis.energy import analytical_comparison
+from repro.core.config import DummyAddressPolicy
+from repro.cpu.spec_profiles import SPEC_PROFILES
+from repro.system.config import MachineConfig, ProtectionLevel
+from repro.system.simulator import run_benchmark
+
+PCM_CELL_ENDURANCE = 10**8  # writes per cell (paper: "a few hundred million")
+REQUESTS = 3000
+
+
+def cell_writes(stats: dict[str, float]) -> float:
+    return sum(v for k, v in stats.items() if k.endswith(".array_writes"))
+
+
+def main() -> None:
+    profile = SPEC_PROFILES["lbm"]  # write-heavy streaming workload
+    print(f"workload: {profile.name}, write fraction {profile.write_fraction}")
+
+    baseline = run_benchmark(profile, ProtectionLevel.UNPROTECTED, num_requests=REQUESTS)
+    obfus = run_benchmark(profile, ProtectionLevel.OBFUSMEM_AUTH, num_requests=REQUESTS)
+    oram = run_benchmark(profile, ProtectionLevel.ORAM, num_requests=REQUESTS)
+
+    base_writes = cell_writes(baseline.stats)
+    obfus_writes = cell_writes(obfus.stats)
+    oram_writes = oram.stats.get("oram.cell_block_writes", 0)
+
+    print(f"\nPCM cell block-writes for {REQUESTS} memory requests:")
+    print(f"  unprotected   : {base_writes:8.0f}")
+    print(f"  ObfusMem+Auth : {obfus_writes:8.0f} "
+          f"(amplification {obfus_writes / max(base_writes, 1):.2f}x)")
+    print(f"  Path ORAM     : {oram_writes:8.0f} "
+          f"(amplification {oram_writes / max(base_writes, 1):.1f}x)")
+
+    lifetime_ratio = oram_writes / max(obfus_writes, 1)
+    print(f"\nprojected lifetime: ObfusMem outlives ORAM by ~{lifetime_ratio:.0f}x "
+          f"(paper's analytical estimate: ~{analytical_comparison().lifetime_improvement:.0f}x)")
+
+    # --- ablation: the three dummy-address designs of §3.3 --------------
+    print("\ndummy-address policy ablation (extra cell writes vs FIXED):")
+    fixed_writes = None
+    for policy in (DummyAddressPolicy.FIXED, DummyAddressPolicy.ORIGINAL,
+                   DummyAddressPolicy.RANDOM):
+        machine = MachineConfig(dummy_policy=policy)
+        result = run_benchmark(
+            profile, ProtectionLevel.OBFUSMEM, machine=machine, num_requests=REQUESTS
+        )
+        writes = cell_writes(result.stats)
+        if fixed_writes is None:
+            fixed_writes = writes
+        print(f"  {policy.value:8s}: {writes:8.0f} cell writes "
+              f"({writes / max(fixed_writes, 1):.2f}x FIXED), "
+              f"exec overhead {result.overhead_pct(baseline):+.1f}%")
+    print("\nFIXED lets the memory drop dummies before the array: every read's")
+    print("escort write costs nothing. ORIGINAL/RANDOM really write the array")
+    print("on every dummy - the wear the paper's Observation 2 eliminates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""ObfusMem reproduction: low-overhead memory access-pattern obfuscation.
+
+A full-system reproduction of *ObfusMem: A Low-Overhead Access Obfuscation
+for Trusted Memories* (Awad, Wang, Shands, Solihin -- ISCA 2017): an
+event-driven PCM memory-system simulator, a from-scratch cryptographic
+substrate, counter-mode memory encryption, a functional Path ORAM baseline,
+the ObfusMem controller itself (timing and functional twins), the trust
+architecture, an attack/leakage analysis harness, and experiment runners
+regenerating every table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro.cpu import SPEC_PROFILES
+    from repro.system import compare_levels, ProtectionLevel
+
+    results = compare_levels(
+        SPEC_PROFILES["bwaves"],
+        [ProtectionLevel.UNPROTECTED, ProtectionLevel.OBFUSMEM_AUTH,
+         ProtectionLevel.ORAM],
+    )
+"""
+
+from repro.errors import (
+    ConfigurationError,
+    CounterDesyncError,
+    CryptoError,
+    IntegrityError,
+    OramDeadlockError,
+    OramError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    TrustError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "CounterDesyncError",
+    "CryptoError",
+    "IntegrityError",
+    "OramDeadlockError",
+    "OramError",
+    "ReproError",
+    "SimulationError",
+    "TraceError",
+    "TrustError",
+    "__version__",
+]

@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+list            benchmarks, protection levels and experiments available
+run             simulate one benchmark at one protection level
+experiments     regenerate one (or all) of the paper's tables/figures
+attacks         run the §3.5 active-attack suite against the live stack
+report          full Markdown evaluation report (see experiments.report)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cpu.spec_profiles import BENCHMARK_NAMES, SPEC_PROFILES
+from repro.system.config import MachineConfig, ProtectionLevel
+from repro.system.simulator import run_benchmark
+
+_EXPERIMENTS = (
+    "table1",
+    "table3",
+    "figure4",
+    "figure5",
+    "table4",
+    "energy",
+    "related",
+)
+
+
+def _cmd_list(args: argparse.Namespace) -> None:
+    print("benchmarks (Table 1):")
+    for name in BENCHMARK_NAMES:
+        profile = SPEC_PROFILES[name]
+        print(
+            f"  {name:12s} IPC {profile.ipc:5.2f}  MPKI {profile.llc_mpki:6.2f}  "
+            f"gap {profile.avg_gap_ns:8.2f} ns"
+        )
+    print("\nprotection levels:")
+    for level in ProtectionLevel:
+        print(f"  {level.value}")
+    print("\nexperiments:", ", ".join(_EXPERIMENTS))
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    if args.benchmark not in SPEC_PROFILES:
+        raise SystemExit(f"unknown benchmark {args.benchmark!r}; try 'list'")
+    try:
+        level = ProtectionLevel(args.level)
+    except ValueError:
+        raise SystemExit(f"unknown level {args.level!r}; try 'list'")
+    machine = MachineConfig(channels=args.channels)
+    profile = SPEC_PROFILES[args.benchmark]
+    result = run_benchmark(
+        profile,
+        level,
+        machine=machine,
+        num_requests=args.requests,
+        seed=args.seed,
+        cores=args.cores,
+    )
+    print(f"benchmark        : {args.benchmark}")
+    print(f"level            : {level.value}")
+    print(f"channels / cores : {args.channels} / {args.cores}")
+    print(f"requests         : {result.num_requests}")
+    print(f"execution time   : {result.execution_time_ns / 1000:.1f} us")
+    print(f"avg request gap  : {result.average_gap_ns:.1f} ns")
+    print(f"IPC              : {result.ipc(machine.cpu_clock_ghz):.2f}")
+    if args.baseline:
+        baseline = run_benchmark(
+            profile,
+            ProtectionLevel.UNPROTECTED,
+            machine=machine,
+            num_requests=args.requests,
+            seed=args.seed,
+            cores=args.cores,
+        )
+        print(f"overhead         : {result.overhead_pct(baseline):+.1f}% vs unprotected")
+    if args.stats:
+        for key in sorted(result.stats):
+            print(f"  {key} = {result.stats[key]:.2f}")
+
+
+def _cmd_experiments(args: argparse.Namespace) -> None:
+    from repro.experiments import (
+        energy,
+        figure4,
+        figure5,
+        related,
+        table1,
+        table3,
+        table4,
+    )
+
+    modules = {
+        "table1": table1,
+        "table3": table3,
+        "figure4": figure4,
+        "figure5": figure5,
+        "table4": table4,
+        "energy": energy,
+        "related": related,
+    }
+    names = _EXPERIMENTS if args.name == "all" else (args.name,)
+    for name in names:
+        if name not in modules:
+            raise SystemExit(f"unknown experiment {name!r}; one of {_EXPERIMENTS}")
+        modules[name].main()
+        print()
+
+
+def _cmd_attacks(args: argparse.Namespace) -> None:
+    from repro.analysis.attacks import (
+        command_bitflip_attack,
+        data_tamper_attack,
+        injection_attack,
+        message_drop_attack,
+        replay_attack,
+    )
+
+    scenarios = [
+        ("command bit-flip", command_bitflip_attack, True),
+        ("message drop", message_drop_attack, True),
+        ("replay", replay_attack, True),
+        ("injection", injection_attack, True),
+        ("data tamper (deferred to Merkle)", data_tamper_attack, False),
+    ]
+    failures = 0
+    for name, attack, expect_detected in scenarios:
+        outcome = attack()
+        ok = outcome.detected == expect_detected
+        failures += 0 if ok else 1
+        status = "detected" if outcome.detected else "not detected at bus"
+        print(f"{'OK ' if ok else 'BAD'} {name:34s} -> {status}")
+    if failures:
+        raise SystemExit(f"{failures} attack scenario(s) behaved unexpectedly")
+
+
+def _cmd_report(args: argparse.Namespace) -> None:
+    from repro.experiments import report
+
+    forwarded = []
+    if args.output:
+        forwarded += ["-o", args.output]
+    if args.fast:
+        forwarded += ["--fast"]
+    forwarded += ["--requests", str(args.requests)]
+    report.main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse CLI with all subcommands."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="show benchmarks, levels, experiments")
+
+    run_parser = subparsers.add_parser("run", help="simulate one benchmark")
+    run_parser.add_argument("benchmark")
+    run_parser.add_argument("--level", default="obfusmem_auth")
+    run_parser.add_argument("--channels", type=int, default=1)
+    run_parser.add_argument("--cores", type=int, default=1)
+    run_parser.add_argument("--requests", type=int, default=4000)
+    run_parser.add_argument("--seed", type=int, default=2017)
+    run_parser.add_argument(
+        "--baseline", action="store_true", help="also run unprotected and show overhead"
+    )
+    run_parser.add_argument("--stats", action="store_true", help="dump all statistics")
+
+    experiments_parser = subparsers.add_parser(
+        "experiments", help="regenerate a paper table/figure"
+    )
+    experiments_parser.add_argument("name", choices=(*_EXPERIMENTS, "all"))
+
+    subparsers.add_parser("attacks", help="run the active-attack suite")
+
+    report_parser = subparsers.add_parser("report", help="full Markdown report")
+    report_parser.add_argument("-o", "--output")
+    report_parser.add_argument("--requests", type=int, default=4000)
+    report_parser.add_argument("--fast", action="store_true")
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point: dispatch to the chosen subcommand."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "experiments": _cmd_experiments,
+        "attacks": _cmd_attacks,
+        "report": _cmd_report,
+    }
+    handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""ObfusMem core: the paper's primary contribution.
+
+Timing path (used by the performance experiments):
+:class:`ObfusMemController` over :class:`repro.mem.MemorySystem`.
+
+Functional path (real crypto, used by examples and the security analysis):
+:class:`FunctionalObfusMem` with its :class:`MemorySideLogic`.
+
+Trust establishment: :mod:`repro.core.trust` (manufacturers, integrators,
+attestation, authenticated Diffie–Hellman) producing a
+:class:`SessionKeyTable`.
+"""
+
+from repro.core.config import (
+    AuthMode,
+    ChannelInjection,
+    DummyAddressPolicy,
+    ObfusMemConfig,
+)
+from repro.core.controller import ObfusMemController
+from repro.core.dummy import DummyRequestFactory
+from repro.core.functional import FunctionalObfusMem, MemorySideLogic
+from repro.core.hide import HideController
+from repro.core.oblivious import TimingObliviousShaper
+from repro.core.packets import ChannelCodec, DecodedCommand
+from repro.core.session import SessionKeyTable
+from repro.core.system import BootApproach, FunctionalObfusMemSystem
+from repro.core.trust import (
+    AttestationReport,
+    Chip,
+    Manufacturer,
+    MemoryChip,
+    ProcessorChip,
+    SystemIntegrator,
+    bootstrap_naive,
+    bootstrap_trusted_integrator,
+    bootstrap_untrusted_integrator,
+)
+
+__all__ = [
+    "AuthMode",
+    "ChannelInjection",
+    "DummyAddressPolicy",
+    "ObfusMemConfig",
+    "ObfusMemController",
+    "DummyRequestFactory",
+    "FunctionalObfusMem",
+    "MemorySideLogic",
+    "HideController",
+    "TimingObliviousShaper",
+    "ChannelCodec",
+    "DecodedCommand",
+    "SessionKeyTable",
+    "BootApproach",
+    "FunctionalObfusMemSystem",
+    "AttestationReport",
+    "Chip",
+    "Manufacturer",
+    "MemoryChip",
+    "ProcessorChip",
+    "SystemIntegrator",
+    "bootstrap_naive",
+    "bootstrap_trusted_integrator",
+    "bootstrap_untrusted_integrator",
+]

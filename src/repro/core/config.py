@@ -1,0 +1,101 @@
+"""Configuration knobs of the ObfusMem controller.
+
+Each enum mirrors a design choice discussed in the paper:
+
+* :class:`DummyAddressPolicy` — §3.3's three designs for the address of a
+  dummy request (random / original / fixed reserved block).  Only FIXED
+  allows the memory side to drop dummies and avoid wear; the others exist
+  for the ablation study.
+* :class:`ChannelInjection` — §3.4's inter-channel obfuscation:
+  full replication (UNOPT, dummies on all other channels) vs idle-only
+  injection (OPT).
+* :class:`AuthMode` — §3.5's encrypt-and-MAC (overlapped, default) vs
+  encrypt-then-MAC (serialized) bus authentication.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.mem.dram_timing import EngineTiming
+from repro.sim.engine import ns_to_ps  # noqa: F401 (used in defaults below)
+
+
+class DummyAddressPolicy(enum.Enum):
+    """What address a dummy request carries (paper §3.3)."""
+
+    RANDOM = "random"  # random address: hurts locality, causes real writes
+    ORIGINAL = "original"  # same address as the real request: real writes
+    FIXED = "fixed"  # reserved 64B block per module: droppable (default)
+
+
+class ChannelInjection(enum.Enum):
+    """Inter-channel dummy injection strategy (paper §3.4)."""
+
+    NONE = "none"  # leak across channels (for ablation only)
+    UNOPT = "unopt"  # dummies on every other channel, every access
+    OPT = "opt"  # dummies only on idle channels (Observation 3)
+
+
+class AuthMode(enum.Enum):
+    """Bus communication authentication (paper §3.5)."""
+
+    NONE = "none"
+    ENCRYPT_AND_MAC = "encrypt_and_mac"  # beta = H(r|a|c), overlapped
+    ENCRYPT_THEN_MAC = "encrypt_then_mac"  # alpha = H(E_K(r|a|D)), serialized
+
+
+@dataclass(frozen=True)
+class ObfusMemConfig:
+    """All controller knobs with the paper's defaults.
+
+    ``substitute_dummies`` enables the bandwidth optimization at the end of
+    §3.3: a pending real write may stand in for a read's dummy-write half
+    (and vice versa), removing dummy bandwidth under mixed load.
+    ``max_held_writes`` bounds how long a real write may wait for a read to
+    pair with before it is flushed with a dummy-read escort.
+    """
+
+    dummy_policy: DummyAddressPolicy = DummyAddressPolicy.FIXED
+    channel_injection: ChannelInjection = ChannelInjection.OPT
+    auth: AuthMode = AuthMode.NONE
+    substitute_dummies: bool = True
+    max_held_writes: int = 2
+    # §6.2: the timing-oblivious mode keeps dummies undropped so a dummy's
+    # service time is indistinguishable from a real access's.
+    drop_dummies: bool = True
+    engines: EngineTiming = field(default_factory=EngineTiming)
+    # Residual (non-overlapped) MAC-generation latency per request for the
+    # encrypt-and-MAC scheme: the stride/LRU anticipation of §3.5 hides most
+    # of the 64-stage pipeline, leaving a small tail.
+    auth_gen_residual_ps: int = ns_to_ps(6.0)
+    # Window of memory access time the memory-side MAC check overlaps with.
+    auth_verify_overlap_ps: int = ns_to_ps(70.0)
+
+    def __post_init__(self) -> None:
+        if self.max_held_writes < 0:
+            raise ConfigurationError("max_held_writes must be >= 0")
+        if self.auth_gen_residual_ps < 0 or self.auth_verify_overlap_ps < 0:
+            raise ConfigurationError("auth latency parameters must be >= 0")
+
+    @property
+    def command_slots(self) -> int:
+        """Bus command-slot occupancy: the MAC tag widens the header."""
+        return 2 if self.auth is not AuthMode.NONE else 1
+
+    @property
+    def tag_bus_extra_ps(self) -> int:
+        """Data-bus occupancy of the 128-bit MAC tag riding each burst."""
+        return ns_to_ps(1.25) if self.auth is not AuthMode.NONE else 0
+
+    def auth_verify_exposed_ps(self) -> int:
+        """Memory-side MAC check latency not hidden by the array access."""
+        if self.auth is AuthMode.NONE:
+            return 0
+        md5 = self.engines.md5_pipeline_depth * self.engines.md5_cycle_ps
+        if self.auth is AuthMode.ENCRYPT_THEN_MAC:
+            # Serialized: the MAC covers the ciphertext, so nothing overlaps.
+            return md5
+        return max(0, md5 - self.auth_verify_overlap_ps)

@@ -1,0 +1,240 @@
+"""Processor-side ObfusMem controller (timing path).
+
+Sits between the secure memory controller (or directly the LLC) and the
+multi-channel memory system.  For every real request it:
+
+1. adds the on-chip critical-path cost of bus encryption — pads are
+   pre-generated from the session counter, so only the XOR (plus any
+   residual MAC-generation latency, §3.5) is exposed;
+2. escorts the request with a piggybacked dummy of the *opposite* type on
+   the same channel, so every access appears on the wire as read-then-write
+   (§3.3) — or substitutes a pending real write for the dummy when the
+   bandwidth optimization is enabled;
+3. injects dummy read+write pairs on other channels per the configured
+   inter-channel strategy (§3.4): all of them (UNOPT) or idle ones only
+   (OPT);
+4. hands the channel scheduler opaque wire bytes so a bus observer sees
+   only ciphertext, and counts the 128-bit pads both sides consume (the
+   §5.2 energy accounting).
+
+The *functional* encrypted stack (real AES-CTR packets, MAC verification
+and dummy dropping on live data) lives in :mod:`repro.core.functional`;
+this class models the same behaviour at simulation speed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.config import AuthMode, ChannelInjection, ObfusMemConfig
+from repro.core.dummy import DummyRequestFactory
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ConfigurationError
+from repro.mem.request import MemoryRequest, RequestType
+from repro.mem.scheduler import MemorySystem
+from repro.sim.engine import Engine
+from repro.sim.statistics import StatRegistry
+
+CompletionCallback = Callable[[MemoryRequest], None]
+
+# Pad accounting per §5.2: a protected access costs ten 128-bit pads on the
+# processor side (1 real command + 1 dummy command + 4 bus data + 4 at-rest
+# data) and six on the memory side.
+PADS_PROCESSOR_SIDE = 10
+PADS_MEMORY_SIDE = 6
+
+
+class ObfusMemController:
+    """Timing model of the processor-side obfuscation engine."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        memory: MemorySystem,
+        config: ObfusMemConfig,
+        stats: StatRegistry,
+        rng: DeterministicRng,
+    ):
+        self.engine = engine
+        self.memory = memory
+        self.mapping = memory.mapping
+        self.config = config
+        self.stats = stats.group("obfusmem")
+        self._rng = rng
+        self._dummy_factory = DummyRequestFactory(
+            config.dummy_policy, self.mapping, rng.fork("dummy-addresses")
+        )
+
+    # ------------------------------------------------------------------
+    # Port interface
+    # ------------------------------------------------------------------
+
+    def issue(self, request: MemoryRequest, callback: CompletionCallback | None) -> None:
+        """Protect and forward one request."""
+        if request.is_dummy:
+            raise ConfigurationError("dummies are generated inside the controller")
+        delay = self._issue_path_delay_ps()
+        self.stats.add("requests_protected")
+        self.engine.schedule(delay, lambda: self._dispatch(request, callback))
+
+    def flush(self) -> None:
+        """End-of-run hook (nothing is held back; kept for API symmetry)."""
+
+    # ------------------------------------------------------------------
+    # Latency model
+    # ------------------------------------------------------------------
+
+    def _issue_path_delay_ps(self) -> int:
+        """On-chip latency added before the request reaches the channel."""
+        engines = self.config.engines
+        delay = engines.xor_ps  # pad pre-generated; XOR only (§3.2)
+        if self.config.auth is AuthMode.ENCRYPT_AND_MAC:
+            # Tag over (r|a|c) is anticipated and overlapped; a small
+            # residual tail remains exposed.
+            delay += self.config.auth_gen_residual_ps
+        elif self.config.auth is AuthMode.ENCRYPT_THEN_MAC:
+            # Tag over the ciphertext: MAC serializes behind encryption.
+            delay += engines.md5_latency_ps
+        return delay
+
+    def _response_delay_ps(self) -> int:
+        """Latency added on the return path of a read."""
+        engines = self.config.engines
+        delay = engines.xor_ps + self.config.auth_verify_exposed_ps()
+        return delay
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, request: MemoryRequest, callback: CompletionCallback | None) -> None:
+        channel = self.mapping.channel_of(request.address)
+        # §5.2 accounting: one protected access (real + piggyback half)
+        # consumes 10 processor-side + 6 memory-side 128-bit pads.
+        self._account_pads(channel)
+        if request.is_read:
+            self._send(channel, request, callback)
+            self._pair_with_write_half(channel, request)
+        else:
+            self._handle_write(channel, request, callback)
+        self._inject_other_channels(channel)
+
+    def _pair_with_write_half(self, channel: int, read_request: MemoryRequest) -> None:
+        """Every read is piggybacked with a write (§3.3, read-then-write).
+
+        With the bandwidth optimization on, a real write already queued at
+        this channel stands in for the dummy-write half: the wire still
+        shows a read-then-write pattern, but no dummy bandwidth is spent.
+        """
+        if (
+            self.config.substitute_dummies
+            and self.memory.channels[channel].pending_real_writes > 0
+            and self.memory.channels[channel].promote_oldest_write()
+        ):
+            self.stats.add("dummy_writes_substituted")
+        else:
+            self._send_dummy(channel, RequestType.WRITE, read_request.address)
+
+    def _handle_write(
+        self, channel: int, request: MemoryRequest, callback: CompletionCallback | None
+    ) -> None:
+        """Every write is preceded by a read half (§3.3).
+
+        A real read already queued at the channel substitutes for the dummy
+        read when the optimization is on; the write itself is issued
+        immediately either way (its scheduling is never perturbed).
+        """
+        if (
+            self.config.substitute_dummies
+            and self.memory.channels[channel].pending_real_reads > 0
+        ):
+            self.stats.add("dummy_reads_substituted")
+        else:
+            self._send_dummy(channel, RequestType.READ, request.address)
+        self._send(channel, request, callback)
+
+    def _inject_other_channels(self, active_channel: int) -> None:
+        """Inter-channel obfuscation (§3.4, Observation 3)."""
+        mode = self.config.channel_injection
+        if mode is ChannelInjection.NONE or self.mapping.channels == 1:
+            return
+        for channel in range(self.mapping.channels):
+            if channel == active_channel:
+                continue
+            if mode is ChannelInjection.OPT and self.memory.channels[channel].busy:
+                self.stats.add("injections_skipped_busy")
+                continue
+            self.inject_pair(channel)
+
+    def inject_pair(self, channel: int) -> None:
+        """Inject one dummy read-then-write pair on a channel.
+
+        Used internally by the §3.4 inter-channel strategies, and by the
+        §6.2 timing-oblivious shaper to fill empty request slots.
+        """
+        self._send_dummy(channel, RequestType.READ, None)
+        self._send_dummy(channel, RequestType.WRITE, None)
+        self._account_pads(channel)
+        self.stats.add("channel_pairs_injected")
+
+    # ------------------------------------------------------------------
+    # Wire transmission
+    # ------------------------------------------------------------------
+
+    def _wire_command(self) -> bytes:
+        """Opaque ciphertext stand-in: unique random bytes per command.
+
+        Counter-mode guarantees ciphertexts never repeat; 16 random bytes
+        have the same observable property at simulation speed.
+        """
+        return self._rng.token_bytes(16)
+
+    def _wire_data(self) -> bytes:
+        return self._rng.token_bytes(64)
+
+    def _account_pads(self, channel: int) -> None:
+        self.stats.add(f"pads_processor_ch{channel}", PADS_PROCESSOR_SIDE)
+        self.stats.add(f"pads_memory_ch{channel}", PADS_MEMORY_SIDE)
+        self.stats.add("pads_total", PADS_PROCESSOR_SIDE + PADS_MEMORY_SIDE)
+
+    def _send(
+        self, channel: int, request: MemoryRequest, callback: CompletionCallback | None
+    ) -> None:
+        wrapped = callback
+        if request.is_read and callback is not None:
+            response_delay = self._response_delay_ps()
+
+            def deliver(completed: MemoryRequest) -> None:
+                def finish() -> None:
+                    completed.complete_time_ps = self.engine.now_ps
+                    callback(completed)
+
+                self.engine.schedule(response_delay, finish)
+
+            wrapped = deliver
+        self.memory.channels[channel].enqueue(
+            request,
+            wrapped,
+            wire_command=self._wire_command(),
+            wire_data=self._wire_data(),
+            command_slots=self.config.command_slots,
+            bus_extra_ps=self.config.tag_bus_extra_ps,
+        )
+
+    def _send_dummy(
+        self, channel: int, request_type: RequestType, real_address: int | None
+    ) -> None:
+        dummy = self._dummy_factory.make(channel, request_type, real_address)
+        if not self.config.drop_dummies:
+            # §6.2 timing-oblivious mode: dummies hit the array so their
+            # service timing matches real accesses.
+            dummy.droppable = False
+        self.stats.add("dummy_reads" if dummy.is_read else "dummy_writes")
+        self.memory.channels[channel].enqueue(
+            dummy,
+            None,
+            wire_command=self._wire_command(),
+            wire_data=self._wire_data(),
+            command_slots=self.config.command_slots,
+            bus_extra_ps=self.config.tag_bus_extra_ps,
+        )

@@ -1,0 +1,82 @@
+"""Dummy request generation: the three address designs of §3.3.
+
+* **FIXED** (the paper's choice): every memory module reserves one 64-byte
+  block; all dummies target it.  Counter-mode encryption makes the repeated
+  address look different on every transmission, and the memory side *drops*
+  the request on arrival — no array access, no wear, no write energy
+  (Observation 2).
+* **ORIGINAL**: the dummy reuses the real request's address.  Keeps row
+  locality, but every read now also performs a real array write — the
+  NVM-lifetime cost the ablation benchmark quantifies.
+* **RANDOM**: the dummy targets a uniformly random block — loses locality
+  *and* performs real writes; the worst of both worlds, kept as the naive
+  baseline.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.rng import DeterministicRng
+from repro.core.config import DummyAddressPolicy
+from repro.errors import ConfigurationError
+from repro.mem.address_mapping import AddressMapping
+from repro.mem.request import BLOCK_SIZE_BYTES, MemoryRequest, RequestType
+
+
+class DummyRequestFactory:
+    """Creates dummy requests according to the configured address policy."""
+
+    def __init__(
+        self,
+        policy: DummyAddressPolicy,
+        mapping: AddressMapping,
+        rng: DeterministicRng,
+    ):
+        self.policy = policy
+        self.mapping = mapping
+        self._rng = rng
+
+    def _random_address_on_channel(self, channel: int) -> int:
+        """A random block address that decodes to the given channel."""
+        for _ in range(64):
+            block = self._rng.randrange(self.mapping.num_blocks)
+            address = block * BLOCK_SIZE_BYTES
+            if self.mapping.channel_of(address) == channel:
+                return address
+        raise ConfigurationError(
+            f"could not draw a random address on channel {channel}"
+        )
+
+    def make(
+        self,
+        channel: int,
+        request_type: RequestType,
+        real_address: int | None = None,
+    ) -> MemoryRequest:
+        """Build one dummy request bound for ``channel``.
+
+        ``real_address`` is the address of the access being escorted; it is
+        required by the ORIGINAL policy and ignored otherwise.
+        """
+        if self.policy is DummyAddressPolicy.FIXED:
+            address = self.mapping.dummy_block_address(channel)
+            droppable = True
+        elif self.policy is DummyAddressPolicy.ORIGINAL:
+            if real_address is None:
+                # Inter-channel dummies have no original address to mirror;
+                # fall back to the reserved block, still non-droppable so
+                # the policy's cost is fully visible.
+                address = self.mapping.dummy_block_address(channel)
+            else:
+                address = real_address
+            droppable = False
+        elif self.policy is DummyAddressPolicy.RANDOM:
+            address = self._random_address_on_channel(channel)
+            droppable = False
+        else:  # pragma: no cover - enum is closed
+            raise ConfigurationError(f"unknown dummy policy {self.policy}")
+        return MemoryRequest(
+            address=address,
+            request_type=request_type,
+            is_dummy=True,
+            droppable=droppable,
+        )

@@ -1,0 +1,285 @@
+"""Functional ObfusMem stack: real crypto end to end on one channel.
+
+This is Figure 3 executed with real bytes: counter-mode at-rest encryption
+on the processor, a second counter-mode encryption for the bus, piggybacked
+dummy requests against the reserved fixed block, MAC tags, and a memory-side
+logic layer that decrypts, authenticates, drops dummies and serves the
+array.  It is synchronous (no event engine) — the timing twin is
+:class:`repro.core.controller.ObfusMemController`.
+
+The stack doubles as the active-attack harness: an ``interceptor`` hook sees
+every wire message and may tamper with, drop, or replay it; the tests in
+``tests/analysis`` use it to demonstrate every detection case of §3.5.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.config import AuthMode
+from repro.core.packets import ChannelCodec, DecodedCommand
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ConfigurationError, IntegrityError
+from repro.mem.bus import BusTransfer, Direction, MemoryBus, TransferKind
+from repro.mem.request import BLOCK_SIZE_BYTES, RequestType, block_aligned
+from repro.secure.at_rest import AtRestEncryption
+
+# An interceptor receives (kind, direction, wire_bytes) and returns the bytes
+# actually delivered — possibly modified — or None to drop the message.
+Interceptor = Callable[[str, str, bytes], bytes | None]
+
+
+@dataclass
+class WireMessage:
+    """One message as transmitted (recorded for replay attacks)."""
+
+    kind: str  # "command" | "data" | "response" | "tag"
+    payload: bytes
+
+
+class MemorySideLogic:
+    """The logic layer inside the trusted memory module.
+
+    Owns the memory-side codec (counter-synchronized with the processor),
+    the PCM array contents (at-rest ciphertext — the memory never sees
+    plaintext data), and the dummy-dropping logic of Observation 2.
+    """
+
+    def __init__(
+        self,
+        session_key: bytes,
+        dummy_address: int,
+        auth: AuthMode,
+        rng: DeterministicRng,
+    ):
+        self.codec = ChannelCodec(session_key)
+        self.dummy_address = dummy_address
+        self.auth = auth
+        self._rng = rng
+        self._array: dict[int, bytes] = {}
+        self.dummies_dropped = 0
+        self.cell_writes = 0
+
+    def array_snapshot(self) -> dict[int, bytes]:
+        """What an attacker scanning the chips would find (ciphertext)."""
+        return dict(self._array)
+
+    def _verify(self, decoded: DecodedCommand, tag: bytes | None, wire: bytes) -> None:
+        if self.auth is AuthMode.NONE:
+            return
+        if tag is None:
+            raise IntegrityError("authenticated channel received no MAC tag")
+        if self.auth is AuthMode.ENCRYPT_AND_MAC:
+            self.codec.verify_tag(decoded, tag)
+        else:
+            self.codec.verify_ciphertext_tag(wire, tag)
+
+    def handle_write(self, wire_command: bytes, wire_data: bytes, tag: bytes | None) -> None:
+        """Decode a write; store data, or drop it if it targets the dummy."""
+        decoded = self.codec.decode_command(wire_command)
+        self._verify(decoded, tag, wire_command)
+        if decoded.request_type is not RequestType.WRITE:
+            raise IntegrityError("write path received a non-write command")
+        data = self.codec.decode_request_data(wire_data)
+        if decoded.address == self.dummy_address:
+            # Observation 2: the dummy write is dropped on arrival — no
+            # array write, no wear, no write energy.
+            self.dummies_dropped += 1
+            return
+        self._array[block_aligned(decoded.address)] = data
+        self.cell_writes += 1
+
+    def handle_read(self, wire_command: bytes, tag: bytes | None) -> bytes:
+        """Decode a read; return the encrypted response burst."""
+        decoded = self.codec.decode_command(wire_command)
+        self._verify(decoded, tag, wire_command)
+        if decoded.request_type is not RequestType.READ:
+            raise IntegrityError("read path received a non-read command")
+        if decoded.address == self.dummy_address:
+            # Dummy read: answer with raw garbage; no array access and no
+            # response-stream pads are consumed (the processor discards it).
+            self.dummies_dropped += 1
+            return self._rng.token_bytes(BLOCK_SIZE_BYTES)
+        stored = self._array.get(
+            block_aligned(decoded.address), b"\x00" * BLOCK_SIZE_BYTES
+        )
+        return self.codec.encode_response_data(stored)
+
+
+class FunctionalObfusMem:
+    """Processor-side view of one fully functional obfuscated channel."""
+
+    def __init__(
+        self,
+        session_key: bytes,
+        memory_key: bytes,
+        rng: DeterministicRng,
+        dummy_address: int = 0xFFF_FFC0,
+        auth: AuthMode = AuthMode.ENCRYPT_AND_MAC,
+        bus: MemoryBus | None = None,
+        channel: int = 0,
+        interceptor: Interceptor | None = None,
+    ):
+        if dummy_address % BLOCK_SIZE_BYTES:
+            raise ConfigurationError("dummy address must be block aligned")
+        self.codec = ChannelCodec(session_key)
+        self.at_rest = AtRestEncryption(memory_key)
+        self.memory_side = MemorySideLogic(
+            session_key, dummy_address, auth, rng.fork("memory-side")
+        )
+        self.dummy_address = dummy_address
+        self.auth = auth
+        self.bus = bus
+        self.channel = channel
+        self.interceptor = interceptor
+        self._time = 0  # logical wire time for bus records
+        self.transcript: list[WireMessage] = []
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+
+    def _transmit(
+        self,
+        kind: str,
+        payload: bytes,
+        direction: Direction,
+        transfer_kind: TransferKind,
+        is_dummy: bool,
+        plaintext_address: int | None,
+        plaintext_is_write: bool | None,
+    ) -> bytes:
+        """Put bytes on the wire, applying interception and observation."""
+        self._time += 1
+        delivered: bytes | None = payload
+        if self.interceptor is not None:
+            delivered = self.interceptor(kind, direction.value, payload)
+        self.transcript.append(WireMessage(kind, payload))
+        if self.bus is not None:
+            self.bus.emit(
+                BusTransfer(
+                    time_ps=self._time,
+                    channel=self.channel,
+                    kind=transfer_kind,
+                    direction=direction,
+                    wire_bytes=payload,
+                    plaintext_address=plaintext_address,
+                    plaintext_is_write=plaintext_is_write,
+                    is_dummy=is_dummy,
+                )
+            )
+        if delivered is None:
+            raise IntegrityError(
+                "wire message was dropped: channel counters are now "
+                "desynchronized and the session is unrecoverable"
+            )
+        return delivered
+
+    # ------------------------------------------------------------------
+    # The four wire operations of Figure 3
+    # ------------------------------------------------------------------
+
+    def _send_command(
+        self, request_type: RequestType, address: int, is_dummy: bool
+    ) -> tuple[bytes, bytes | None]:
+        tag = (
+            self.codec.make_tag(request_type, address, self.codec.request_counter)
+            if self.auth is AuthMode.ENCRYPT_AND_MAC
+            else None
+        )
+        wire, _counter = self.codec.encode_command(request_type, address)
+        if self.auth is AuthMode.ENCRYPT_THEN_MAC:
+            tag = self.codec.make_ciphertext_tag(wire)
+        wire = self._transmit(
+            "command",
+            wire,
+            Direction.TO_MEMORY,
+            TransferKind.COMMAND,
+            is_dummy,
+            address,
+            request_type is RequestType.WRITE,
+        )
+        return wire, tag
+
+    def _send_data(self, block: bytes, is_dummy: bool, address: int) -> bytes:
+        wire = self.codec.encode_request_data(block)
+        return self._transmit(
+            "data", wire, Direction.TO_MEMORY, TransferKind.DATA, is_dummy, address, True
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def inject_dummy_pair(self) -> None:
+        """One full dummy read-then-write pair (inter-channel filler, §3.4).
+
+        Both halves target the reserved block: the read is answered with
+        raw garbage (no response pads), the write is dropped on arrival.
+        On the wire the pair is indistinguishable from a real access.
+        """
+        wire, tag = self._send_command(RequestType.READ, self.dummy_address, True)
+        garbage = self.memory_side.handle_read(wire, tag)
+        self._transmit(
+            "response",
+            garbage,
+            Direction.TO_PROCESSOR,
+            TransferKind.DATA,
+            True,
+            self.dummy_address,
+            False,
+        )
+        wire, tag = self._send_command(RequestType.WRITE, self.dummy_address, True)
+        wire_data = self._send_data(b"\x00" * BLOCK_SIZE_BYTES, True, self.dummy_address)
+        self.memory_side.handle_write(wire, wire_data, tag)
+
+    def _check_not_dummy(self, address: int) -> None:
+        if address == self.dummy_address:
+            raise ConfigurationError(
+                "the reserved dummy block is not addressable by software"
+            )
+
+    def write(self, address: int, plaintext: bytes) -> None:
+        """One protected write: dummy read first, then the real write."""
+        address = block_aligned(address)
+        self._check_not_dummy(address)
+        # Dummy read escort (§3.3: every write is preceded by a dummy read).
+        wire, tag = self._send_command(RequestType.READ, self.dummy_address, True)
+        garbage = self.memory_side.handle_read(wire, tag)
+        self._transmit(
+            "response",
+            garbage,
+            Direction.TO_PROCESSOR,
+            TransferKind.DATA,
+            True,
+            self.dummy_address,
+            False,
+        )
+        # Real write: at-rest encryption, then the second (bus) encryption.
+        at_rest_ciphertext = self.at_rest.encrypt_for_write(address, plaintext)
+        wire, tag = self._send_command(RequestType.WRITE, address, False)
+        wire_data = self._send_data(at_rest_ciphertext, False, address)
+        self.memory_side.handle_write(wire, wire_data, tag)
+
+    def read(self, address: int) -> bytes:
+        """One protected read: the real read, then a dummy write escort."""
+        address = block_aligned(address)
+        self._check_not_dummy(address)
+        wire, tag = self._send_command(RequestType.READ, address, False)
+        wire_response = self.memory_side.handle_read(wire, tag)
+        wire_response = self._transmit(
+            "response",
+            wire_response,
+            Direction.TO_PROCESSOR,
+            TransferKind.DATA,
+            False,
+            address,
+            False,
+        )
+        at_rest_ciphertext = self.codec.decode_response_data(wire_response)
+        # Dummy write escort with throwaway data.
+        wire, tag = self._send_command(RequestType.WRITE, self.dummy_address, True)
+        wire_data = self._send_data(b"\x00" * BLOCK_SIZE_BYTES, True, self.dummy_address)
+        self.memory_side.handle_write(wire, wire_data, tag)
+        return self.at_rest.decrypt_after_read(address, at_rest_ciphertext)

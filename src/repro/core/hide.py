@@ -1,0 +1,135 @@
+"""HIDE-style chunk-level address permutation (Zhuang et al., ASPLOS 2004).
+
+§7 contrasts ObfusMem with the pre-ORAM hardware obfuscators that permute
+the address space at small-chunk granularity (typically 64KB): their
+overheads are low, but they obfuscate only *within* a chunk — chunk-grain
+spatial patterns and cross-epoch temporal reuse remain visible.  This
+module implements that baseline so the comparison is measurable:
+
+* block addresses are remapped through a per-chunk random permutation;
+* after ``repermute_interval`` accesses to a chunk, the chunk is
+  re-permuted, modelled with the block transfers HIDE performs when it
+  re-shuffles a chunk through the (trusted) cache;
+* addresses leave the chip in *plaintext* — only the permutation hides
+  anything, exactly the scheme's design point.
+
+The leakage suite quantifies what this buys and what it leaks compared to
+ObfusMem (intra-chunk locality hidden; chunk-level locality and same-epoch
+repeats visible).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ConfigurationError
+from repro.mem.request import BLOCK_SIZE_BYTES, MemoryRequest, RequestType
+from repro.mem.scheduler import MemorySystem
+from repro.sim.statistics import StatRegistry
+
+CompletionCallback = Callable[[MemoryRequest], None]
+
+DEFAULT_CHUNK_BYTES = 64 << 10  # the 64KB granularity of the cited schemes
+DEFAULT_REPERMUTE_INTERVAL = 2048  # infrequent: the schemes are cheap by design
+
+
+class HideController:
+    """Chunk-permutation obfuscation layer (a measurable §7 baseline)."""
+
+    def __init__(
+        self,
+        memory: MemorySystem,
+        stats: StatRegistry,
+        rng: DeterministicRng,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        repermute_interval: int = DEFAULT_REPERMUTE_INTERVAL,
+        repermute_cost_blocks: int | None = None,
+    ):
+        if chunk_bytes % BLOCK_SIZE_BYTES:
+            raise ConfigurationError("chunk must hold whole blocks")
+        if repermute_interval < 1:
+            raise ConfigurationError("re-permute interval must be >= 1")
+        self.memory = memory
+        self.mapping = memory.mapping
+        self.stats = stats.group("hide")
+        self._rng = rng
+        self.chunk_bytes = chunk_bytes
+        self.blocks_per_chunk = chunk_bytes // BLOCK_SIZE_BYTES
+        self.repermute_interval = repermute_interval
+        # HIDE re-shuffles a chunk by pulling its blocks through the cache:
+        # the re-permutation moves the whole chunk once (read + write).
+        self.repermute_cost_blocks = (
+            repermute_cost_blocks
+            if repermute_cost_blocks is not None
+            else self.blocks_per_chunk
+        )
+        self._permutations: dict[int, list[int]] = {}
+        self._access_counts: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def _permutation(self, chunk: int) -> list[int]:
+        if chunk not in self._permutations:
+            permutation = list(range(self.blocks_per_chunk))
+            self._rng.shuffle(permutation)
+            self._permutations[chunk] = permutation
+            self._access_counts[chunk] = 0
+        return self._permutations[chunk]
+
+    def remap(self, address: int) -> int:
+        """Current permuted address of a block (no state change)."""
+        chunk, offset = divmod(address, self.chunk_bytes)
+        block_offset = offset // BLOCK_SIZE_BYTES
+        permuted = self._permutation(chunk)[block_offset]
+        return chunk * self.chunk_bytes + permuted * BLOCK_SIZE_BYTES
+
+    def issue(self, request: MemoryRequest, callback: CompletionCallback | None) -> None:
+        """Remap and forward; re-permute the chunk when its epoch expires."""
+        chunk = request.address // self.chunk_bytes
+        remapped = MemoryRequest(
+            address=self.remap(request.address),
+            request_type=request.request_type,
+            payload=request.payload,
+            core_id=request.core_id,
+        )
+        remapped.issue_time_ps = request.issue_time_ps
+
+        if callback is None:
+            self.memory.issue(remapped, None)
+        else:
+            def forward(completed: MemoryRequest) -> None:
+                request.payload = completed.payload
+                request.complete_time_ps = completed.complete_time_ps
+                callback(request)
+
+            self.memory.issue(remapped, forward)
+        self.stats.add("requests_remapped")
+
+        self._access_counts[chunk] = self._access_counts.get(chunk, 0) + 1
+        if self._access_counts[chunk] >= self.repermute_interval:
+            self._repermute(chunk)
+
+    def _repermute(self, chunk: int) -> None:
+        """Draw a fresh permutation and pay the chunk-move traffic.
+
+        Each sampled block is read from its *old* permuted home and written
+        to its *new* one, in shuffled order — what the bus actually sees
+        when HIDE re-shuffles a chunk through the cache.
+        """
+        old_permutation = self._permutation(chunk)
+        new_permutation = list(range(self.blocks_per_chunk))
+        self._rng.shuffle(new_permutation)
+        self._permutations[chunk] = new_permutation
+        self._access_counts[chunk] = 0
+        self.stats.add("repermutations")
+        base = chunk * self.chunk_bytes
+        step = max(1, self.blocks_per_chunk // self.repermute_cost_blocks)
+        moves = list(range(0, self.blocks_per_chunk, step))
+        self._rng.shuffle(moves)
+        for block in moves:
+            old_address = base + old_permutation[block] * BLOCK_SIZE_BYTES
+            new_address = base + new_permutation[block] * BLOCK_SIZE_BYTES
+            self.memory.issue(MemoryRequest(old_address, RequestType.READ), None)
+            self.memory.issue(MemoryRequest(new_address, RequestType.WRITE), None)
+            self.stats.add("repermute_blocks_moved")

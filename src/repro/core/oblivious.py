@@ -1,0 +1,120 @@
+"""Timing-oblivious traffic shaping — the §6.2 future-work extension.
+
+The paper sketches how ObfusMem can also close the request-*timing* side
+channel: "ObfusMem accesses can be made timing oblivious by spacing timing
+of requests, assuming worst timing case, and not dropping dummy requests."
+This module implements exactly that sketch:
+
+* every channel issues one request per fixed **epoch** — a real request if
+  one is queued, a dummy read-then-write pair otherwise — so the command
+  arrival process carries no information;
+* the controller is configured with ``drop_dummies=False`` so a dummy's
+  service inside the memory is indistinguishable in time from a real
+  access's (a dropped dummy would answer faster than a bank access — a
+  timing tell the paper's note anticipates).
+
+The shaper sits above the :class:`ObfusMemController` as a request port.
+Because the paper leaves parameters open, the epoch defaults to a
+worst-case-ish service interval and is fully configurable; the ablation
+bench sweeps it.
+
+A real deployment shapes forever; a simulation must terminate, so the
+shaper stops ticking after ``linger_epochs`` empty epochs once its queues
+drain.  The tail of the run therefore leaks "the program stopped", which a
+real system would avoid by never stopping — a simulation artifact, not a
+protocol one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+from repro.core.config import ChannelInjection
+from repro.core.controller import ObfusMemController
+from repro.errors import ConfigurationError
+from repro.mem.request import MemoryRequest
+from repro.sim.engine import Engine, ns_to_ps
+from repro.sim.statistics import StatRegistry
+
+CompletionCallback = Callable[[MemoryRequest], None]
+
+DEFAULT_EPOCH_NS = 100.0  # ~worst-case single-access service time
+DEFAULT_LINGER_EPOCHS = 4
+
+
+class TimingObliviousShaper:
+    """Fixed-epoch request release per channel (constant-shape traffic)."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        controller: ObfusMemController,
+        stats: StatRegistry,
+        epoch_ns: float = DEFAULT_EPOCH_NS,
+        linger_epochs: int = DEFAULT_LINGER_EPOCHS,
+    ):
+        if epoch_ns <= 0:
+            raise ConfigurationError("epoch must be positive")
+        if linger_epochs < 1:
+            raise ConfigurationError("linger must be >= 1 epoch")
+        if controller.config.channel_injection is not ChannelInjection.NONE:
+            raise ConfigurationError(
+                "the shaper owns all channel scheduling; configure the "
+                "controller with ChannelInjection.NONE"
+            )
+        if controller.config.drop_dummies:
+            raise ConfigurationError(
+                "timing obliviousness requires drop_dummies=False (§6.2: a "
+                "dropped dummy answers faster than a real access)"
+            )
+        self.engine = engine
+        self.controller = controller
+        self.epoch_ps = ns_to_ps(epoch_ns)
+        self.linger_epochs = linger_epochs
+        self.stats = stats.group("oblivious")
+        channels = controller.mapping.channels
+        self._queues: list[deque] = [deque() for _ in range(channels)]
+        self._idle_epochs = [0] * channels
+        self._ticking = [False] * channels
+
+    # ------------------------------------------------------------------
+
+    def issue(self, request: MemoryRequest, callback: CompletionCallback | None) -> None:
+        """Queue a request; it will leave in its channel's next free slot."""
+        channel = self.controller.mapping.channel_of(request.address)
+        self._queues[channel].append((request, callback))
+        self.stats.add("requests_shaped")
+        if not self._ticking[channel]:
+            self._start_channel(channel)
+
+    def _start_channel(self, channel: int) -> None:
+        self._ticking[channel] = True
+        self._idle_epochs[channel] = 0
+        self.engine.schedule(0, lambda: self._tick(channel))
+
+    def _tick(self, channel: int) -> None:
+        queue = self._queues[channel]
+        if queue:
+            request, callback = queue.popleft()
+            self._idle_epochs[channel] = 0
+            self.controller.issue(request, callback)
+            self.stats.add("slots_real")
+        else:
+            self._idle_epochs[channel] += 1
+            if self._idle_epochs[channel] > self.linger_epochs:
+                # Simulation-termination artifact; see module docstring.
+                self._ticking[channel] = False
+                return
+            self.controller.inject_pair(channel)
+            self.stats.add("slots_dummy")
+        self.engine.schedule(self.epoch_ps, lambda: self._tick(channel))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def slot_utilization(self) -> float:
+        """Fraction of issued slots that carried real requests."""
+        real = self.stats.get("slots_real")
+        total = real + self.stats.get("slots_dummy")
+        return real / total if total else 0.0

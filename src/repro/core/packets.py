@@ -1,0 +1,163 @@
+"""Functional wire format of the obfuscated memory bus (Figure 3).
+
+Everything on the bus is counter-mode encrypted under the channel's session
+key.  Each channel carries two synchronized pad streams derived from the
+same key with different nonces:
+
+* the **request stream** (processor -> memory): command packets and write
+  data bursts.  A request *pair* (real + piggybacked dummy) consumes exactly
+  six pads — one for each command and four for the 64-byte data half —
+  matching Figure 3's "increase the counter by six".
+* the **response stream** (memory -> processor): read-response data bursts,
+  four pads per 64-byte block.
+
+A command packet is 16 bytes: ``type(1) | address(8) | zero padding(7)``
+XORed with one pad.  The zero padding gives the decoder a cheap sanity
+check; authentication is provided by the MAC of §3.5, not by the padding.
+
+Both endpoints instantiate a :class:`ChannelCodec` over the same session
+key.  Encoding on one side and decoding on the other consume pads in lock
+step; a lost or replayed message desynchronizes the counters, which the MAC
+check then exposes (every subsequent tag mismatches) — exactly the
+tamper-evidence argument of §3.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.ctr import CtrPadGenerator, xor_bytes
+from repro.crypto.mac import constant_time_equal, encrypt_and_mac_tag, encrypt_then_mac_tag
+from repro.errors import CryptoError, IntegrityError
+from repro.mem.request import BLOCK_SIZE_BYTES, RequestType
+
+COMMAND_PACKET_BYTES = 16
+DATA_PADS = BLOCK_SIZE_BYTES // 16
+
+_TYPE_CODES = {RequestType.READ: 0x0A, RequestType.WRITE: 0x5B}
+_CODE_TYPES = {code: rtype for rtype, code in _TYPE_CODES.items()}
+
+REQUEST_STREAM_NONCE = 0x0BF5_0001
+RESPONSE_STREAM_NONCE = 0x0BF5_0002
+
+
+@dataclass(frozen=True)
+class DecodedCommand:
+    request_type: RequestType
+    address: int
+    counter: int  # request-stream counter value the command pad used
+
+
+class ChannelCodec:
+    """One endpoint's encoder/decoder state for a single channel."""
+
+    def __init__(self, session_key: bytes):
+        self._request_stream = CtrPadGenerator(session_key, REQUEST_STREAM_NONCE)
+        self._response_stream = CtrPadGenerator(session_key, RESPONSE_STREAM_NONCE)
+        self._key = session_key
+
+    # -- counters ------------------------------------------------------
+
+    @property
+    def request_counter(self) -> int:
+        return self._request_stream.counter
+
+    @property
+    def response_counter(self) -> int:
+        return self._response_stream.counter
+
+    # -- command packets (request stream) -------------------------------
+
+    def _command_plaintext(self, request_type: RequestType, address: int) -> bytes:
+        if address < 0 or address >= 1 << 64:
+            raise CryptoError("address does not fit the command packet")
+        return (
+            _TYPE_CODES[request_type].to_bytes(1, "big")
+            + address.to_bytes(8, "big")
+            + b"\x00" * 7
+        )
+
+    def encode_command(self, request_type: RequestType, address: int) -> tuple[bytes, int]:
+        """Encrypt one command; returns (wire bytes, counter value used)."""
+        counter = self._request_stream.counter
+        (pad,) = self._request_stream.next_pads(1)
+        plaintext = self._command_plaintext(request_type, address)
+        return xor_bytes(plaintext, pad), counter
+
+    def decode_command(self, wire: bytes) -> DecodedCommand:
+        """Decrypt one command packet with the next request-stream pad."""
+        if len(wire) != COMMAND_PACKET_BYTES:
+            raise CryptoError("command packet must be 16 bytes")
+        counter = self._request_stream.counter
+        (pad,) = self._request_stream.next_pads(1)
+        plaintext = xor_bytes(wire, pad)
+        code = plaintext[0]
+        if code not in _CODE_TYPES:
+            raise IntegrityError(
+                "command decode failed: unknown type code (tampering or "
+                "counter desynchronization)"
+            )
+        address = int.from_bytes(plaintext[1:9], "big")
+        return DecodedCommand(_CODE_TYPES[code], address, counter)
+
+    # -- data bursts -----------------------------------------------------
+
+    def _data_pads(self, stream: CtrPadGenerator) -> bytes:
+        return b"".join(stream.next_pads(DATA_PADS))
+
+    def encode_request_data(self, block: bytes) -> bytes:
+        """Second-encrypt a 64B block for transmission to memory.
+
+        This is Observation 1: data already encrypted for memory-at-rest is
+        encrypted *again* for the bus so temporal reuse is invisible.
+        """
+        if len(block) != BLOCK_SIZE_BYTES:
+            raise CryptoError("data burst must be 64 bytes")
+        return xor_bytes(block, self._data_pads(self._request_stream))
+
+    def decode_request_data(self, wire: bytes) -> bytes:
+        """Remove the bus encryption from a to-memory data burst."""
+        if len(wire) != BLOCK_SIZE_BYTES:
+            raise CryptoError("data burst must be 64 bytes")
+        return xor_bytes(wire, self._data_pads(self._request_stream))
+
+    def encode_response_data(self, block: bytes) -> bytes:
+        """Bus-encrypt a 64B block for the memory-to-processor path."""
+        if len(block) != BLOCK_SIZE_BYTES:
+            raise CryptoError("data burst must be 64 bytes")
+        return xor_bytes(block, self._data_pads(self._response_stream))
+
+    def decode_response_data(self, wire: bytes) -> bytes:
+        """Remove the bus encryption from a read response."""
+        if len(wire) != BLOCK_SIZE_BYTES:
+            raise CryptoError("data burst must be 64 bytes")
+        return xor_bytes(wire, self._data_pads(self._response_stream))
+
+    # -- authentication tags (§3.5) ---------------------------------------
+
+    def make_tag(self, request_type: RequestType, address: int, counter: int) -> bytes:
+        """encrypt-and-MAC: beta = H(r|a|c) — computable before encryption."""
+        return encrypt_and_mac_tag(
+            self._key, _TYPE_CODES[request_type], address, counter
+        )
+
+    def verify_tag(self, decoded: DecodedCommand, tag: bytes) -> None:
+        """Recompute H(r|a|c) with *our* counter and compare (§3.5).
+
+        A tampered type or address, a dropped message (stale counter), or a
+        replay all change one of the three inputs, so the tag mismatches.
+        """
+        expected = self.make_tag(decoded.request_type, decoded.address, decoded.counter)
+        if not constant_time_equal(expected, tag):
+            raise IntegrityError(
+                "bus MAC mismatch: request tampering, deletion or replay detected"
+            )
+
+    def make_ciphertext_tag(self, wire_message: bytes) -> bytes:
+        """encrypt-then-MAC: alpha = H(M) over the encrypted message."""
+        return encrypt_then_mac_tag(self._key, wire_message)
+
+    def verify_ciphertext_tag(self, wire_message: bytes, tag: bytes) -> None:
+        """Check an encrypt-then-MAC tag over wire bytes (raises on mismatch)."""
+        if not constant_time_equal(self.make_ciphertext_tag(wire_message), tag):
+            raise IntegrityError("bus MAC mismatch on ciphertext (encrypt-then-MAC)")

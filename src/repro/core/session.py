@@ -1,0 +1,47 @@
+"""Session Key Table: one shared symmetric key per memory channel.
+
+Figure 3 step 1b: the request address indexes the Session Key Table to find
+the session key of the memory module that will handle the request.  Keys are
+established at boot by the Diffie–Hellman exchange the trust architecture
+authenticates (:mod:`repro.core.trust`), and live until the system powers
+down.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ConfigurationError
+
+
+class SessionKeyTable:
+    """Per-channel session keys held by the processor-side controller."""
+
+    def __init__(self, keys: dict[int, bytes]):
+        if not keys:
+            raise ConfigurationError("session key table cannot be empty")
+        for channel, key in keys.items():
+            if len(key) != 16:
+                raise ConfigurationError(
+                    f"channel {channel} session key must be 16 bytes"
+                )
+        self._keys = dict(keys)
+
+    @classmethod
+    def generate(cls, channels: int, rng: DeterministicRng) -> "SessionKeyTable":
+        """Fresh random keys for every channel (test/simulation shortcut;
+        the full boot flow derives them via :mod:`repro.core.trust`)."""
+        return cls({c: rng.fork(f"session{c}").token_bytes(16) for c in range(channels)})
+
+    def key_for(self, channel: int) -> bytes:
+        """Session key of one memory channel (raises if unknown)."""
+        try:
+            return self._keys[channel]
+        except KeyError:
+            raise ConfigurationError(f"no session key for channel {channel}")
+
+    @property
+    def channels(self) -> list[int]:
+        return sorted(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)

@@ -1,0 +1,145 @@
+"""A complete functional ObfusMem machine: chips to ciphertext.
+
+Glues together everything the paper's §3 describes, with real crypto end to
+end: manufacturers fabricate the processor and one memory module per
+channel; a system integrator burns counterpart keys; boot attestation and
+authenticated Diffie–Hellman derive one session key per channel
+(:mod:`repro.core.trust`); then every channel runs a
+:class:`repro.core.functional.FunctionalObfusMem` stack, with the
+RoRaBaChCo mapping routing block addresses to channels and full-replication
+dummy pairs keeping the other channels co-active on every access (§3.4).
+
+This is the functional twin of the multi-channel timing system that
+:func:`repro.system.builder.build_system` wires; the examples and security
+tests use it when they need live data and real wire bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.config import AuthMode
+from repro.core.functional import FunctionalObfusMem
+from repro.core.trust import (
+    Manufacturer,
+    MemoryChip,
+    ProcessorChip,
+    SystemIntegrator,
+    bootstrap_naive,
+    bootstrap_trusted_integrator,
+    bootstrap_untrusted_integrator,
+)
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ConfigurationError
+from repro.mem.address_mapping import AddressMapping
+from repro.mem.bus import MemoryBus
+from repro.mem.request import BLOCK_SIZE_BYTES, block_aligned
+
+
+class BootApproach(enum.Enum):
+    """The three §3.1 trust-bootstrapping approaches."""
+
+    NAIVE = "naive"
+    TRUSTED_INTEGRATOR = "trusted_integrator"
+    UNTRUSTED_INTEGRATOR = "untrusted_integrator"
+
+
+_BOOTSTRAPPERS = {
+    BootApproach.NAIVE: bootstrap_naive,
+    BootApproach.TRUSTED_INTEGRATOR: bootstrap_trusted_integrator,
+    BootApproach.UNTRUSTED_INTEGRATOR: bootstrap_untrusted_integrator,
+}
+
+
+class FunctionalObfusMemSystem:
+    """Multi-channel functional machine with a real boot sequence."""
+
+    def __init__(
+        self,
+        rng: DeterministicRng,
+        channels: int = 2,
+        capacity_bytes: int = 1 << 30,
+        approach: BootApproach = BootApproach.UNTRUSTED_INTEGRATOR,
+        auth: AuthMode = AuthMode.ENCRYPT_AND_MAC,
+        bus: MemoryBus | None = None,
+        inter_channel_dummies: bool = True,
+        malicious_integrator: bool = False,
+    ):
+        self.mapping = AddressMapping(capacity_bytes=capacity_bytes, channels=channels)
+        self.auth = auth
+        self._inter_channel_dummies = inter_channel_dummies
+
+        # --- manufacture and integrate (§3.1) --------------------------
+        cpu_vendor = Manufacturer("cpu-vendor", rng)
+        memory_vendor = Manufacturer("memory-vendor", rng)
+        self.processor = ProcessorChip(cpu_vendor)
+        self.memory_chips = [
+            MemoryChip(memory_vendor, channel=c) for c in range(channels)
+        ]
+        SystemIntegrator(rng.fork("integrator"), malicious=malicious_integrator).integrate(
+            self.processor, self.memory_chips
+        )
+
+        # --- boot: attestation + authenticated DH ----------------------
+        self.session_keys = _BOOTSTRAPPERS[approach](
+            self.processor, self.memory_chips, rng.fork("boot")
+        )
+
+        # --- per-channel encrypted stacks -------------------------------
+        memory_key_rng = rng.fork("memory-key")
+        self.channels = [
+            FunctionalObfusMem(
+                session_key=self.session_keys.key_for(c),
+                memory_key=memory_key_rng.token_bytes(16),
+                rng=rng.fork(f"channel-{c}"),
+                dummy_address=self.mapping.dummy_block_address(c),
+                auth=auth,
+                bus=bus,
+                channel=c,
+            )
+            for c in range(channels)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _channel_for(self, address: int) -> FunctionalObfusMem:
+        return self.channels[self.mapping.channel_of(address)]
+
+    def _obfuscate_other_channels(self, active_channel: int) -> None:
+        """§3.4 full replication: a dummy pair on every other channel."""
+        if not self._inter_channel_dummies:
+            return
+        for index, channel in enumerate(self.channels):
+            if index == active_channel:
+                continue
+            channel.inject_dummy_pair()
+
+    def write(self, address: int, block: bytes) -> None:
+        """Protected write of one 64-byte block."""
+        if len(block) != BLOCK_SIZE_BYTES:
+            raise ConfigurationError(f"block must be {BLOCK_SIZE_BYTES} bytes")
+        address = block_aligned(address)
+        channel_index = self.mapping.channel_of(address)
+        self.channels[channel_index].write(address, block)
+        self._obfuscate_other_channels(channel_index)
+
+    def read(self, address: int) -> bytes:
+        """Protected read of one 64-byte block."""
+        address = block_aligned(address)
+        channel_index = self.mapping.channel_of(address)
+        data = self.channels[channel_index].read(address)
+        self._obfuscate_other_channels(channel_index)
+        return data
+
+    # ------------------------------------------------------------------
+
+    @property
+    def dummies_dropped(self) -> int:
+        return sum(channel.memory_side.dummies_dropped for channel in self.channels)
+
+    def array_snapshot(self) -> dict[int, bytes]:
+        """Everything stored across all memory modules (ciphertext only)."""
+        merged: dict[int, bytes] = {}
+        for channel in self.channels:
+            merged.update(channel.memory_side.array_snapshot())
+        return merged

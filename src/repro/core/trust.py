@@ -1,0 +1,349 @@
+"""ObfusMem trust architecture (paper §3.1).
+
+Models the full cast: component *manufacturers* burn public/private key
+pairs into processor and memory chips and act as certification authorities;
+a *system integrator* (trusted or not) programs each component's public key
+into its counterpart's write-once spare registers; at boot the components
+run an authenticated Diffie–Hellman exchange to derive per-channel session
+keys for the obfuscated bus.
+
+Three bootstrapping approaches from the paper are implemented:
+
+* **naive** — public keys exchanged in the clear during BIOS.  Vulnerable
+  to a machine-in-the-middle with physical access; the attack harness
+  demonstrates the key-substitution attack the paper warns about.
+* **trusted integrator** — keys pre-burned by the integrator; the DH
+  exchange is authenticated by signatures under those keys.
+* **untrusted integrator** — additionally verifies SGX-like signed
+  attestation measurements so a malicious integrator who burned wrong keys
+  is detected (system fails closed with :class:`TrustError`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.session import SessionKeyTable
+from repro.crypto.diffie_hellman import DhGroup, DhParty
+from repro.crypto.rng import DeterministicRng
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, verify
+from repro.crypto.sha1 import sha1
+from repro.errors import TrustError
+
+DEFAULT_RSA_BITS = 256  # simulation-scale identity keys
+DEFAULT_SPARE_REGISTERS = 4  # allows a limited number of component upgrades
+
+
+@dataclass(frozen=True)
+class AttestationReport:
+    """A signed self-measurement (the SGX-like flow of approach three)."""
+
+    measurement: bytes
+    signature: int
+    claimed_public_key: RsaPublicKey
+    claims_obfusmem_capable: bool
+
+
+class Manufacturer:
+    """Generates and burns component identities; acts as the CA."""
+
+    def __init__(self, name: str, rng: DeterministicRng, rsa_bits: int = DEFAULT_RSA_BITS):
+        self.name = name
+        self._rng = rng.fork(f"manufacturer-{name}")
+        self._rsa_bits = rsa_bits
+        self._issued: list[RsaPublicKey] = []
+
+    def fabricate_keypair(self) -> RsaKeyPair:
+        """Generate and register one chip identity key pair."""
+        keypair = RsaKeyPair.generate(self._rng, bits=self._rsa_bits)
+        self._issued.append(keypair.public)
+        return keypair
+
+    def vouches_for(self, public_key: RsaPublicKey) -> bool:
+        """CA check: did this manufacturer burn this key into a chip?"""
+        return public_key in self._issued
+
+
+class Chip:
+    """Common identity machinery of processor and memory chips."""
+
+    def __init__(
+        self,
+        manufacturer: Manufacturer,
+        obfusmem_capable: bool = True,
+        spare_registers: int = DEFAULT_SPARE_REGISTERS,
+    ):
+        self._keypair = manufacturer.fabricate_keypair()
+        self.manufacturer = manufacturer
+        self.obfusmem_capable = obfusmem_capable
+        # Write-once registers holding counterpart public keys, programmed
+        # by the system integrator.
+        self._burned_peer_keys: list[RsaPublicKey] = []
+        self._spare_registers = spare_registers
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return self._keypair.public
+
+    def burn_peer_key(self, key: RsaPublicKey) -> None:
+        """Integrator programs a counterpart key into a spare register."""
+        if len(self._burned_peer_keys) >= self._spare_registers:
+            raise TrustError("no spare key registers left for component upgrade")
+        self._burned_peer_keys.append(key)
+
+    def knows_peer(self, key: RsaPublicKey) -> bool:
+        """True if this counterpart key was burned into a register."""
+        return key in self._burned_peer_keys
+
+    @property
+    def burned_peer_keys(self) -> list[RsaPublicKey]:
+        """Read-only view of the integrator-programmed counterpart keys."""
+        return list(self._burned_peer_keys)
+
+    # -- attestation (approach three) -----------------------------------
+
+    def measurement(self) -> bytes:
+        """Hardware/firmware self-measurement, including capability bits
+        and this chip's manufacturer-installed public key."""
+        capability = b"obfusmem-capable" if self.obfusmem_capable else b"legacy"
+        modulus = self.public_key.modulus
+        return sha1(
+            capability + modulus.to_bytes((modulus.bit_length() + 7) // 8, "big")
+        )
+
+    def attest(self) -> AttestationReport:
+        """Produce a signed self-measurement (SGX-like report)."""
+        measurement = self.measurement()
+        return AttestationReport(
+            measurement=measurement,
+            signature=self._keypair.sign(measurement),
+            claimed_public_key=self.public_key,
+            claims_obfusmem_capable=self.obfusmem_capable,
+        )
+
+    # -- authenticated DH ------------------------------------------------
+
+    def sign_dh_value(self, dh_public_value: int, context: bytes) -> int:
+        """Sign a Diffie-Hellman public value under the chip identity."""
+        return self._keypair.sign(context + dh_public_value.to_bytes(64, "big"))
+
+
+class ProcessorChip(Chip):
+    """The CPU die: one ObfusMem controller per memory channel."""
+
+
+class MemoryChip(Chip):
+    """A 3D/2.5D memory module's logic layer, serving one channel."""
+
+    def __init__(self, manufacturer: Manufacturer, channel: int, **kwargs):
+        super().__init__(manufacturer, **kwargs)
+        self.channel = channel
+
+
+class SystemIntegrator:
+    """Programs component identities at build time.
+
+    A malicious integrator substitutes its own key for the processor's when
+    programming the memory chips (and vice versa), hoping to machine-in-the-
+    middle the session-key exchange later.
+    """
+
+    def __init__(self, rng: DeterministicRng, malicious: bool = False):
+        self.malicious = malicious
+        self._mitm_keypair = (
+            RsaKeyPair.generate(rng.fork("mitm"), bits=DEFAULT_RSA_BITS)
+            if malicious
+            else None
+        )
+
+    def integrate(self, processor: ProcessorChip, memories: list[MemoryChip]) -> None:
+        """Burn counterpart public keys into both sides' registers."""
+        for memory in memories:
+            if self.malicious:
+                memory.burn_peer_key(self._mitm_keypair.public)
+                processor.burn_peer_key(self._mitm_keypair.public)
+            else:
+                memory.burn_peer_key(processor.public_key)
+                processor.burn_peer_key(memory.public_key)
+
+
+def _authenticated_exchange(
+    processor: ProcessorChip,
+    memory: MemoryChip,
+    processor_trusts: RsaPublicKey,
+    memory_trusts: RsaPublicKey,
+    rng: DeterministicRng,
+    group: DhGroup,
+) -> bytes:
+    """Signed Diffie–Hellman between one processor and one memory chip.
+
+    Each side signs its DH public value with its burned private key; the
+    other verifies against the key it was told to trust.  Returns the
+    16-byte session key (identical on both sides by construction).
+    """
+    context = b"obfusmem-session-v1"
+    proc_party = DhParty(group, rng.fork(f"dh-proc-{memory.channel}"))
+    mem_party = DhParty(group, rng.fork(f"dh-mem-{memory.channel}"))
+
+    proc_signature = processor.sign_dh_value(proc_party.public_value, context)
+    mem_signature = memory.sign_dh_value(mem_party.public_value, context)
+
+    # Memory verifies the processor's signed DH value.
+    if not verify(
+        memory_trusts,
+        context + proc_party.public_value.to_bytes(64, "big"),
+        proc_signature,
+    ):
+        raise TrustError(
+            f"channel {memory.channel}: processor DH signature rejected "
+            "(wrong burned key or tampered exchange)"
+        )
+    # Processor verifies the memory's signed DH value.
+    if not verify(
+        processor_trusts,
+        context + mem_party.public_value.to_bytes(64, "big"),
+        mem_signature,
+    ):
+        raise TrustError(
+            f"channel {memory.channel}: memory DH signature rejected "
+            "(wrong burned key or tampered exchange)"
+        )
+
+    proc_key = proc_party.session_key(mem_party.public_value)
+    mem_key = mem_party.session_key(proc_party.public_value)
+    if proc_key != mem_key:
+        raise TrustError("DH exchange produced mismatched session keys")
+    return proc_key
+
+
+def bootstrap_naive(
+    processor: ProcessorChip,
+    memories: list[MemoryChip],
+    rng: DeterministicRng,
+    group: DhGroup | None = None,
+) -> SessionKeyTable:
+    """Approach one: exchange public keys in the clear at BIOS time.
+
+    Works only if boot is physically isolated — each side simply trusts
+    whatever key it received.  (The paper recommends against this; the
+    attack tests show why.)
+    """
+    group = group or DhGroup.generate(rng.fork("group"))
+    keys = {}
+    for memory in memories:
+        keys[memory.channel] = _authenticated_exchange(
+            processor,
+            memory,
+            processor_trusts=memory.public_key,  # learned in the clear
+            memory_trusts=processor.public_key,  # learned in the clear
+            rng=rng,
+            group=group,
+        )
+    return SessionKeyTable(keys)
+
+
+def demonstrate_naive_mitm(
+    processor: ProcessorChip,
+    memory: MemoryChip,
+    rng: DeterministicRng,
+    group: DhGroup | None = None,
+) -> tuple[bytes, bytes, bytes, bytes]:
+    """The attack that sinks the naive approach (why §3.1 rejects it).
+
+    With physical access during the in-the-clear BIOS key exchange, a
+    machine-in-the-middle substitutes its own public key in both directions
+    and relays traffic.  Each side happily authenticates "the other side"
+    — actually the attacker — and derives a session key *with the
+    attacker*, who can now decrypt, re-encrypt and observe everything.
+
+    Returns ``(processor_key, attacker_key_to_processor, memory_key,
+    attacker_key_to_memory)``: the demonstration (and its test) checks that
+    the attacker shares a key with each victim while the victims never
+    actually share one with each other.
+    """
+    group = group or DhGroup.generate(rng.fork("group"))
+    attacker = Chip(Manufacturer("mitm-fab", rng.fork("mitm")))
+
+    # Processor <-> attacker (processor believes it talks to the memory:
+    # in the naive exchange it trusts whatever key arrived in the clear).
+    fake_memory = MemoryChip(attacker.manufacturer, channel=memory.channel)
+    processor_key = _authenticated_exchange(
+        processor,
+        fake_memory,
+        processor_trusts=fake_memory.public_key,  # received in the clear
+        memory_trusts=processor.public_key,
+        rng=rng.fork("mitm-proc-side"),
+        group=group,
+    )
+    # Attacker <-> memory (memory believes it talks to the processor).
+    fake_processor = ProcessorChip(attacker.manufacturer)
+    memory_key = _authenticated_exchange(
+        fake_processor,
+        memory,
+        processor_trusts=memory.public_key,
+        memory_trusts=fake_processor.public_key,  # received in the clear
+        rng=rng.fork("mitm-mem-side"),
+        group=group,
+    )
+    # The attacker ran both exchanges, so it holds both keys.
+    return processor_key, processor_key, memory_key, memory_key
+
+
+def bootstrap_trusted_integrator(
+    processor: ProcessorChip,
+    memories: list[MemoryChip],
+    rng: DeterministicRng,
+    group: DhGroup | None = None,
+) -> SessionKeyTable:
+    """Approach two: trust the keys the integrator burned into registers."""
+    group = group or DhGroup.generate(rng.fork("group"))
+    keys = {}
+    for index, memory in enumerate(memories):
+        if not memory.burned_peer_keys or not processor.burned_peer_keys:
+            raise TrustError("system was never integrated: no burned keys")
+        keys[memory.channel] = _authenticated_exchange(
+            processor,
+            memory,
+            processor_trusts=processor.burned_peer_keys[index],
+            memory_trusts=memory.burned_peer_keys[0],
+            rng=rng,
+            group=group,
+        )
+    return SessionKeyTable(keys)
+
+
+def bootstrap_untrusted_integrator(
+    processor: ProcessorChip,
+    memories: list[MemoryChip],
+    rng: DeterministicRng,
+    group: DhGroup | None = None,
+) -> SessionKeyTable:
+    """Approach three: attestation catches a malicious integrator.
+
+    Each side checks the counterpart's signed measurement: the measurement
+    must declare ObfusMem capability, the signature must verify under the
+    claimed key, and the claimed key must equal the burned-register key.  A
+    wrong burned key fails the match and the system refuses to boot.
+    """
+    for index, memory in enumerate(memories):
+        if not memory.burned_peer_keys or index >= len(processor.burned_peer_keys):
+            raise TrustError("system was never integrated: no burned keys")
+        # Memory verifies the processor's attestation.
+        report = processor.attest()
+        _check_report(report, memory.burned_peer_keys[0], "processor")
+        # Processor verifies the memory's attestation.
+        report = memory.attest()
+        _check_report(report, processor.burned_peer_keys[index], "memory")
+    return bootstrap_trusted_integrator(processor, memories, rng, group)
+
+
+def _check_report(report: AttestationReport, burned: RsaPublicKey, who: str) -> None:
+    if not report.claims_obfusmem_capable:
+        raise TrustError(f"{who} is not ObfusMem-capable")
+    if not verify(report.claimed_public_key, report.measurement, report.signature):
+        raise TrustError(f"{who} attestation signature invalid")
+    if report.claimed_public_key != burned:
+        raise TrustError(
+            f"{who} attestation key does not match the burned register: "
+            "the system integrator programmed the wrong key"
+        )

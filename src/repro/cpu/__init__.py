@@ -1,0 +1,37 @@
+"""CPU side: traces, synthetic workload generation and the core model."""
+
+from repro.cpu.core import TraceDrivenCore
+from repro.cpu.generator import SyntheticTraceGenerator, make_trace
+from repro.cpu.kernels import (
+    pointer_chase,
+    random_lookup,
+    sequential_scan,
+    stencil,
+    trace_through_hierarchy,
+)
+from repro.cpu.spec_profiles import (
+    BENCHMARK_NAMES,
+    BASELINE_READ_LATENCY_NS,
+    ORAM_ACCESS_LATENCY_NS,
+    BenchmarkProfile,
+    SPEC_PROFILES,
+)
+from repro.cpu.trace import Trace, TraceRecord
+
+__all__ = [
+    "TraceDrivenCore",
+    "SyntheticTraceGenerator",
+    "make_trace",
+    "pointer_chase",
+    "random_lookup",
+    "sequential_scan",
+    "stencil",
+    "trace_through_hierarchy",
+    "BENCHMARK_NAMES",
+    "BASELINE_READ_LATENCY_NS",
+    "ORAM_ACCESS_LATENCY_NS",
+    "BenchmarkProfile",
+    "SPEC_PROFILES",
+    "Trace",
+    "TraceRecord",
+]

@@ -1,0 +1,150 @@
+"""Trace-driven core model.
+
+Replays a :class:`repro.cpu.trace.Trace` against any request port (the raw
+memory system, the secure controller, ObfusMem, or the ORAM model) and
+measures execution time.  The model captures the two core behaviours the
+paper's results hinge on:
+
+* **memory-level parallelism** — up to ``window`` reads may be outstanding;
+  issue stalls when the window is full;
+* **dependent reads** — records flagged ``dependent`` block all later
+  issues until their data returns (pointer chasing).
+
+Writes are posted: they are issued and forgotten (write-back traffic is off
+the critical path, §3.3), though they still contend for memory resources
+downstream.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.trace import Trace, TraceRecord
+from repro.errors import ConfigurationError, SimulationError
+from repro.mem.request import MemoryRequest, RequestType
+from repro.sim.engine import Engine, ns_to_ps
+from repro.sim.statistics import StatRegistry
+
+
+class TraceDrivenCore:
+    """Issues one trace's requests into a port; measures execution time."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        trace: Trace,
+        port,
+        window: int,
+        stats: StatRegistry,
+        core_id: int = 0,
+    ):
+        if window < 1:
+            raise ConfigurationError("window must be >= 1")
+        self.engine = engine
+        self.trace = trace
+        self.port = port
+        self.window = window
+        self.stats = stats.group(f"core{core_id}")
+        self.core_id = core_id
+        self._index = 0
+        self._outstanding_reads = 0
+        self._waiting_for: int | None = None  # request id of a dependent read
+        self._window_stalled = False
+        self._reads_completed = 0
+        self._reads_issued = 0
+        self.finish_time_ps: int | None = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule the first issue; call once before ``engine.run()``."""
+        if self._started:
+            raise SimulationError("core already started")
+        self._started = True
+        first_gap = self.trace.records[0].gap_ns
+        self.engine.schedule(ns_to_ps(first_gap), self._try_issue)
+
+    @property
+    def done(self) -> bool:
+        return self.finish_time_ps is not None
+
+    @property
+    def execution_time_ns(self) -> float:
+        if self.finish_time_ps is None:
+            raise SimulationError("core has not finished")
+        return self.finish_time_ps / 1000.0
+
+    @property
+    def average_gap_ns(self) -> float:
+        """Measured average time between requests (Table 1's 'Avg Gap')."""
+        return self.execution_time_ns / len(self.trace)
+
+    def measured_ipc(self, clock_ghz: float = 2.0) -> float:
+        """IPC implied by the trace's instruction count and measured time."""
+        cycles = self.execution_time_ns * clock_ghz
+        return self.trace.total_instructions / cycles if cycles else 0.0
+
+    # ------------------------------------------------------------------
+
+    def _try_issue(self) -> None:
+        """Issue the current record if the core is not stalled."""
+        if self._index >= len(self.trace.records):
+            return
+        if self._waiting_for is not None:
+            return  # resumed by the dependent read's completion
+        record = self.trace.records[self._index]
+        if not record.is_write and self._outstanding_reads >= self.window:
+            self._window_stalled = True
+            return  # resumed by any read completion
+        self._index += 1
+        self._issue(record)
+
+    def _issue(self, record: TraceRecord) -> None:
+        request = MemoryRequest(
+            address=record.address,
+            request_type=RequestType.WRITE if record.is_write else RequestType.READ,
+            core_id=self.core_id,
+        )
+        request.issue_time_ps = self.engine.now_ps
+        if record.is_write:
+            self.stats.add("writes_issued")
+            self.port.issue(request, None)
+            self._schedule_next()
+        else:
+            self.stats.add("reads_issued")
+            self._reads_issued += 1
+            self._outstanding_reads += 1
+            if record.dependent:
+                self._waiting_for = request.request_id
+                self.stats.add("dependent_reads")
+            self.port.issue(request, self._on_read_complete)
+            if not record.dependent:
+                self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        if self._index >= len(self.trace.records):
+            self._maybe_finish()
+            return
+        gap_ps = ns_to_ps(self.trace.records[self._index].gap_ns)
+        self.engine.schedule(gap_ps, self._try_issue)
+
+    def _on_read_complete(self, request: MemoryRequest) -> None:
+        self._outstanding_reads -= 1
+        self._reads_completed += 1
+        self.stats.record("read_latency_ns", request.latency_ps / 1000.0)
+        if self._waiting_for == request.request_id:
+            self._waiting_for = None
+            self._schedule_next()
+        elif self._window_stalled:
+            self._window_stalled = False
+            self._try_issue()
+        self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        if (
+            self.finish_time_ps is None
+            and self._index >= len(self.trace.records)
+            and self._reads_completed == self._reads_issued
+            and self._waiting_for is None
+        ):
+            self.finish_time_ps = self.engine.now_ps
+            self.stats.set("execution_time_ns", self.finish_time_ps / 1000.0)

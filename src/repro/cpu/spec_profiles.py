@@ -1,0 +1,198 @@
+"""SPEC CPU2006 benchmark profiles calibrated to the paper's Table 1.
+
+SPEC binaries cannot be run here, so each benchmark is described by the
+three characteristics the paper reports (IPC, LLC MPKI, average gap between
+memory requests) plus the paper's own measured ORAM overhead, and a handful
+of locality knobs chosen per benchmark archetype (streaming vs pointer
+chasing).  From those we derive the trace-generator parameters:
+
+* ``window`` — the core's memory-level parallelism.  Calibrated so that a
+  fixed 2500 ns ORAM access latency (the paper's §4 model) reproduces the
+  paper's ORAM slowdown: ``window = ceil(2500ns / (oram_ratio * gap))``.
+* ``dependent_fraction`` — the share of reads the core must block on, the
+  fine-grained interpolation between full-window overlap and serial
+  pointer chasing.  Solved from the same ORAM target.
+* ``compute_gap_ns`` — mean non-memory work per request, back-solved so the
+  *baseline* simulation reproduces Table 1's average gap.
+
+The derivation intentionally uses only the paper's published numbers; the
+ObfusMem overheads are then *emergent* from the simulated contention, which
+is what the reproduction is testing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+# Nominal unloaded PCM read latency seen by the core in the baseline system
+# (command + activation + CAS + burst, from Table 2), used only for the
+# compute-gap back-solve.
+BASELINE_READ_LATENCY_NS = 80.0
+ORAM_ACCESS_LATENCY_NS = 2500.0
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Table 1 characteristics + archetype knobs for one benchmark."""
+
+    name: str
+    ipc: float  # Table 1
+    llc_mpki: float  # Table 1
+    avg_gap_ns: float  # Table 1
+    oram_overhead_pct: float  # Table 3 (used for MLP calibration)
+    obfusmem_overhead_pct: float  # Table 3 (reference only, never input)
+    write_fraction: float
+    run_length: float  # mean sequential run of block addresses
+    footprint_mib: int  # distinct memory touched
+    hot_fraction: float  # fraction of accesses hitting the hot subset
+    hot_mib: int  # size of the hot subset
+
+    # -- derived calibration ---------------------------------------------
+    #
+    # Only reads occupy the core's miss window (writes are posted), so all
+    # throughput terms are scaled by the read share r.  The model mixes two
+    # regimes: windowed reads sustain one request per max(mu, r*L/W) ns;
+    # dependent reads serialize, costing mu + L each.  The dependent
+    # fraction and compute gap are solved jointly so that (a) the baseline
+    # simulation lands on Table 1's average gap and (b) the paper's fixed
+    # 2500 ns ORAM model lands on Table 3's ORAM overhead.
+
+    @property
+    def read_share(self) -> float:
+        return 1.0 - self.write_fraction
+
+    @property
+    def oram_time_per_request_ns(self) -> float:
+        return (1.0 + self.oram_overhead_pct / 100.0) * self.avg_gap_ns
+
+    @property
+    def window(self) -> int:
+        """Outstanding-miss window reproducing the paper's ORAM slowdown."""
+        return max(
+            1,
+            math.ceil(
+                self.read_share
+                * ORAM_ACCESS_LATENCY_NS
+                / self.oram_time_per_request_ns
+            ),
+        )
+
+    def _solve_calibration(self) -> tuple[float, float]:
+        """Fixed-point solve of (compute gap mu, dependent read fraction p)."""
+        mu = self.avg_gap_ns
+        p = 0.0
+        r = self.read_share
+        t_target = self.oram_time_per_request_ns
+        for _ in range(12):
+            t_windowed = max(mu, r * ORAM_ACCESS_LATENCY_NS / self.window)
+            t_dependent = mu + ORAM_ACCESS_LATENCY_NS
+            if t_dependent <= t_windowed:
+                p_effective = 0.0
+            else:
+                p_effective = min(
+                    r, max(0.0, (t_target - t_windowed) / (t_dependent - t_windowed))
+                )
+            p = p_effective / r if r else 0.0
+            # Baseline exposure: dependent reads expose the full baseline
+            # read latency each; windowed reads expose only spillover.
+            exposed = p_effective * BASELINE_READ_LATENCY_NS
+            exposed += max(0.0, r * BASELINE_READ_LATENCY_NS / self.window - mu) * (
+                1.0 - p_effective
+            )
+            mu = max(1.0, self.avg_gap_ns - exposed)
+        return mu, min(1.0, p)
+
+    @property
+    def dependent_fraction(self) -> float:
+        """Share of reads the core must block on (pointer-chasing degree)."""
+        return self._solve_calibration()[1]
+
+    @property
+    def compute_gap_ns(self) -> float:
+        """Mean compute time per request, back-solved from Table 1's gap."""
+        return self._solve_calibration()[0]
+
+    @property
+    def instructions_per_request(self) -> float:
+        return 1000.0 / self.llc_mpki
+
+
+def _streaming(name, ipc, mpki, gap, oram, obfus, footprint=192):
+    return BenchmarkProfile(
+        name=name,
+        ipc=ipc,
+        llc_mpki=mpki,
+        avg_gap_ns=gap,
+        oram_overhead_pct=oram,
+        obfusmem_overhead_pct=obfus,
+        write_fraction=0.35,
+        run_length=16.0,
+        footprint_mib=footprint,
+        hot_fraction=0.6,
+        hot_mib=8,
+    )
+
+
+def _pointer(name, ipc, mpki, gap, oram, obfus, footprint=96, hot=0.85):
+    return BenchmarkProfile(
+        name=name,
+        ipc=ipc,
+        llc_mpki=mpki,
+        avg_gap_ns=gap,
+        oram_overhead_pct=oram,
+        obfusmem_overhead_pct=obfus,
+        write_fraction=0.20,
+        run_length=1.5,
+        footprint_mib=footprint,
+        hot_fraction=hot,
+        hot_mib=12,
+    )
+
+
+def _mixed(name, ipc, mpki, gap, oram, obfus, footprint=128):
+    return BenchmarkProfile(
+        name=name,
+        ipc=ipc,
+        llc_mpki=mpki,
+        avg_gap_ns=gap,
+        oram_overhead_pct=oram,
+        obfusmem_overhead_pct=obfus,
+        write_fraction=0.30,
+        run_length=4.0,
+        footprint_mib=footprint,
+        hot_fraction=0.8,
+        hot_mib=16,
+    )
+
+
+# Table 1 + Table 3 of the paper, one profile per row.
+SPEC_PROFILES: dict[str, BenchmarkProfile] = {
+    profile.name: profile
+    for profile in [
+        _streaming("bwaves", 0.59, 18.23, 44.32, 1561.0, 18.9),
+        _pointer("mcf", 0.17, 24.82, 74.95, 1133.3, 32.1, footprint=256, hot=0.85),
+        _streaming("lbm", 0.35, 6.94, 67.97, 1298.6, 12.5),
+        _streaming("zeus", 0.53, 4.81, 63.56, 1644.3, 14.9),
+        _streaming("milc", 0.42, 15.56, 51.54, 1846.6, 28.4),
+        _pointer("xalan", 0.52, 0.97, 945.62, 137.7, 0.8, footprint=48),
+        _pointer("omnetpp", 4.30, 0.10, 1104.74, 64.96, 1.2, footprint=32),
+        _mixed("soplex", 0.25, 23.11, 69.06, 1878.6, 15.7, footprint=160),
+        _streaming("libquantum", 0.33, 5.56, 146.82, 604.8, 2.9, footprint=64),
+        _pointer("sjeng", 0.95, 0.36, 1382.13, 152.5, 1.1, footprint=48),
+        _streaming("leslie3d", 0.49, 9.85, 58.91, 1626.6, 15.1),
+        _pointer("astar", 0.70, 0.13, 5660.18, 30.7, 0.1, footprint=24),
+        _pointer("hmmer", 1.39, 0.02, 2687.60, 86.6, 0.0, footprint=16),
+        _mixed("cactus", 1.05, 1.91, 128.09, 784.8, 5.2),
+        _streaming("gems", 0.40, 11.66, 66.25, 1340.9, 14.3),
+    ]
+}
+
+BENCHMARK_NAMES = list(SPEC_PROFILES)
+
+# Paper-reported averages (for EXPERIMENTS.md comparison).
+PAPER_AVG_ORAM_OVERHEAD_PCT = 946.1
+PAPER_AVG_OBFUSMEM_AUTH_OVERHEAD_PCT = 10.9
+PAPER_AVG_OBFUSMEM_OVERHEAD_PCT = 8.3
+PAPER_AVG_ENCRYPTION_OVERHEAD_PCT = 2.2
+PAPER_AVG_SPEEDUP = 9.1

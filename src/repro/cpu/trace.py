@@ -1,0 +1,105 @@
+"""Workload traces: the memory-request streams driving the experiments.
+
+A trace is the sequence of LLC-level memory requests of one benchmark, each
+annotated with the *compute gap* (nanoseconds of non-memory work the core
+performs before issuing it) and, for reads, whether the core is *dependent*
+on the result (pointer-chasing style: issue of later requests blocks until
+the read returns).
+
+Traces are generated once per benchmark (see :mod:`repro.cpu.generator`) and
+replayed unchanged on every protection scheme, so execution-time ratios are
+apples to apples.  A small text serialization supports saving/loading traces
+for external tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import TraceError
+from repro.mem.request import BLOCK_SIZE_BYTES
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One LLC-level memory request."""
+
+    gap_ns: float  # compute time since the previous record's issue
+    address: int  # block-aligned byte address
+    is_write: bool
+    dependent: bool = False  # core blocks until this read completes
+
+    def __post_init__(self) -> None:
+        if self.gap_ns < 0:
+            raise TraceError(f"negative gap {self.gap_ns}")
+        if self.address % BLOCK_SIZE_BYTES:
+            raise TraceError(f"unaligned trace address {self.address:#x}")
+        if self.is_write and self.dependent:
+            raise TraceError("writes are posted; they cannot be dependent")
+
+
+@dataclass
+class Trace:
+    """A named request stream plus bookkeeping for IPC/MPKI reporting."""
+
+    name: str
+    records: list[TraceRecord]
+    instructions_per_request: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise TraceError(f"trace {self.name!r} is empty")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def total_instructions(self) -> float:
+        return len(self.records) * self.instructions_per_request
+
+    @property
+    def read_fraction(self) -> float:
+        reads = sum(1 for record in self.records if not record.is_write)
+        return reads / len(self.records)
+
+    @property
+    def footprint_blocks(self) -> int:
+        return len({record.address for record in self.records})
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace as one line per record (gap addr kind flags)."""
+        lines = [f"# trace {self.name} ipr={self.instructions_per_request}"]
+        for record in self.records:
+            kind = "W" if record.is_write else ("RD" if record.dependent else "R")
+            lines.append(f"{record.gap_ns:.4f} {record.address:#x} {kind}")
+        Path(path).write_text("\n".join(lines) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        lines = Path(path).read_text().splitlines()
+        if not lines or not lines[0].startswith("# trace "):
+            raise TraceError(f"{path}: missing trace header")
+        header = lines[0].split()
+        name = header[2]
+        ipr = float(header[3].split("=", 1)[1])
+        records = []
+        for line_number, line in enumerate(lines[1:], start=2):
+            if not line.strip() or line.startswith("#"):
+                continue
+            try:
+                gap, address, kind = line.split()
+                records.append(
+                    TraceRecord(
+                        gap_ns=float(gap),
+                        address=int(address, 16),
+                        is_write=kind == "W",
+                        dependent=kind == "RD",
+                    )
+                )
+            except (ValueError, TraceError) as error:
+                raise TraceError(f"{path}:{line_number}: {error}")
+        return cls(name=name, records=records, instructions_per_request=ipr)

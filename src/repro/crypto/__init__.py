@@ -1,0 +1,63 @@
+"""Cryptographic substrate: every primitive ObfusMem depends on, from scratch.
+
+Contents
+--------
+- :mod:`repro.crypto.aes` — AES-128 block cipher (FIPS-197).
+- :mod:`repro.crypto.ctr` — counter mode, streaming pad generation.
+- :mod:`repro.crypto.md5` / :mod:`repro.crypto.sha1` — MAC hashes.
+- :mod:`repro.crypto.mac` — encrypt-and-MAC / encrypt-then-MAC tags.
+- :mod:`repro.crypto.merkle` — memory integrity tree.
+- :mod:`repro.crypto.diffie_hellman` — session-key establishment.
+- :mod:`repro.crypto.rsa` — manufacturer-burned component identities.
+- :mod:`repro.crypto.rng` — deterministic, forkable randomness.
+"""
+
+from repro.crypto.aes import AES128, BLOCK_SIZE, KEY_SIZE
+from repro.crypto.ctr import (
+    CtrPadGenerator,
+    ctr_decrypt,
+    ctr_encrypt,
+    make_iv,
+    xor_bytes,
+)
+from repro.crypto.diffie_hellman import DhGroup, DhParty, establish_session_key
+from repro.crypto.mac import (
+    constant_time_equal,
+    encrypt_and_mac_tag,
+    encrypt_then_mac_tag,
+    hmac,
+)
+from repro.crypto.md5 import md5, md5_hex
+from repro.crypto.merkle import MerkleTree
+from repro.crypto.rng import DeterministicRng, generate_prime, generate_safe_prime
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, verify
+from repro.crypto.sha1 import sha1, sha1_hex
+
+__all__ = [
+    "AES128",
+    "BLOCK_SIZE",
+    "KEY_SIZE",
+    "CtrPadGenerator",
+    "ctr_decrypt",
+    "ctr_encrypt",
+    "make_iv",
+    "xor_bytes",
+    "DhGroup",
+    "DhParty",
+    "establish_session_key",
+    "constant_time_equal",
+    "encrypt_and_mac_tag",
+    "encrypt_then_mac_tag",
+    "hmac",
+    "md5",
+    "md5_hex",
+    "MerkleTree",
+    "DeterministicRng",
+    "generate_prime",
+    "generate_safe_prime",
+    "RsaKeyPair",
+    "RsaPublicKey",
+    "verify",
+    "sha1",
+    "sha1_hex",
+]

@@ -1,0 +1,229 @@
+"""AES-128 block cipher implemented from scratch (FIPS-197).
+
+This is a functional reference implementation used by the ObfusMem
+reproduction for counter-mode encryption of bus packets and of data at rest.
+It favours clarity over raw speed; the hot path of the simulator uses the
+table-driven ``encrypt_block`` below, which is fast enough for the traffic
+volumes the experiments generate (the *timing* of the hardware AES unit is
+modelled separately in :mod:`repro.core.engines`).
+
+Only AES-128 is provided because the paper's synthesized unit is a pipelined
+AES-128 core producing one 128-bit result per cycle.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CryptoError
+
+BLOCK_SIZE = 16
+KEY_SIZE = 16
+_NUM_ROUNDS = 10
+
+# The AES S-box (FIPS-197 figure 7), generated once from the finite-field
+# definition below and kept as a literal-free table so the construction is
+# auditable.
+
+
+def _xtime(value: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8) modulo the AES polynomial."""
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) modulo the AES polynomial."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _gf_inverse(a: int) -> int:
+    """Multiplicative inverse in GF(2^8); 0 maps to 0 by convention."""
+    if a == 0:
+        return 0
+    # a^(2^8 - 2) == a^-1 in GF(2^8).
+    result = 1
+    exponent = 254
+    base = a
+    while exponent:
+        if exponent & 1:
+            result = _gf_mul(result, base)
+        base = _gf_mul(base, base)
+        exponent >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    """Construct the AES S-box and its inverse from first principles."""
+    sbox = bytearray(256)
+    for i in range(256):
+        inv = _gf_inverse(i)
+        value = inv
+        for shift in (1, 2, 3, 4):
+            value ^= ((inv << shift) | (inv >> (8 - shift))) & 0xFF
+        sbox[i] = value ^ 0x63
+    inverse = bytearray(256)
+    for i, s in enumerate(sbox):
+        inverse[s] = i
+    return bytes(sbox), bytes(inverse)
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+_RCON = [0x01]
+while len(_RCON) < 10:
+    _RCON.append(_xtime(_RCON[-1]))
+
+
+def expand_key(key: bytes) -> list[list[int]]:
+    """Expand a 16-byte key into 11 round keys of 16 bytes each.
+
+    Round keys are returned as lists of 16 ints to avoid repeated bytes
+    slicing during encryption.
+    """
+    if len(key) != KEY_SIZE:
+        raise CryptoError(f"AES-128 key must be {KEY_SIZE} bytes, got {len(key)}")
+    words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+    for i in range(4, 4 * (_NUM_ROUNDS + 1)):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [SBOX[b] for b in temp]
+            temp[0] ^= _RCON[i // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+    round_keys = []
+    for round_index in range(_NUM_ROUNDS + 1):
+        round_key: list[int] = []
+        for word in words[4 * round_index : 4 * round_index + 4]:
+            round_key.extend(word)
+        round_keys.append(round_key)
+    return round_keys
+
+
+def _sub_bytes(state: list[int]) -> None:
+    for i in range(16):
+        state[i] = SBOX[state[i]]
+
+
+def _inv_sub_bytes(state: list[int]) -> None:
+    for i in range(16):
+        state[i] = INV_SBOX[state[i]]
+
+
+# State is stored column-major as in FIPS-197: byte index = 4*col + row is
+# NOT used here; we keep the flat input order (s[r][c] = state[r + 4c]).
+
+_SHIFT_ROWS_MAP = [0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11]
+_INV_SHIFT_ROWS_MAP = [0, 13, 10, 7, 4, 1, 14, 11, 8, 5, 2, 15, 12, 9, 6, 3]
+
+
+def _shift_rows(state: list[int]) -> list[int]:
+    return [state[i] for i in _SHIFT_ROWS_MAP]
+
+
+def _inv_shift_rows(state: list[int]) -> list[int]:
+    return [state[i] for i in _INV_SHIFT_ROWS_MAP]
+
+
+def _mix_single_column(col: list[int]) -> list[int]:
+    a0, a1, a2, a3 = col
+    return [
+        _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3,
+        a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3,
+        a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3],
+        _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3],
+    ]
+
+
+def _inv_mix_single_column(col: list[int]) -> list[int]:
+    a0, a1, a2, a3 = col
+    return [
+        _MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3],
+        _MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3],
+        _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3],
+        _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3],
+    ]
+
+
+def _make_mul_table(factor: int) -> bytes:
+    return bytes(_gf_mul(i, factor) for i in range(256))
+
+
+_MUL2 = _make_mul_table(2)
+_MUL3 = _make_mul_table(3)
+_MUL9 = _make_mul_table(9)
+_MUL11 = _make_mul_table(11)
+_MUL13 = _make_mul_table(13)
+_MUL14 = _make_mul_table(14)
+
+
+def _mix_columns(state: list[int]) -> list[int]:
+    out: list[int] = []
+    for col in range(4):
+        out.extend(_mix_single_column(state[4 * col : 4 * col + 4]))
+    return out
+
+
+def _inv_mix_columns(state: list[int]) -> list[int]:
+    out: list[int] = []
+    for col in range(4):
+        out.extend(_inv_mix_single_column(state[4 * col : 4 * col + 4]))
+    return out
+
+
+def _add_round_key(state: list[int], round_key: list[int]) -> list[int]:
+    return [s ^ k for s, k in zip(state, round_key)]
+
+
+class AES128:
+    """AES-128 with a precomputed key schedule.
+
+    >>> cipher = AES128(bytes(range(16)))
+    >>> block = cipher.encrypt_block(b"\\x00" * 16)
+    >>> cipher.decrypt_block(block) == b"\\x00" * 16
+    True
+    """
+
+    def __init__(self, key: bytes):
+        self._round_keys = expand_key(key)
+        self.key = bytes(key)
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        """Encrypt one 16-byte block (FIPS-197 cipher)."""
+        if len(plaintext) != BLOCK_SIZE:
+            raise CryptoError(
+                f"AES block must be {BLOCK_SIZE} bytes, got {len(plaintext)}"
+            )
+        state = _add_round_key(list(plaintext), self._round_keys[0])
+        for round_index in range(1, _NUM_ROUNDS):
+            _sub_bytes(state)
+            state = _shift_rows(state)
+            state = _mix_columns(state)
+            state = _add_round_key(state, self._round_keys[round_index])
+        _sub_bytes(state)
+        state = _shift_rows(state)
+        state = _add_round_key(state, self._round_keys[_NUM_ROUNDS])
+        return bytes(state)
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        """Decrypt one 16-byte block (FIPS-197 inverse cipher)."""
+        if len(ciphertext) != BLOCK_SIZE:
+            raise CryptoError(
+                f"AES block must be {BLOCK_SIZE} bytes, got {len(ciphertext)}"
+            )
+        state = _add_round_key(list(ciphertext), self._round_keys[_NUM_ROUNDS])
+        state = _inv_shift_rows(state)
+        _inv_sub_bytes(state)
+        for round_index in range(_NUM_ROUNDS - 1, 0, -1):
+            state = _add_round_key(state, self._round_keys[round_index])
+            state = _inv_mix_columns(state)
+            state = _inv_shift_rows(state)
+            _inv_sub_bytes(state)
+        state = _add_round_key(state, self._round_keys[0])
+        return bytes(state)

@@ -1,0 +1,122 @@
+"""Counter (CTR) mode on top of AES-128.
+
+ObfusMem uses counter-mode encryption for both data at rest in memory and for
+everything transmitted on the memory bus (commands, addresses and data).  The
+key property exploited by the design is that pads can be *pre-generated*
+because future counter values are known ahead of time; only a bitwise XOR is
+left on the critical path.
+
+Two interfaces are provided:
+
+* :class:`CtrPadGenerator` — the hardware-like view: a monotonically
+  increasing 64-bit counter producing one 128-bit pad per increment, with
+  explicit synchronisation semantics (the processor-side and memory-side
+  generators must consume pads in lock step, mirroring Figure 3 of the
+  paper).
+* :func:`ctr_encrypt` / :func:`ctr_decrypt` — the conventional whole-message
+  view used by the memory-encryption substrate, where the IV encodes page id,
+  page offset, and major/minor counters.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128, BLOCK_SIZE
+from repro.errors import CryptoError
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise CryptoError(f"xor_bytes length mismatch: {len(a)} vs {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def make_iv(nonce: int, counter: int) -> bytes:
+    """Pack a 64-bit nonce and 64-bit counter into a 16-byte IV."""
+    if not 0 <= nonce < 1 << 64:
+        raise CryptoError("nonce must fit in 64 bits")
+    if not 0 <= counter < 1 << 64:
+        raise CryptoError("counter must fit in 64 bits")
+    return nonce.to_bytes(8, "big") + counter.to_bytes(8, "big")
+
+
+class CtrPadGenerator:
+    """Streaming pad generator with an explicit 64-bit session counter.
+
+    Mirrors the per-channel AES engine of Figure 3: each call to
+    :meth:`next_pads` consumes ``n`` consecutive counter values and returns
+    ``n`` 128-bit pads.  The counter is exposed so the processor- and
+    memory-side generators can be checked for synchronisation, and so the
+    encrypt-and-MAC scheme can bind the counter value into the MAC.
+    """
+
+    def __init__(self, key: bytes, nonce: int = 0, counter: int = 0):
+        self._cipher = AES128(key)
+        self._nonce = nonce
+        self._counter = counter
+
+    @property
+    def counter(self) -> int:
+        """Next counter value that will be consumed."""
+        return self._counter
+
+    @property
+    def nonce(self) -> int:
+        return self._nonce
+
+    def peek_pads(self, n: int) -> list[bytes]:
+        """Generate ``n`` pads without advancing the counter.
+
+        This models pad *pre-generation*: the hardware can compute pads for
+        ``Ctr .. Ctr+n-1`` ahead of the request arriving.
+        """
+        if n < 1:
+            raise CryptoError("must request at least one pad")
+        return [
+            self._cipher.encrypt_block(make_iv(self._nonce, self._counter + i))
+            for i in range(n)
+        ]
+
+    def next_pads(self, n: int) -> list[bytes]:
+        """Consume ``n`` counter values and return their pads."""
+        pads = self.peek_pads(n)
+        self._counter += n
+        return pads
+
+    def advance(self, n: int) -> None:
+        """Advance the counter without producing pads (drop/skip)."""
+        if n < 0:
+            raise CryptoError("cannot rewind a CTR counter")
+        self._counter += n
+
+    def fork(self) -> "CtrPadGenerator":
+        """Copy of this generator with the same key, nonce and counter."""
+        return CtrPadGenerator(self._cipher.key, self._nonce, self._counter)
+
+
+def ctr_keystream(cipher: AES128, iv: bytes, length: int) -> bytes:
+    """Generate ``length`` keystream bytes starting at IV, incrementing the
+    low 64 bits of the IV per block."""
+    if len(iv) != BLOCK_SIZE:
+        raise CryptoError(f"IV must be {BLOCK_SIZE} bytes")
+    nonce = int.from_bytes(iv[:8], "big")
+    counter = int.from_bytes(iv[8:], "big")
+    blocks = []
+    remaining = length
+    while remaining > 0:
+        pad = cipher.encrypt_block(make_iv(nonce, counter & ((1 << 64) - 1)))
+        blocks.append(pad[: min(remaining, BLOCK_SIZE)])
+        counter += 1
+        remaining -= BLOCK_SIZE
+    return b"".join(blocks)
+
+
+def ctr_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+    """Encrypt arbitrary-length plaintext in CTR mode."""
+    cipher = AES128(key)
+    return xor_bytes(plaintext, ctr_keystream(cipher, iv, len(plaintext)))
+
+
+def ctr_decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
+    """Decrypt CTR-mode ciphertext (CTR is an involution)."""
+    return ctr_encrypt(key, iv, ciphertext)

@@ -1,0 +1,73 @@
+"""MD5 message digest, implemented from RFC 1321.
+
+The paper authenticates processor–memory communication with a lightweight MAC
+and assumes a 64-stage pipelined MD5 unit.  MD5 is of course broken for
+collision resistance, but the paper argues (Observation 4 / §3.5) that a
+lightweight function suffices here because the attacker never sees the
+plaintext inputs of the MAC.  We implement it faithfully for functional
+fidelity; the keyed-MAC construction lives in :mod:`repro.crypto.mac`.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+_S = (
+    [7, 12, 17, 22] * 4
+    + [5, 9, 14, 20] * 4
+    + [4, 11, 16, 23] * 4
+    + [6, 10, 15, 21] * 4
+)
+
+_K = [int(abs(math.sin(i + 1)) * 2**32) & 0xFFFFFFFF for i in range(64)]
+
+_INIT = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
+
+
+def _left_rotate(value: int, amount: int) -> int:
+    value &= 0xFFFFFFFF
+    return ((value << amount) | (value >> (32 - amount))) & 0xFFFFFFFF
+
+
+def _pad(message: bytes) -> bytes:
+    length_bits = (len(message) * 8) & 0xFFFFFFFFFFFFFFFF
+    padded = message + b"\x80"
+    padded += b"\x00" * ((56 - len(padded) % 64) % 64)
+    return padded + struct.pack("<Q", length_bits)
+
+
+def md5(message: bytes) -> bytes:
+    """Return the 16-byte MD5 digest of ``message``."""
+    a0, b0, c0, d0 = _INIT
+    padded = _pad(message)
+    for chunk_start in range(0, len(padded), 64):
+        chunk = padded[chunk_start : chunk_start + 64]
+        m = struct.unpack("<16I", chunk)
+        a, b, c, d = a0, b0, c0, d0
+        for i in range(64):
+            if i < 16:
+                f = (b & c) | (~b & d)
+                g = i
+            elif i < 32:
+                f = (d & b) | (~d & c)
+                g = (5 * i + 1) % 16
+            elif i < 48:
+                f = b ^ c ^ d
+                g = (3 * i + 5) % 16
+            else:
+                f = c ^ (b | ~d)
+                g = (7 * i) % 16
+            f = (f + a + _K[i] + m[g]) & 0xFFFFFFFF
+            a, d, c = d, c, b
+            b = (b + _left_rotate(f, _S[i])) & 0xFFFFFFFF
+        a0 = (a0 + a) & 0xFFFFFFFF
+        b0 = (b0 + b) & 0xFFFFFFFF
+        c0 = (c0 + c) & 0xFFFFFFFF
+        d0 = (d0 + d) & 0xFFFFFFFF
+    return struct.pack("<4I", a0, b0, c0, d0)
+
+
+def md5_hex(message: bytes) -> str:
+    """Hex form of :func:`md5`, convenient for tests and logging."""
+    return md5(message).hex()

@@ -1,0 +1,135 @@
+"""Merkle tree integrity verification over memory blocks.
+
+The baseline secure processor the paper builds on verifies memory integrity
+with a Merkle tree (Rogers et al., MICRO 2007): leaves are hashes of
+(counter, data) per block, internal nodes hash their children, and the root
+lives on-chip where it cannot be tampered with.  ObfusMem relies on this tree
+to eventually detect tampering of *data* written to memory (Observation 4),
+while its bus MAC detects command/address tampering immediately.
+
+This implementation keeps the whole tree addressable so tests and the attack
+harness can tamper with arbitrary nodes and verify detection, and counts
+hash invocations so the timing model can charge for them.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.sha1 import sha1
+from repro.errors import ConfigurationError, IntegrityError
+
+
+class MerkleTree:
+    """Fixed-arity Merkle tree over ``num_blocks`` leaves.
+
+    Parameters
+    ----------
+    num_blocks:
+        Number of protected memory blocks (leaves).  Rounded up internally
+        to a full tree.
+    arity:
+        Children per internal node.  Real designs use 4–16 to shorten the
+        tree; the default of 8 matches a 64-byte node of eight 8-byte MACs.
+    """
+
+    def __init__(self, num_blocks: int, arity: int = 8):
+        if num_blocks < 1:
+            raise ConfigurationError("Merkle tree needs at least one block")
+        if arity < 2:
+            raise ConfigurationError("Merkle tree arity must be >= 2")
+        self.arity = arity
+        self.num_blocks = num_blocks
+        # Round leaf count up to a power of arity for a complete tree.
+        leaves = 1
+        levels = 0
+        while leaves < num_blocks:
+            leaves *= arity
+            levels += 1
+        self.num_leaves = leaves
+        self.num_levels = levels + 1  # including the leaf level
+        # levels[0] = leaf hashes ... levels[-1] = [root]
+        empty = sha1(b"repro-merkle-empty")
+        self._levels: list[list[bytes]] = []
+        size = leaves
+        level_hashes = [empty] * size
+        self._levels.append(level_hashes)
+        while size > 1:
+            size //= arity
+            parents = []
+            for i in range(size):
+                children = self._levels[-1][i * arity : (i + 1) * arity]
+                parents.append(sha1(b"".join(children)))
+            self._levels.append(parents)
+        self.hash_count = leaves + sum(len(lvl) for lvl in self._levels[1:])
+
+    @property
+    def root(self) -> bytes:
+        """On-chip root hash; assumed tamper-proof."""
+        return self._levels[-1][0]
+
+    def _check_index(self, block_index: int) -> None:
+        if not 0 <= block_index < self.num_blocks:
+            raise ConfigurationError(
+                f"block index {block_index} out of range [0, {self.num_blocks})"
+            )
+
+    def update(self, block_index: int, block_payload: bytes) -> int:
+        """Recompute the path from leaf to root after a block write.
+
+        Returns the number of hash computations performed, which the secure
+        memory controller charges to its timing model.
+        """
+        self._check_index(block_index)
+        self._levels[0][block_index] = sha1(block_payload)
+        hashes = 1
+        index = block_index
+        for level in range(1, self.num_levels):
+            index //= self.arity
+            start = index * self.arity
+            children = self._levels[level - 1][start : start + self.arity]
+            self._levels[level][index] = sha1(b"".join(children))
+            hashes += 1
+        return hashes
+
+    def verify(self, block_index: int, block_payload: bytes) -> int:
+        """Verify a block against the root; raises on mismatch.
+
+        Returns the number of hash computations.  The verification recomputes
+        the leaf hash and walks up comparing against stored parents, exactly
+        what a hardware verification unit does when a block is fetched.
+        """
+        self._check_index(block_index)
+        computed = sha1(block_payload)
+        hashes = 1
+        if computed != self._levels[0][block_index]:
+            raise IntegrityError(f"Merkle leaf mismatch at block {block_index}")
+        index = block_index
+        for level in range(1, self.num_levels):
+            index //= self.arity
+            start = index * self.arity
+            children = self._levels[level - 1][start : start + self.arity]
+            parent = sha1(b"".join(children))
+            hashes += 1
+            if parent != self._levels[level][index]:
+                raise IntegrityError(
+                    f"Merkle internal-node mismatch at level {level}, index {index}"
+                )
+        return hashes
+
+    def tamper_leaf(self, block_index: int, new_hash: bytes) -> None:
+        """Deliberately corrupt a stored leaf hash (attack harness hook)."""
+        self._check_index(block_index)
+        self._levels[0][block_index] = new_hash
+
+    def tamper_node(self, level: int, index: int, new_hash: bytes) -> None:
+        """Deliberately corrupt an internal node (attack harness hook).
+
+        The root (``level == num_levels - 1``) is on-chip and cannot be
+        tampered with; attempting to do so raises.
+        """
+        if level == self.num_levels - 1:
+            raise ConfigurationError("the Merkle root is on-chip and untamperable")
+        if not 0 <= level < self.num_levels:
+            raise ConfigurationError(f"level {level} out of range")
+        if not 0 <= index < len(self._levels[level]):
+            raise ConfigurationError(f"index {index} out of range at level {level}")
+        self._levels[level][index] = new_hash

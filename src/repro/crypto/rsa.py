@@ -1,0 +1,88 @@
+"""Minimal RSA for manufacturer-burned component identities.
+
+The ObfusMem trust architecture (paper §3.1) requires each processor and
+memory chip to carry a manufacturer-generated public/private key pair burned
+into the silicon, used to (a) sign attestation measurements and (b)
+authenticate the Diffie–Hellman exchange that derives the bus session key.
+
+This module provides textbook RSA with a hash-then-sign signature scheme
+(SHA-1 based full-domain-style padding).  Key sizes default small for
+simulation speed; this simulates hardware identity, it does not protect real
+secrets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.rng import DeterministicRng, generate_prime
+from repro.crypto.sha1 import sha1
+from repro.errors import CryptoError
+
+DEFAULT_KEY_BITS = 512
+_PUBLIC_EXPONENT = 65537
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """RSA public key: modulus and public exponent."""
+
+    modulus: int
+    exponent: int = _PUBLIC_EXPONENT
+
+    def fingerprint(self) -> bytes:
+        """Stable 20-byte identifier of this key, used in attestation."""
+        byte_length = (self.modulus.bit_length() + 7) // 8
+        return sha1(self.modulus.to_bytes(byte_length, "big"))
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    """RSA key pair; the private exponent is kept inside the chip model."""
+
+    public: RsaPublicKey
+    private_exponent: int
+
+    @classmethod
+    def generate(cls, rng: DeterministicRng, bits: int = DEFAULT_KEY_BITS) -> "RsaKeyPair":
+        if bits < 64:
+            raise CryptoError("RSA modulus must be at least 64 bits")
+        while True:
+            p = generate_prime(bits // 2, rng)
+            q = generate_prime(bits - bits // 2, rng)
+            if p == q:
+                continue
+            modulus = p * q
+            phi = (p - 1) * (q - 1)
+            try:
+                d = pow(_PUBLIC_EXPONENT, -1, phi)
+            except ValueError:
+                continue
+            return cls(RsaPublicKey(modulus), d)
+
+    def sign(self, message: bytes) -> int:
+        """Sign SHA-1(message) with the private exponent."""
+        digest = _encode_digest(message, self.public.modulus)
+        return pow(digest, self.private_exponent, self.public.modulus)
+
+
+def _encode_digest(message: bytes, modulus: int) -> int:
+    """Deterministically expand SHA-1(message) to nearly the modulus size."""
+    digest = sha1(message)
+    expanded = digest
+    target_bytes = max((modulus.bit_length() - 8) // 8, len(digest))
+    counter = 0
+    while len(expanded) < target_bytes:
+        counter_bytes = counter.to_bytes(4, "big")
+        expanded += sha1(digest + counter_bytes)
+        counter += 1
+    value = int.from_bytes(expanded[:target_bytes], "big")
+    return value % modulus
+
+
+def verify(public_key: RsaPublicKey, message: bytes, signature: int) -> bool:
+    """Check an RSA signature; returns False on any mismatch."""
+    if not 0 <= signature < public_key.modulus:
+        return False
+    recovered = pow(signature, public_key.exponent, public_key.modulus)
+    return recovered == _encode_digest(message, public_key.modulus)

@@ -1,0 +1,51 @@
+"""SHA-1 implemented from RFC 3174.
+
+Provided as the alternative MAC hash the paper mentions alongside MD5
+(§3.5), and used by the trust-bootstrapping layer to hash attestation
+measurements.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+def _left_rotate(value: int, amount: int) -> int:
+    value &= 0xFFFFFFFF
+    return ((value << amount) | (value >> (32 - amount))) & 0xFFFFFFFF
+
+
+def sha1(message: bytes) -> bytes:
+    """Return the 20-byte SHA-1 digest of ``message``."""
+    h = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0]
+    length_bits = (len(message) * 8) & 0xFFFFFFFFFFFFFFFF
+    padded = message + b"\x80"
+    padded += b"\x00" * ((56 - len(padded) % 64) % 64)
+    padded += struct.pack(">Q", length_bits)
+    for chunk_start in range(0, len(padded), 64):
+        w = list(struct.unpack(">16I", padded[chunk_start : chunk_start + 64]))
+        for i in range(16, 80):
+            w.append(_left_rotate(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1))
+        a, b, c, d, e = h
+        for i in range(80):
+            if i < 20:
+                f = (b & c) | (~b & d)
+                k = 0x5A827999
+            elif i < 40:
+                f = b ^ c ^ d
+                k = 0x6ED9EBA1
+            elif i < 60:
+                f = (b & c) | (b & d) | (c & d)
+                k = 0x8F1BBCDC
+            else:
+                f = b ^ c ^ d
+                k = 0xCA62C1D6
+            temp = (_left_rotate(a, 5) + f + e + k + w[i]) & 0xFFFFFFFF
+            e, d, c, b, a = d, c, _left_rotate(b, 30), a, temp
+        h = [(x + y) & 0xFFFFFFFF for x, y in zip(h, (a, b, c, d, e))]
+    return struct.pack(">5I", *h)
+
+
+def sha1_hex(message: bytes) -> str:
+    """Hex form of :func:`sha1`."""
+    return sha1(message).hex()

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the ObfusMem reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single except clause while still
+being able to discriminate the failure domain.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or wired with invalid parameters."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic primitive was misused (bad key/nonce/length)."""
+
+
+class IntegrityError(ReproError):
+    """Integrity verification failed: tampering was detected."""
+
+
+class CounterDesyncError(IntegrityError):
+    """Processor-side and memory-side CTR counters no longer match."""
+
+
+class TrustError(ReproError):
+    """Trust bootstrapping failed (attestation mismatch, bad key burn)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class OramError(ReproError):
+    """Path ORAM protocol violation (stash overflow, bad PosMap entry)."""
+
+
+class OramDeadlockError(OramError):
+    """Reshuffling could not proceed: buckets full along the chosen path."""
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed or internally inconsistent."""

@@ -1,0 +1,20 @@
+"""Experiment runners: one module per table/figure of the paper.
+
+- :mod:`repro.experiments.table1` — benchmark characteristics.
+- :mod:`repro.experiments.table3` — ORAM vs ObfusMem+Auth overheads.
+- :mod:`repro.experiments.figure4` — overhead breakdown by level.
+- :mod:`repro.experiments.figure5` — channel-count sweep, UNOPT vs OPT.
+- :mod:`repro.experiments.table4` — measured security comparison.
+- :mod:`repro.experiments.energy` — §5.2 energy/lifetime analysis.
+- :mod:`repro.experiments.related` — §7 related-work comparison (HIDE/ORAM).
+- :mod:`repro.experiments.report` — one-shot Markdown report of everything.
+- :mod:`repro.experiments.export` — CSV writers for every result type.
+
+Each module exposes ``run(...)`` returning structured results and a
+``main()`` that prints the regenerated table; run them as scripts, e.g.
+``python -m repro.experiments.table3``.
+"""
+
+from repro.experiments.runner import cached_run, clear_cache, select_benchmarks
+
+__all__ = ["cached_run", "clear_cache", "select_benchmarks"]

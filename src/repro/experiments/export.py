@@ -1,0 +1,167 @@
+"""CSV export for every experiment result type.
+
+Each ``write_*`` function renders one experiment's structured result to a
+CSV file so the series can be plotted or diffed outside Python.  The column
+layout mirrors the corresponding table/figure, with paper reference values
+in ``paper_*`` columns where the paper publishes per-row numbers.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.experiments.energy import EnergyResult
+from repro.experiments.figure4 import Figure4Result
+from repro.experiments.figure5 import Figure5Result
+from repro.experiments.table1 import Table1Row
+from repro.experiments.table3 import Table3Result
+from repro.experiments.table4 import Table4Result
+
+
+def _write(path: str | Path, header: list[str], rows: list[list]) -> Path:
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def write_table1(rows: list[Table1Row], path: str | Path) -> Path:
+    """Write Table 1 rows to CSV; returns the path."""
+    return _write(
+        path,
+        [
+            "benchmark",
+            "ipc",
+            "mpki",
+            "gap_ns",
+            "paper_ipc",
+            "paper_mpki",
+            "paper_gap_ns",
+        ],
+        [
+            [
+                row.benchmark,
+                f"{row.measured_ipc:.4f}",
+                f"{row.measured_mpki:.4f}",
+                f"{row.measured_gap_ns:.4f}",
+                row.paper_ipc,
+                row.paper_mpki,
+                row.paper_gap_ns,
+            ]
+            for row in rows
+        ],
+    )
+
+
+def write_table3(result: Table3Result, path: str | Path) -> Path:
+    """Write Table 3 rows to CSV; returns the path."""
+    return _write(
+        path,
+        [
+            "benchmark",
+            "oram_overhead_pct",
+            "obfusmem_auth_overhead_pct",
+            "speedup",
+            "paper_oram_pct",
+            "paper_obfusmem_pct",
+        ],
+        [
+            [
+                row.benchmark,
+                f"{row.oram_overhead_pct:.4f}",
+                f"{row.obfusmem_auth_overhead_pct:.4f}",
+                f"{row.speedup:.4f}",
+                row.paper_oram_pct,
+                row.paper_obfusmem_pct,
+            ]
+            for row in result.rows
+        ],
+    )
+
+
+def write_figure4(result: Figure4Result, path: str | Path) -> Path:
+    """Write Figure 4 rows to CSV; returns the path."""
+    return _write(
+        path,
+        ["benchmark", "encryption_pct", "obfusmem_pct", "obfusmem_auth_pct"],
+        [
+            [
+                row.benchmark,
+                f"{row.encryption_pct:.4f}",
+                f"{row.obfusmem_pct:.4f}",
+                f"{row.obfusmem_auth_pct:.4f}",
+            ]
+            for row in result.rows
+        ],
+    )
+
+
+def write_figure5(result: Figure5Result, path: str | Path) -> Path:
+    """Write Figure 5 points to CSV; returns the path."""
+    return _write(
+        path,
+        ["channels", "injection", "authenticated", "avg_overhead_pct"],
+        [
+            [
+                point.channels,
+                point.injection.value,
+                int(point.authenticated),
+                f"{point.avg_overhead_pct:.4f}",
+            ]
+            for point in sorted(
+                result.points, key=lambda p: (p.channels, p.injection.value, p.authenticated)
+            )
+        ],
+    )
+
+
+def write_table4(result: Table4Result, path: str | Path) -> Path:
+    """Write Table 4 rows to CSV; returns the path."""
+    u, o = result.unprotected, result.obfusmem
+    return _write(
+        path,
+        ["aspect", "unprotected", "obfusmem", "oram"],
+        [
+            ["spatial_locality", u.spatial_locality, o.spatial_locality, ""],
+            ["ciphertext_repeats", u.ciphertext_repeats, o.ciphertext_repeats, ""],
+            ["type_accuracy", u.type_accuracy, o.type_accuracy, 0.5],
+            ["footprint_error", u.footprint_error, o.footprint_error, ""],
+            ["channel_coactivity", u.channel_coactivity, o.channel_coactivity, ""],
+            ["exe_overhead_pct", 0.0, result.obfusmem_overhead_pct, result.oram_overhead_pct],
+            ["storage_overhead_pct", 0.0, 0.0, result.oram.capacity_overhead_pct],
+            [
+                "write_amplification",
+                1.0,
+                result.obfusmem_write_amplification,
+                result.oram.blocks_per_access / 2,
+            ],
+        ],
+    )
+
+
+def write_energy(result: EnergyResult, path: str | Path) -> Path:
+    """Write the §5.2 quantities to CSV; returns the path."""
+    a = result.analytical
+    return _write(
+        path,
+        ["quantity", "oram", "obfusmem"],
+        [
+            ["energy_factor", a.oram_energy_factor, a.obfusmem_energy_factor],
+            ["pads_worst", a.oram_pads_per_access, a.obfusmem_pads_worst_case],
+            ["pads_best", a.oram_pads_per_access, a.obfusmem_pads_best_case],
+            ["lifetime_improvement", 1.0, a.lifetime_improvement],
+            [
+                "measured_pads_per_access",
+                result.oram_measured.pads_per_access,
+                result.obfusmem_measured.pads_per_access,
+            ],
+            [
+                "measured_cell_writes_per_access",
+                result.oram_measured.cell_writes_per_access,
+                result.obfusmem_measured.cell_writes_per_access,
+            ],
+        ],
+    )

@@ -1,0 +1,81 @@
+"""Shared experiment plumbing: cached runs and table formatting.
+
+Every experiment module (table1/table3/figure4/figure5/table4/energy) runs
+benchmarks through :func:`repro.system.run_benchmark`; this module caches
+results so a full regeneration of the paper's evaluation reuses each
+(benchmark, system) simulation instead of repeating it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.spec_profiles import BENCHMARK_NAMES, SPEC_PROFILES
+from repro.errors import ConfigurationError
+from repro.system.config import MachineConfig, ProtectionLevel
+from repro.system.simulator import RunResult, run_benchmark
+
+DEFAULT_REQUESTS = 4000
+DEFAULT_SEED = 2017
+
+_cache: dict[tuple, RunResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop all cached simulation results (mainly for tests)."""
+    _cache.clear()
+
+
+def cached_run(
+    benchmark: str,
+    level: ProtectionLevel,
+    machine: MachineConfig | None = None,
+    num_requests: int = DEFAULT_REQUESTS,
+    seed: int = DEFAULT_SEED,
+    cores: int = 1,
+) -> RunResult:
+    """Run (or fetch) one benchmark at one protection level."""
+    if benchmark not in SPEC_PROFILES:
+        raise ConfigurationError(
+            f"unknown benchmark {benchmark!r}; choose from {BENCHMARK_NAMES}"
+        )
+    machine = machine or MachineConfig()
+    key = (benchmark, level, machine, num_requests, seed, cores)
+    if key not in _cache:
+        _cache[key] = run_benchmark(
+            SPEC_PROFILES[benchmark],
+            level,
+            machine=machine,
+            num_requests=num_requests,
+            seed=seed,
+            cores=cores,
+        )
+    return _cache[key]
+
+
+def select_benchmarks(benchmarks: list[str] | None) -> list[str]:
+    """Validate a benchmark subset; None means the full Table 1 suite."""
+    if benchmarks is None:
+        return list(BENCHMARK_NAMES)
+    unknown = [name for name in benchmarks if name not in SPEC_PROFILES]
+    if unknown:
+        raise ConfigurationError(f"unknown benchmarks: {unknown}")
+    return benchmarks
+
+
+@dataclass(frozen=True)
+class TableColumn:
+    header: str
+    width: int
+    align: str = ">"
+
+
+def format_table(columns: list[TableColumn], rows: list[list[str]]) -> str:
+    """Render a fixed-width text table (the experiment CLIs print these)."""
+    header = " ".join(f"{c.header:{c.align}{c.width}}" for c in columns)
+    separator = "-" * len(header)
+    body = [
+        " ".join(f"{cell:{c.align}{c.width}}" for c, cell in zip(columns, row))
+        for row in rows
+    ]
+    return "\n".join([header, separator, *body])

@@ -1,0 +1,63 @@
+"""Memory substrate: requests, caches, PCM devices, channels and the bus."""
+
+from repro.mem.address_mapping import AddressMapping, DecodedAddress
+from repro.mem.bus import (
+    BusObserver,
+    BusTransfer,
+    Direction,
+    MemoryBus,
+    TransferKind,
+)
+from repro.mem.cache import CacheLine, Eviction, MesiState, SetAssociativeCache
+from repro.mem.dram_timing import (
+    DEFAULT_ENERGY,
+    DEFAULT_ENGINES,
+    DEFAULT_TIMING,
+    EngineTiming,
+    PcmEnergy,
+    PcmTiming,
+)
+from repro.mem.hierarchy import AccessResult, CacheHierarchy, HierarchyConfig
+from repro.mem.pcm import PcmDevice
+from repro.mem.request import (
+    BLOCK_OFFSET_BITS,
+    BLOCK_SIZE_BYTES,
+    MemoryRequest,
+    RequestType,
+    block_aligned,
+)
+from repro.mem.scheduler import ChannelController, MemorySystem
+from repro.mem.wear_leveling import StartGapWearLeveler, wear_metrics
+
+__all__ = [
+    "AddressMapping",
+    "DecodedAddress",
+    "BusObserver",
+    "BusTransfer",
+    "Direction",
+    "MemoryBus",
+    "TransferKind",
+    "CacheLine",
+    "Eviction",
+    "MesiState",
+    "SetAssociativeCache",
+    "DEFAULT_ENERGY",
+    "DEFAULT_ENGINES",
+    "DEFAULT_TIMING",
+    "EngineTiming",
+    "PcmEnergy",
+    "PcmTiming",
+    "AccessResult",
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "PcmDevice",
+    "BLOCK_OFFSET_BITS",
+    "BLOCK_SIZE_BYTES",
+    "MemoryRequest",
+    "RequestType",
+    "block_aligned",
+    "ChannelController",
+    "MemorySystem",
+    "StartGapWearLeveler",
+    "wear_metrics",
+]

@@ -1,0 +1,130 @@
+"""Physical address interleaving: the RoRaBaChCo mapping of Table 2.
+
+``RoRaBaChCo`` reads most-significant to least-significant:
+Row | Rank | Bank | Channel | Column.  With 64-byte blocks and 1KB row
+buffers, consecutive blocks walk through the columns of a row first, then
+across channels, banks and ranks — the standard layout the paper simulates,
+and the one that makes *inter-channel* spatial leakage real: sequential
+addresses visibly stripe across channel pins (paper §3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.mem.request import BLOCK_OFFSET_BITS, BLOCK_SIZE_BYTES
+
+
+def _log2_exact(value: int, what: str) -> int:
+    if value <= 0 or value & (value - 1):
+        raise ConfigurationError(f"{what} must be a positive power of two, got {value}")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """Channel/rank/bank/row/column coordinates of one block."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+
+
+class AddressMapping:
+    """RoRaBaChCo decoder for a multi-channel PCM memory.
+
+    Parameters mirror Table 2: 2 ranks/channel, 8 banks/rank, 1KB row
+    buffers, 64B blocks; channels configurable (1/2/4/8 in the sweep).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int = 8 << 30,
+        channels: int = 1,
+        ranks_per_channel: int = 2,
+        banks_per_rank: int = 8,
+        row_buffer_bytes: int = 1024,
+    ):
+        self.capacity_bytes = capacity_bytes
+        self.channels = channels
+        self.ranks_per_channel = ranks_per_channel
+        self.banks_per_rank = banks_per_rank
+        self.row_buffer_bytes = row_buffer_bytes
+
+        self._channel_bits = _log2_exact(channels, "channels")
+        self._rank_bits = _log2_exact(ranks_per_channel, "ranks per channel")
+        self._bank_bits = _log2_exact(banks_per_rank, "banks per rank")
+        if row_buffer_bytes % BLOCK_SIZE_BYTES:
+            raise ConfigurationError("row buffer must hold whole blocks")
+        self.blocks_per_row = row_buffer_bytes // BLOCK_SIZE_BYTES
+        self._column_bits = _log2_exact(self.blocks_per_row, "blocks per row")
+        _log2_exact(capacity_bytes, "capacity")
+
+        fixed_bits = (
+            BLOCK_OFFSET_BITS
+            + self._column_bits
+            + self._channel_bits
+            + self._bank_bits
+            + self._rank_bits
+        )
+        total_bits = _log2_exact(capacity_bytes, "capacity")
+        self._row_bits = total_bits - fixed_bits
+        if self._row_bits <= 0:
+            raise ConfigurationError("capacity too small for this organization")
+        self.rows_per_bank = 1 << self._row_bits
+        self.num_blocks = capacity_bytes // BLOCK_SIZE_BYTES
+
+    def decode(self, address: int) -> DecodedAddress:
+        """Split a block-aligned byte address into device coordinates."""
+        if not 0 <= address < self.capacity_bytes:
+            raise ConfigurationError(
+                f"address {address:#x} outside capacity {self.capacity_bytes:#x}"
+            )
+        bits = address >> BLOCK_OFFSET_BITS
+        column = bits & (self.blocks_per_row - 1)
+        bits >>= self._column_bits
+        channel = bits & ((1 << self._channel_bits) - 1)
+        bits >>= self._channel_bits
+        bank = bits & ((1 << self._bank_bits) - 1)
+        bits >>= self._bank_bits
+        rank = bits & ((1 << self._rank_bits) - 1)
+        bits >>= self._rank_bits
+        row = bits
+        return DecodedAddress(channel=channel, rank=rank, bank=bank, row=row, column=column)
+
+    def encode(self, decoded: DecodedAddress) -> int:
+        """Inverse of :meth:`decode`; used by tests and the dummy reserver."""
+        bits = decoded.row
+        bits = (bits << self._rank_bits) | decoded.rank
+        bits = (bits << self._bank_bits) | decoded.bank
+        bits = (bits << self._channel_bits) | decoded.channel
+        bits = (bits << self._column_bits) | decoded.column
+        return bits << BLOCK_OFFSET_BITS
+
+    def channel_of(self, address: int) -> int:
+        """Fast path: just the channel index of a block address."""
+        return (address >> (BLOCK_OFFSET_BITS + self._column_bits)) & (
+            (1 << self._channel_bits) - 1
+        )
+
+    def dummy_block_address(self, channel: int) -> int:
+        """The reserved fixed dummy block for a channel (paper §3.3).
+
+        Each memory module reserves one 64-byte block; we place it at the
+        highest row of bank 0, rank 0 of the channel so it never collides
+        with low-address workloads.
+        """
+        if not 0 <= channel < self.channels:
+            raise ConfigurationError(f"channel {channel} out of range")
+        return self.encode(
+            DecodedAddress(
+                channel=channel,
+                rank=0,
+                bank=0,
+                row=self.rows_per_bank - 1,
+                column=0,
+            )
+        )

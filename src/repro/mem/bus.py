@@ -1,0 +1,98 @@
+"""The observable memory bus: what an attacker's probes can see.
+
+The threat model (paper §2.1) gives the attacker full visibility of the
+exposed wires between processor and memory: command/address transfers, data
+transfers, their timing, and *which channel's pins* they appear on.  This
+module records exactly that and nothing more — the analysis package computes
+leakage metrics purely from :class:`BusTransfer` records, so a protection
+scheme is evaluated against what it actually puts on the wire.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class TransferKind(enum.Enum):
+    """What crossed the bus: a command/address slot or a data burst."""
+
+    COMMAND = "command"  # command + address slot
+    DATA = "data"  # 64-byte data burst
+
+
+class Direction(enum.Enum):
+    """Which way the transfer travelled."""
+
+    TO_MEMORY = "to_memory"
+    TO_PROCESSOR = "to_processor"
+
+
+@dataclass(frozen=True)
+class BusTransfer:
+    """One wire-level observable event.
+
+    ``wire_bytes`` is what the attacker reads off the pins.  For an
+    unprotected system this encodes the plaintext command and address; for
+    ObfusMem it is ciphertext.  ``plaintext_address`` / ``plaintext_is_write``
+    are ground-truth annotations for *evaluating* leakage metrics — an
+    attacker model must never read them, and the observer API separates the
+    two views.
+    """
+
+    time_ps: int
+    channel: int
+    kind: TransferKind
+    direction: Direction
+    wire_bytes: bytes
+    plaintext_address: int | None = None
+    plaintext_is_write: bool | None = None
+    is_dummy: bool = False
+
+    def attacker_view(self) -> tuple[int, int, TransferKind, Direction, bytes]:
+        """The fields an attacker can actually observe."""
+        return (self.time_ps, self.channel, self.kind, self.direction, self.wire_bytes)
+
+
+class BusObserver:
+    """Passive snooper attached to the memory bus; collects transfers."""
+
+    def __init__(self, name: str = "observer"):
+        self.name = name
+        self.transfers: list[BusTransfer] = []
+
+    def record(self, transfer: BusTransfer) -> None:
+        """Store one observed transfer."""
+        self.transfers.append(transfer)
+
+    def command_transfers(self) -> list[BusTransfer]:
+        """Only the command/address transfers seen."""
+        return [t for t in self.transfers if t.kind is TransferKind.COMMAND]
+
+    def data_transfers(self) -> list[BusTransfer]:
+        """Only the data bursts seen."""
+        return [t for t in self.transfers if t.kind is TransferKind.DATA]
+
+    def channels_seen(self) -> set[int]:
+        """Set of channel indices with any observed traffic."""
+        return {t.channel for t in self.transfers}
+
+    def clear(self) -> None:
+        """Forget everything observed so far."""
+        self.transfers.clear()
+
+
+@dataclass
+class MemoryBus:
+    """Fan-out point: every emitted transfer reaches every observer."""
+
+    observers: list[BusObserver] = field(default_factory=list)
+
+    def attach(self, observer: BusObserver) -> None:
+        """Register an observer for all future transfers."""
+        self.observers.append(observer)
+
+    def emit(self, transfer: BusTransfer) -> None:
+        """Deliver one transfer to every attached observer."""
+        for observer in self.observers:
+            observer.record(transfer)

@@ -1,0 +1,146 @@
+"""Set-associative cache with LRU replacement and MESI line states.
+
+Used to build the three-level hierarchy of Table 2 (32KB L1 / 512KB L2
+private, 8MB L3 shared, all 8-way with 64-byte blocks).  The cache is a
+functional model with per-access latency accounting: the experiments drive
+the memory system with LLC-miss traces directly, while the full-stack
+examples and integration tests run CPU-level address streams through this
+hierarchy to produce those misses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.mem.request import BLOCK_OFFSET_BITS
+from repro.sim.statistics import StatGroup
+
+
+class MesiState(enum.Enum):
+    """MESI coherence states; INVALID lines are absent from the cache."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+
+
+@dataclass
+class CacheLine:
+    block: int
+    state: MesiState
+    last_use: int
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """A victim pushed out by an insertion."""
+
+    block: int
+    dirty: bool
+
+
+class SetAssociativeCache:
+    """One cache level: lookup / insert / invalidate with LRU replacement."""
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        associativity: int,
+        latency_cycles: int,
+        stats: StatGroup,
+        block_bytes: int = 64,
+    ):
+        if size_bytes % (associativity * block_bytes):
+            raise ConfigurationError(
+                f"{name}: size {size_bytes} not divisible into "
+                f"{associativity}-way sets of {block_bytes}B blocks"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.latency_cycles = latency_cycles
+        self.block_bytes = block_bytes
+        self.num_sets = size_bytes // (associativity * block_bytes)
+        if self.num_sets & (self.num_sets - 1):
+            raise ConfigurationError(f"{name}: set count must be a power of two")
+        self.stats = stats
+        self._sets: list[dict[int, CacheLine]] = [{} for _ in range(self.num_sets)]
+        self._use_clock = 0
+
+    def _set_index(self, block: int) -> int:
+        return block & (self.num_sets - 1)
+
+    def _touch(self, line: CacheLine) -> None:
+        self._use_clock += 1
+        line.last_use = self._use_clock
+
+    def lookup(self, block: int, update_lru: bool = True) -> CacheLine | None:
+        """Find a block; returns the line (any MESI state) or None."""
+        line = self._sets[self._set_index(block)].get(block)
+        if line is not None and update_lru:
+            self._touch(line)
+        return line
+
+    def insert(self, block: int, state: MesiState) -> Eviction | None:
+        """Insert a block, evicting LRU if the set is full.
+
+        Returns the eviction (with dirtiness) so callers can generate the
+        write-back request; None when no victim was displaced.
+        """
+        cache_set = self._sets[self._set_index(block)]
+        existing = cache_set.get(block)
+        if existing is not None:
+            existing.state = state
+            self._touch(existing)
+            return None
+        eviction = None
+        if len(cache_set) >= self.associativity:
+            victim_block = min(cache_set, key=lambda b: cache_set[b].last_use)
+            victim = cache_set.pop(victim_block)
+            eviction = Eviction(
+                block=victim_block, dirty=victim.state is MesiState.MODIFIED
+            )
+            self.stats.add("evictions")
+            if eviction.dirty:
+                self.stats.add("dirty_evictions")
+        self._use_clock += 1
+        cache_set[block] = CacheLine(block=block, state=state, last_use=self._use_clock)
+        return eviction
+
+    def invalidate(self, block: int) -> bool:
+        """Drop a block (coherence invalidation); returns True if present
+        and dirty (caller must write back)."""
+        cache_set = self._sets[self._set_index(block)]
+        line = cache_set.pop(block, None)
+        return line is not None and line.state is MesiState.MODIFIED
+
+    def downgrade(self, block: int) -> bool:
+        """M/E -> S on a remote read; returns True if data was dirty."""
+        line = self.lookup(block, update_lru=False)
+        if line is None:
+            return False
+        was_dirty = line.state is MesiState.MODIFIED
+        line.state = MesiState.SHARED
+        return was_dirty
+
+    def set_state(self, block: int, state: MesiState) -> None:
+        """Overwrite the MESI state of a resident block."""
+        line = self.lookup(block, update_lru=False)
+        if line is None:
+            raise ConfigurationError(f"{self.name}: block {block:#x} not resident")
+        line.state = state
+
+    def contains(self, block: int) -> bool:
+        """Residency check without touching LRU state."""
+        return self.lookup(block, update_lru=False) is not None
+
+    def resident_blocks(self) -> list[int]:
+        """All blocks currently resident (any state)."""
+        return [block for cache_set in self._sets for block in cache_set]
+
+    @staticmethod
+    def block_of(address: int) -> int:
+        return address >> BLOCK_OFFSET_BITS

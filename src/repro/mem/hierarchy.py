@@ -1,0 +1,227 @@
+"""Three-level cache hierarchy with MESI coherence (Table 2 configuration).
+
+Private L1/L2 per core, shared inclusive L3 with a directory tracking which
+cores hold each block.  The hierarchy is functional-with-latency: an access
+returns the hit level, the accumulated lookup latency in cycles, and the
+memory traffic (miss fill + any dirty write-backs) it generated below the
+LLC.  That traffic is exactly what ObfusMem or ORAM must protect.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.mem.cache import MesiState, SetAssociativeCache
+from repro.mem.request import (
+    BLOCK_OFFSET_BITS,
+    BLOCK_SIZE_BYTES,
+    MemoryRequest,
+    RequestType,
+)
+from repro.sim.statistics import StatRegistry
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Sizes/latencies of Table 2."""
+
+    cores: int = 4
+    l1_size: int = 32 << 10
+    l1_assoc: int = 8
+    l1_latency: int = 2
+    l2_size: int = 512 << 10
+    l2_assoc: int = 8
+    l2_latency: int = 8
+    l3_size: int = 8 << 20
+    l3_assoc: int = 8
+    l3_latency: int = 17
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigurationError("need at least one core")
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one CPU-level load/store."""
+
+    hit_level: str  # "L1", "L2", "L3" or "memory"
+    latency_cycles: int
+    memory_requests: list[MemoryRequest] = field(default_factory=list)
+
+    @property
+    def llc_miss(self) -> bool:
+        return self.hit_level == "memory"
+
+
+class CacheHierarchy:
+    """Private L1/L2 per core + shared inclusive L3 with MESI directory."""
+
+    def __init__(self, config: HierarchyConfig, stats: StatRegistry):
+        self.config = config
+        self.stats = stats.group("hierarchy")
+        self.l1 = [
+            SetAssociativeCache(
+                f"l1.{core}",
+                config.l1_size,
+                config.l1_assoc,
+                config.l1_latency,
+                stats.group(f"l1.{core}"),
+            )
+            for core in range(config.cores)
+        ]
+        self.l2 = [
+            SetAssociativeCache(
+                f"l2.{core}",
+                config.l2_size,
+                config.l2_assoc,
+                config.l2_latency,
+                stats.group(f"l2.{core}"),
+            )
+            for core in range(config.cores)
+        ]
+        self.l3 = SetAssociativeCache(
+            "l3", config.l3_size, config.l3_assoc, config.l3_latency, stats.group("l3")
+        )
+        # L3 directory: block -> set of cores with the block in L1/L2.
+        self._sharers: dict[int, set[int]] = defaultdict(set)
+        self.instructions: int = 0
+
+    # ------------------------------------------------------------------
+
+    def access(self, core_id: int, address: int, is_write: bool) -> AccessResult:
+        """Perform one load/store; returns hit level, latency and traffic."""
+        if not 0 <= core_id < self.config.cores:
+            raise ConfigurationError(f"core {core_id} out of range")
+        block = address >> BLOCK_OFFSET_BITS
+        block_address = block << BLOCK_OFFSET_BITS
+        latency = self.config.l1_latency
+        self.stats.add("accesses")
+
+        line = self.l1[core_id].lookup(block)
+        if line is not None:
+            if is_write:
+                self._upgrade_for_write(core_id, block, line.state)
+                self.l1[core_id].set_state(block, MesiState.MODIFIED)
+            self.stats.add("l1_hits")
+            return AccessResult("L1", latency)
+
+        latency += self.config.l2_latency
+        line = self.l2[core_id].lookup(block)
+        if line is not None:
+            self.stats.add("l2_hits")
+            state = line.state
+            if is_write:
+                self._upgrade_for_write(core_id, block, state)
+                state = MesiState.MODIFIED
+                self.l2[core_id].set_state(block, state)
+            requests = self._fill_l1(core_id, block, state)
+            return AccessResult("L2", latency, requests)
+
+        latency += self.config.l3_latency
+        requests: list[MemoryRequest] = []
+        l3_line = self.l3.lookup(block)
+        if l3_line is not None:
+            self.stats.add("l3_hits")
+            requests += self._snoop_other_cores(core_id, block, is_write)
+            state = MesiState.MODIFIED if is_write else self._fill_state(core_id, block)
+            requests += self._fill_private(core_id, block, state)
+            return AccessResult("L3", latency, requests)
+
+        # LLC miss: fetch the block from memory.
+        self.stats.add("llc_misses")
+        requests.append(MemoryRequest(block_address, RequestType.READ, core_id=core_id))
+        requests += self._insert_l3(block)
+        state = MesiState.MODIFIED if is_write else MesiState.EXCLUSIVE
+        requests += self._fill_private(core_id, block, state)
+        return AccessResult("memory", latency, requests)
+
+    # ------------------------------------------------------------------
+
+    def _fill_state(self, core_id: int, block: int) -> MesiState:
+        others = self._sharers[block] - {core_id}
+        return MesiState.SHARED if others else MesiState.EXCLUSIVE
+
+    def _upgrade_for_write(self, core_id: int, block: int, state: MesiState) -> None:
+        if state is not MesiState.MODIFIED:
+            # Invalidate other sharers (MESI upgrade / invalidation).
+            for other in list(self._sharers[block] - {core_id}):
+                self.l1[other].invalidate(block)
+                self.l2[other].invalidate(block)
+                self._sharers[block].discard(other)
+                self.stats.add("coherence_invalidations")
+
+    def _snoop_other_cores(
+        self, core_id: int, block: int, is_write: bool
+    ) -> list[MemoryRequest]:
+        """MESI snoop: downgrade (read) or invalidate (write) remote copies."""
+        requests: list[MemoryRequest] = []
+        for other in list(self._sharers[block] - {core_id}):
+            if is_write:
+                dirty = self.l1[other].invalidate(block)
+                dirty |= self.l2[other].invalidate(block)
+                self._sharers[block].discard(other)
+                self.stats.add("coherence_invalidations")
+            else:
+                dirty = self.l1[other].downgrade(block)
+                dirty |= self.l2[other].downgrade(block)
+            if dirty:
+                # Dirty data is forwarded core-to-core through L3; mark the
+                # L3 copy modified rather than writing memory immediately.
+                if self.l3.contains(block):
+                    self.l3.set_state(block, MesiState.MODIFIED)
+                self.stats.add("dirty_forwards")
+        return requests
+
+    def _fill_l1(self, core_id: int, block: int, state: MesiState) -> list[MemoryRequest]:
+        eviction = self.l1[core_id].insert(block, state)
+        requests: list[MemoryRequest] = []
+        if eviction is not None and eviction.dirty:
+            # Dirty L1 victims are absorbed by L2 (write-back hierarchy).
+            self.l2[core_id].insert(eviction.block, MesiState.MODIFIED)
+        self._sharers[block].add(core_id)
+        return requests
+
+    def _fill_private(self, core_id: int, block: int, state: MesiState) -> list[MemoryRequest]:
+        requests: list[MemoryRequest] = []
+        eviction = self.l2[core_id].insert(block, state)
+        if eviction is not None:
+            self.l1[core_id].invalidate(eviction.block)
+            self._sharers[eviction.block].discard(core_id)
+            if eviction.dirty and self.l3.contains(eviction.block):
+                self.l3.set_state(eviction.block, MesiState.MODIFIED)
+        requests += self._fill_l1(core_id, block, state)
+        return requests
+
+    def _insert_l3(self, block: int) -> list[MemoryRequest]:
+        requests: list[MemoryRequest] = []
+        eviction = self.l3.insert(block, MesiState.EXCLUSIVE)
+        if eviction is not None:
+            dirty = eviction.dirty
+            # Inclusive L3: back-invalidate private copies of the victim.
+            for core in list(self._sharers[eviction.block]):
+                dirty |= self.l1[core].invalidate(eviction.block)
+                dirty |= self.l2[core].invalidate(eviction.block)
+                self._sharers[eviction.block].discard(core)
+                self.stats.add("back_invalidations")
+            if dirty:
+                requests.append(
+                    MemoryRequest(
+                        eviction.block << BLOCK_OFFSET_BITS, RequestType.WRITE
+                    )
+                )
+                self.stats.add("writebacks")
+        return requests
+
+    # ------------------------------------------------------------------
+
+    def mpki(self) -> float:
+        """LLC misses per kilo-instruction over the instructions recorded."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.stats.get("llc_misses") / self.instructions
+
+
+BLOCK_BYTES = BLOCK_SIZE_BYTES

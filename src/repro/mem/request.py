@@ -1,0 +1,109 @@
+"""Memory request types shared across the whole stack.
+
+A :class:`MemoryRequest` is the unit of work below the LLC: a 64-byte block
+read or write.  The same object flows from the core model, through the
+optional ObfusMem controller (which wraps it in encrypted bus packets), into
+the channel scheduler and PCM device.  Timestamps are filled in along the
+way so latency is measurable at every boundary.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+BLOCK_SIZE_BYTES = 64
+BLOCK_OFFSET_BITS = 6
+
+_request_ids = itertools.count()
+
+
+class RequestType(enum.Enum):
+    """Block-level request type as seen below the LLC."""
+
+    READ = "read"
+    WRITE = "write"
+
+    @property
+    def opposite(self) -> "RequestType":
+        return RequestType.WRITE if self is RequestType.READ else RequestType.READ
+
+
+@dataclass
+class MemoryRequest:
+    """A 64-byte block request.
+
+    Attributes
+    ----------
+    address:
+        Byte address, block aligned (low 6 bits zero).
+    request_type:
+        READ or WRITE.
+    payload:
+        Optional 64-byte data for writes / filled on read completion.  The
+        timing-only experiment path leaves this ``None``; the functional
+        full-stack path carries real bytes end to end.
+    is_dummy:
+        True for obfuscation dummies injected by ObfusMem.  Dummies are
+        indistinguishable on the wire; this flag exists only inside the
+        trusted perimeter (and for accounting).
+    droppable:
+        For dummies only: True when the memory side may drop the request on
+        arrival (the FIXED dummy-address design).  The RANDOM/ORIGINAL
+        ablation policies generate non-droppable dummies that really touch
+        the array — that cost is exactly what the ablation measures.
+    core_id:
+        Issuing core, for multi-core traces.
+    issue_time_ps / complete_time_ps:
+        Filled by the simulator for latency accounting.
+    """
+
+    address: int
+    request_type: RequestType
+    payload: bytes | None = None
+    is_dummy: bool = False
+    droppable: bool = True
+    core_id: int = 0
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    issue_time_ps: int | None = None
+    complete_time_ps: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ConfigurationError(f"negative address {self.address:#x}")
+        if self.address % BLOCK_SIZE_BYTES:
+            raise ConfigurationError(
+                f"address {self.address:#x} is not {BLOCK_SIZE_BYTES}-byte aligned"
+            )
+        if self.payload is not None and len(self.payload) != BLOCK_SIZE_BYTES:
+            raise ConfigurationError(
+                f"payload must be {BLOCK_SIZE_BYTES} bytes, got {len(self.payload)}"
+            )
+
+    @property
+    def is_read(self) -> bool:
+        return self.request_type is RequestType.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.request_type is RequestType.WRITE
+
+    @property
+    def block_index(self) -> int:
+        """Block number (address without the intra-block offset)."""
+        return self.address >> BLOCK_OFFSET_BITS
+
+    @property
+    def latency_ps(self) -> int:
+        """End-to-end latency once completed."""
+        if self.issue_time_ps is None or self.complete_time_ps is None:
+            raise ConfigurationError("request has not completed yet")
+        return self.complete_time_ps - self.issue_time_ps
+
+
+def block_aligned(address: int) -> int:
+    """Round a byte address down to its containing block."""
+    return address & ~(BLOCK_SIZE_BYTES - 1)

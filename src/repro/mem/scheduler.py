@@ -1,0 +1,517 @@
+"""Per-channel memory controller: queues, FR-FCFS-style scheduling, bus.
+
+The controller models the three resources whose contention drives the
+paper's performance results:
+
+* the **command/address slot** (one request header per ``command_ps``),
+* the shared **data bus** (one 64-byte burst per ``t_burst_ps``),
+* the **banks** (row activation / dirty write-back serialization).
+
+Real requests touch all three.  ObfusMem dummy requests — once decrypted
+inside the trusted memory perimeter — are *dropped before the array*
+(paper Observation 2): they occupy command and data bus slots (that is the
+whole point: to an observer they are indistinguishable from real traffic)
+but never touch a bank, never write a cell, and never wear PCM.
+
+Scheduling is first-ready / first-come-first-served: row-buffer hits are
+preferred among reads, reads are prioritized over writes, and writes drain
+in batches when their queue crosses a high-water mark, matching common
+memory-controller practice and the paper's open-adaptive page policy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.mem.address_mapping import AddressMapping
+from repro.mem.bus import BusTransfer, Direction, MemoryBus, TransferKind
+from repro.mem.dram_timing import PcmEnergy, PcmTiming
+from repro.mem.pcm import PcmDevice
+from repro.mem.request import BLOCK_SIZE_BYTES, MemoryRequest
+from repro.sim.engine import Engine
+from repro.sim.statistics import StatRegistry
+
+CompletionCallback = Callable[[MemoryRequest], None]
+
+
+@dataclass
+class _QueuedRequest:
+    request: MemoryRequest
+    callback: CompletionCallback | None
+    enqueue_time_ps: int
+    wire_command: bytes | None = None
+    wire_data: bytes | None = None
+    command_slots: int = 1
+    bus_extra_ps: int = 0
+    sequence: int = 0
+
+
+def _plain_wire_command(request: MemoryRequest) -> bytes:
+    """Wire encoding of an unprotected command: type byte + address."""
+    type_byte = b"\x01" if request.is_write else b"\x00"
+    return type_byte + request.address.to_bytes(8, "big")
+
+
+class ChannelController:
+    """Scheduler for one memory channel."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        mapping: AddressMapping,
+        channel: int,
+        device: PcmDevice,
+        timing: PcmTiming,
+        stats: StatRegistry,
+        bus: MemoryBus | None = None,
+        write_queue_high: int = 8,
+        write_queue_low: int = 2,
+    ):
+        if write_queue_low > write_queue_high:
+            raise ConfigurationError("write drain low watermark above high watermark")
+        self.engine = engine
+        self.mapping = mapping
+        self.channel = channel
+        self.device = device
+        self.timing = timing
+        self.stats = stats.group(f"channel{channel}")
+        self.bus = bus
+        self._read_queue: list[_QueuedRequest] = []
+        self._write_queue: list[_QueuedRequest] = []
+        self._write_queue_high = write_queue_high
+        self._write_queue_low = write_queue_low
+        self._draining_writes = False
+        self._cmd_free_ps = 0
+        self._bus_free_ps = 0
+        self._pump_scheduled = False
+        self._sequence = 0
+        self._pending_real_reads = 0
+        self._pending_real_writes = 0
+        self._last_bus_direction: Direction | None = None
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+
+    def enqueue(
+        self,
+        request: MemoryRequest,
+        callback: CompletionCallback | None = None,
+        wire_command: bytes | None = None,
+        wire_data: bytes | None = None,
+        command_slots: int = 1,
+        bus_extra_ps: int = 0,
+    ) -> None:
+        """Accept a request for this channel.
+
+        ``wire_command`` / ``wire_data`` are the bytes a wire observer sees
+        (ciphertext when a protection layer sits above); when None, the
+        plaintext encoding is used, modelling an unprotected bus.
+        ``command_slots`` widens the command transfer (e.g. an appended MAC
+        tag occupies a second slot); ``bus_extra_ps`` charges additional
+        data-bus occupancy (e.g. a 128-bit tag riding the burst).
+        """
+        if self.mapping.channel_of(request.address) != self.channel and not request.is_dummy:
+            raise ConfigurationError(
+                f"request {request.address:#x} routed to wrong channel {self.channel}"
+            )
+        queued = _QueuedRequest(
+            request=request,
+            callback=callback,
+            enqueue_time_ps=self.engine.now_ps,
+            wire_command=wire_command,
+            wire_data=wire_data,
+            command_slots=command_slots,
+            bus_extra_ps=bus_extra_ps,
+            sequence=self._sequence,
+        )
+        self._sequence += 1
+        # Dummies must issue promptly, temporally paired with the access
+        # they escort — that adjacency is what hides the request type from
+        # a timing observer — so they share the priority (read) queue even
+        # when they are writes.  Real writes drain lazily as usual.
+        if request.is_read or request.is_dummy:
+            self._read_queue.append(queued)
+        else:
+            self._write_queue.append(queued)
+        if request.is_dummy:
+            self.stats.add("dummy_reads" if request.is_read else "dummy_writes")
+        elif request.is_read:
+            self.stats.add("reads")
+            self._pending_real_reads += 1
+        else:
+            self.stats.add("writes")
+            self._pending_real_writes += 1
+        self._schedule_pump(0)
+
+    @property
+    def pending(self) -> int:
+        """Requests currently queued (not yet issued)."""
+        return len(self._read_queue) + len(self._write_queue)
+
+    @property
+    def pending_real_reads(self) -> int:
+        """Queued non-dummy reads — the §3.3 substitution signal."""
+        return self._pending_real_reads
+
+    @property
+    def pending_real_writes(self) -> int:
+        """Queued non-dummy writes — the §3.3 substitution signal."""
+        return self._pending_real_writes
+
+    def promote_oldest_write(self) -> bool:
+        """Move the oldest queued real write into the priority queue.
+
+        Used by the §3.3 substitution optimization: the promoted write
+        becomes the write half of a read-then-write pair, issuing adjacent
+        to the read it escorts instead of waiting for a drain batch.
+        """
+        for index, queued in enumerate(self._write_queue):
+            if not queued.request.is_dummy:
+                self._read_queue.append(self._write_queue.pop(index))
+                self.stats.add("writes_promoted")
+                return True
+        return False
+
+    @property
+    def busy(self) -> bool:
+        """True if the channel has queued work or in-flight bus activity.
+
+        This is the signal the ObfusMem-OPT inter-channel injector polls: an
+        idle channel needs a dummy, a busy one does not (Observation 3).
+        """
+        return self.pending > 0 or self._bus_free_ps > self.engine.now_ps
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def _schedule_pump(self, delay_ps: int) -> None:
+        if not self._pump_scheduled:
+            self._pump_scheduled = True
+            self.engine.schedule(delay_ps, self._pump)
+
+    def _pump(self) -> None:
+        self._pump_scheduled = False
+        while True:
+            now = self.engine.now_ps
+            if self._cmd_free_ps > now:
+                self._schedule_pump(self._cmd_free_ps - now)
+                return
+            # Bound the issue horizon: a real controller keeps only a few
+            # transactions in flight; without this, the queues would drain
+            # instantly into far-future resource reservations and every
+            # queue-occupancy policy (write drain, FR-FCFS arbitration,
+            # §3.3 substitution) would observe empty queues.
+            horizon_ps = 8 * self.timing.t_burst_ps
+            if self._bus_free_ps > now + horizon_ps:
+                self._schedule_pump(self._bus_free_ps - now - horizon_ps)
+                return
+            queued = self._pick_next()
+            if queued is None:
+                return
+            self._issue(queued)
+
+    def _update_drain_mode(self) -> None:
+        if len(self._write_queue) >= self._write_queue_high:
+            self._draining_writes = True
+        elif len(self._write_queue) <= self._write_queue_low:
+            self._draining_writes = False
+
+    # FR-FCFS scan depth: real controllers arbitrate over a bounded window
+    # of queue entries, not the whole (potentially deep) queue.
+    _ROW_HIT_LOOKAHEAD = 16
+
+    def _row_hit_index(self, queue: list[_QueuedRequest]) -> int | None:
+        for index, queued in enumerate(queue[: self._ROW_HIT_LOOKAHEAD]):
+            if queued.request.is_dummy:
+                continue
+            decoded = self.mapping.decode(queued.request.address)
+            if self.device.bank_state(decoded).open_row == decoded.row:
+                return index
+        return None
+
+    def _burst_direction(self, request: MemoryRequest) -> Direction:
+        """Which way this request's data burst crosses the bus."""
+        return Direction.TO_PROCESSOR if request.is_read else Direction.TO_MEMORY
+
+    def _direction_match_index(
+        self, queue: list[_QueuedRequest], lookahead: int = 4
+    ) -> int | None:
+        """Prefer a request whose burst continues the current bus direction.
+
+        FR-FCFS controllers group same-direction bursts to amortize the
+        read/write turnaround; the small lookahead keeps the reordering
+        window realistic (and keeps dummy pairing temporally tight).
+        """
+        if self._last_bus_direction is None:
+            return None
+        for index, queued in enumerate(queue[:lookahead]):
+            if self._burst_direction(queued.request) is self._last_bus_direction:
+                return index
+        return None
+
+    def _pick_next(self) -> _QueuedRequest | None:
+        self._update_drain_mode()
+        prefer_writes = self._draining_writes or not self._read_queue
+        primary, secondary = (
+            (self._write_queue, self._read_queue)
+            if prefer_writes
+            else (self._read_queue, self._write_queue)
+        )
+        for queue in (primary, secondary):
+            if queue:
+                hit_index = self._row_hit_index(queue)
+                if hit_index is not None:
+                    return queue.pop(hit_index)
+                match_index = self._direction_match_index(queue)
+                return queue.pop(match_index if match_index is not None else 0)
+        return None
+
+    def _emit(
+        self,
+        time_ps: int,
+        kind: TransferKind,
+        direction: Direction,
+        wire_bytes: bytes,
+        request: MemoryRequest,
+    ) -> None:
+        if self.bus is None:
+            return
+        self.bus.emit(
+            BusTransfer(
+                time_ps=time_ps,
+                channel=self.channel,
+                kind=kind,
+                direction=direction,
+                wire_bytes=wire_bytes,
+                plaintext_address=request.address,
+                plaintext_is_write=request.is_write,
+                is_dummy=request.is_dummy,
+            )
+        )
+
+    def _issue(self, queued: _QueuedRequest) -> None:
+        request = queued.request
+        if not request.is_dummy:
+            if request.is_read:
+                self._pending_real_reads -= 1
+            else:
+                self._pending_real_writes -= 1
+        now = self.engine.now_ps
+        cmd_start = max(now, self._cmd_free_ps)
+        cmd_end = cmd_start + queued.command_slots * self.timing.command_ps
+        self._cmd_free_ps = cmd_end
+        wire_command = queued.wire_command or _plain_wire_command(request)
+        self._emit(cmd_start, TransferKind.COMMAND, Direction.TO_MEMORY, wire_command, request)
+        self.stats.record(
+            "queue_delay_ns", (cmd_start - queued.enqueue_time_ps) / 1000.0
+        )
+
+        if request.is_dummy and request.droppable:
+            complete_ps = self._issue_dummy(queued, cmd_end)
+        elif request.is_read:
+            complete_ps = self._issue_read(queued, cmd_end)
+        else:
+            complete_ps = self._issue_write(queued, cmd_end)
+
+        def finish() -> None:
+            request.complete_time_ps = self.engine.now_ps
+            if queued.callback is not None:
+                queued.callback(request)
+
+        self.engine.schedule_at(complete_ps, finish)
+        self.stats.add("requests_serviced")
+
+    def _reserve_bus(
+        self, earliest_ps: int, direction: Direction, extra_ps: int = 0
+    ) -> tuple[int, int]:
+        """Reserve one data burst starting no earlier than ``earliest_ps``.
+
+        A direction change relative to the previous burst pays the bus
+        turnaround penalty (tRTW/tWTR).
+        """
+        available = self._bus_free_ps
+        if (
+            self._last_bus_direction is not None
+            and self._last_bus_direction is not direction
+        ):
+            available += self.timing.t_turnaround_ps
+            self.stats.add("bus_turnarounds")
+        start = max(earliest_ps, available)
+        end = start + self.timing.t_burst_ps + extra_ps
+        self._bus_free_ps = end
+        self._last_bus_direction = direction
+        self.stats.add("bus_bytes", BLOCK_SIZE_BYTES)
+        return start, end
+
+    def _wire_data(self, queued: _QueuedRequest) -> bytes:
+        if queued.wire_data is not None:
+            return queued.wire_data
+        payload = queued.request.payload
+        return payload if payload is not None else b"\x00" * BLOCK_SIZE_BYTES
+
+    def _issue_dummy(self, queued: _QueuedRequest, cmd_end_ps: int) -> int:
+        """Dummies occupy the bus like real traffic, then are dropped.
+
+        A dummy write carries a data burst to memory that is discarded on
+        arrival (no row buffer, no cells).  A dummy read is answered with a
+        garbage burst without touching the array.
+        """
+        request = queued.request
+        if request.is_write:
+            burst_start, burst_end = self._reserve_bus(
+                cmd_end_ps, Direction.TO_MEMORY, queued.bus_extra_ps
+            )
+            self._emit(
+                burst_start,
+                TransferKind.DATA,
+                Direction.TO_MEMORY,
+                self._wire_data(queued),
+                request,
+            )
+            self.stats.add("dummy_writes_dropped")
+        else:
+            # Response after the command decodes; no bank access needed.
+            burst_start, burst_end = self._reserve_bus(
+                cmd_end_ps + self.timing.t_cl_ps,
+                Direction.TO_PROCESSOR,
+                queued.bus_extra_ps,
+            )
+            self._emit(
+                burst_start,
+                TransferKind.DATA,
+                Direction.TO_PROCESSOR,
+                self._wire_data(queued),
+                request,
+            )
+            self.stats.add("dummy_reads_answered")
+        return burst_end
+
+    def _issue_read(self, queued: _QueuedRequest, cmd_end_ps: int) -> int:
+        request = queued.request
+        decoded = self.mapping.decode(request.address)
+        bank = self.device.bank_state(decoded)
+        access = self.device.access(decoded, is_write=False)
+        prep_start = max(cmd_end_ps, bank.busy_until_ps)
+        data_ready = prep_start + access.preparation_ps + self.timing.t_cl_ps
+        burst_start, burst_end = self._reserve_bus(
+            data_ready, Direction.TO_PROCESSOR, queued.bus_extra_ps
+        )
+        bank.busy_until_ps = burst_end
+        if self.device.is_functional:
+            request.payload = self.device.read_block(request.address)
+        self._emit(
+            burst_start,
+            TransferKind.DATA,
+            Direction.TO_PROCESSOR,
+            self._wire_data(queued),
+            request,
+        )
+        self.stats.record("read_latency_ns", (burst_end - queued.enqueue_time_ps) / 1000.0)
+        return burst_end
+
+    def _issue_write(self, queued: _QueuedRequest, cmd_end_ps: int) -> int:
+        request = queued.request
+        decoded = self.mapping.decode(request.address)
+        bank = self.device.bank_state(decoded)
+        access = self.device.access(decoded, is_write=True)
+        burst_start, burst_end = self._reserve_bus(
+            cmd_end_ps, Direction.TO_MEMORY, queued.bus_extra_ps
+        )
+        self._emit(
+            burst_start,
+            TransferKind.DATA,
+            Direction.TO_MEMORY,
+            self._wire_data(queued),
+            request,
+        )
+        prep_start = max(burst_end, bank.busy_until_ps)
+        row_ready = prep_start + access.preparation_ps
+        bank.busy_until_ps = row_ready
+        if self.device.is_functional and request.payload is not None:
+            self.device.write_block(request.address, request.payload)
+        return max(burst_end, row_ready)
+
+
+class MemorySystem:
+    """Multi-channel memory front end: routes requests to channels."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        mapping: AddressMapping,
+        stats: StatRegistry,
+        timing: PcmTiming | None = None,
+        energy: PcmEnergy | None = None,
+        bus: MemoryBus | None = None,
+        functional: bool = False,
+        wear_leveling: bool = False,
+        gap_write_interval: int = 16,
+    ):
+        self.engine = engine
+        self.mapping = mapping
+        self.timing = timing or PcmTiming()
+        self.energy = energy or PcmEnergy()
+        self.bus = bus
+        self.devices = [
+            PcmDevice(
+                mapping,
+                channel,
+                self.timing,
+                self.energy,
+                stats.group(f"pcm{channel}"),
+                functional=functional,
+                wear_leveling=wear_leveling,
+                gap_write_interval=gap_write_interval,
+            )
+            for channel in range(mapping.channels)
+        ]
+        self.channels = [
+            ChannelController(
+                engine, mapping, channel, self.devices[channel], self.timing, stats, bus
+            )
+            for channel in range(mapping.channels)
+        ]
+
+    def enqueue(
+        self,
+        request: MemoryRequest,
+        callback: CompletionCallback | None = None,
+        wire_command: bytes | None = None,
+        wire_data: bytes | None = None,
+        command_slots: int = 1,
+        bus_extra_ps: int = 0,
+    ) -> None:
+        """Route a request to its channel's controller."""
+        channel = self.mapping.channel_of(request.address)
+        self.channels[channel].enqueue(
+            request, callback, wire_command, wire_data, command_slots, bus_extra_ps
+        )
+
+    # Port-compatibility alias: protection layers call ``issue``.
+    def issue(
+        self,
+        request: MemoryRequest,
+        callback: CompletionCallback | None = None,
+    ) -> None:
+        """Port-protocol alias of :meth:`enqueue`."""
+        self.enqueue(request, callback)
+
+    def channel_for(self, address: int) -> ChannelController:
+        """Controller serving the channel this address maps to."""
+        return self.channels[self.mapping.channel_of(address)]
+
+    @property
+    def total_cell_writes(self) -> int:
+        return sum(device.total_cell_writes for device in self.devices)
+
+    def flush(self) -> int:
+        """Flush dirty rows on every device (end-of-run wear accounting)."""
+        flushed = 0
+        for device in self.devices:
+            flushed += device.flush_dirty_rows()
+            device.stats.set("max_row_writes", device.max_row_writes)
+        return flushed

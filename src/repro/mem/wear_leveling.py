@@ -1,0 +1,111 @@
+"""Start-Gap wear leveling (Qureshi et al., MICRO 2009).
+
+§2.2 motivates ObfusMem with the trend toward smart NVM modules whose
+logic layers already host wear-leveling, scheduling and remapping logic —
+Figure 1's PCM DIMM controller.  This module implements the canonical
+Start-Gap scheme at row granularity so the PCM device can spread writes:
+
+* the region has N logical rows over N+1 physical rows, one of which is the
+  *gap*;
+* every ``gap_write_interval`` row writes, the gap moves down by one
+  position (copying its neighbour, which costs one extra row write);
+* once the gap has traversed the whole region, ``start`` advances, and over
+  time every logical row visits every physical row.
+
+The algebraic mapping means no translation table is needed — exactly why
+the scheme fits in a DIMM's logic layer.  Interaction with ObfusMem is a
+non-event by design: dummy requests are dropped before the array, so they
+never advance the gap (the wear-leveling test suite pins this down).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sim.statistics import StatGroup
+
+
+class StartGapWearLeveler:
+    """Start-Gap remapping over ``num_rows`` logical rows."""
+
+    def __init__(
+        self,
+        num_rows: int,
+        stats: StatGroup,
+        gap_write_interval: int = 16,
+    ):
+        if num_rows < 2:
+            raise ConfigurationError("wear leveling needs at least two rows")
+        if gap_write_interval < 1:
+            raise ConfigurationError("gap write interval must be >= 1")
+        self.num_rows = num_rows
+        self.num_physical_rows = num_rows + 1
+        self.gap_write_interval = gap_write_interval
+        self.stats = stats
+        # Gap starts below the region (position N); start at 0.
+        self._start = 0
+        self._gap = num_rows
+        self._writes_since_move = 0
+
+    @property
+    def start(self) -> int:
+        return self._start
+
+    @property
+    def gap(self) -> int:
+        return self._gap
+
+    def physical_row(self, logical_row: int) -> int:
+        """Translate a logical row to its current physical row.
+
+        Qureshi et al.'s algebra: rotate by ``start`` modulo N, then skip
+        the gap — the result ranges over the N+1 physical rows minus the
+        gap, and is injective for every (start, gap) state.
+        """
+        if not 0 <= logical_row < self.num_rows:
+            raise ConfigurationError(
+                f"logical row {logical_row} out of range [0, {self.num_rows})"
+            )
+        physical = (logical_row + self._start) % self.num_rows
+        if physical >= self._gap:
+            physical += 1
+        return physical
+
+    def note_row_write(self) -> int:
+        """Record one row write; returns extra row writes caused by gap
+        movement (0 or 1)."""
+        self._writes_since_move += 1
+        if self._writes_since_move < self.gap_write_interval:
+            return 0
+        self._writes_since_move = 0
+        self._move_gap()
+        return 1
+
+    def _move_gap(self) -> None:
+        """Move the gap one position (copying the displaced row)."""
+        self.stats.add("gap_moves")
+        if self._gap == 0:
+            # Gap wrapped: one full rotation completed; advance start.
+            self._gap = self.num_rows
+            self._start = (self._start + 1) % self.num_rows
+            self.stats.add("rotations")
+        else:
+            self._gap -= 1
+
+    @property
+    def write_overhead(self) -> float:
+        """Fraction of extra writes the leveler itself causes (1/interval)."""
+        return 1.0 / self.gap_write_interval
+
+
+def wear_metrics(row_write_counts: dict, num_rows: int) -> tuple[int, float]:
+    """(max writes to any row, normalized imbalance).
+
+    Imbalance is max/mean; 1.0 means perfectly even wear.  Used by the
+    wear-leveling tests and the lifetime example.
+    """
+    if not row_write_counts:
+        return 0, 1.0
+    total = sum(row_write_counts.values())
+    maximum = max(row_write_counts.values())
+    mean = total / num_rows
+    return maximum, (maximum / mean if mean else 1.0)

@@ -1,0 +1,23 @@
+"""ORAM baselines: Path ORAM and Ring ORAM (functional), plus the paper's
+fixed-latency ORAM timing model."""
+
+from repro.oram.path_oram import Bucket, OramBlock, PathOram, PositionMap
+from repro.oram.ring_oram import RingOram
+from repro.oram.timing import (
+    DEFAULT_ACCESS_LATENCY_NS,
+    DEFAULT_BUCKET_SIZE,
+    DEFAULT_LEVELS,
+    OramMemoryModel,
+)
+
+__all__ = [
+    "Bucket",
+    "OramBlock",
+    "PathOram",
+    "PositionMap",
+    "RingOram",
+    "DEFAULT_ACCESS_LATENCY_NS",
+    "DEFAULT_BUCKET_SIZE",
+    "DEFAULT_LEVELS",
+    "OramMemoryModel",
+]

@@ -1,0 +1,21 @@
+"""Secure-processor substrate: counter-mode memory encryption + integrity."""
+
+from repro.secure.counters import (
+    BLOCKS_PER_PAGE,
+    MINOR_COUNTER_LIMIT,
+    PAGE_SIZE_BYTES,
+    CounterStore,
+    PageCounters,
+    pack_iv,
+)
+from repro.secure.memory_encryption import SecureMemoryController
+
+__all__ = [
+    "BLOCKS_PER_PAGE",
+    "MINOR_COUNTER_LIMIT",
+    "PAGE_SIZE_BYTES",
+    "CounterStore",
+    "PageCounters",
+    "pack_iv",
+    "SecureMemoryController",
+]

@@ -1,0 +1,43 @@
+"""Functional counter-mode encryption of data at rest (no timing).
+
+A small, synchronous engine used by the functional full-stack path: it
+implements exactly the IV construction of §2.4 (page id | page offset |
+major | minor) over the shared :class:`CounterStore`, without the counter
+cache / traffic modelling of
+:class:`repro.secure.memory_encryption.SecureMemoryController`.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128
+from repro.crypto.ctr import ctr_keystream, xor_bytes
+from repro.errors import CryptoError
+from repro.mem.request import BLOCK_SIZE_BYTES
+from repro.secure.counters import BLOCKS_PER_PAGE, PAGE_SIZE_BYTES, CounterStore, pack_iv
+
+
+class AtRestEncryption:
+    """Counter-mode block encryption keyed by the processor's memory key."""
+
+    def __init__(self, memory_key: bytes):
+        self._cipher = AES128(memory_key)
+        self.counters = CounterStore()
+
+    def _pad(self, address: int) -> bytes:
+        iv = pack_iv(*self.counters.iv_components(address))
+        return ctr_keystream(self._cipher, iv, BLOCK_SIZE_BYTES)
+
+    def encrypt_for_write(self, address: int, plaintext: bytes) -> bytes:
+        """Bump the block's minor counter and encrypt under the fresh IV."""
+        if len(plaintext) != BLOCK_SIZE_BYTES:
+            raise CryptoError(f"block must be {BLOCK_SIZE_BYTES} bytes")
+        page_id = address // PAGE_SIZE_BYTES
+        offset = (address % PAGE_SIZE_BYTES) // BLOCKS_PER_PAGE
+        self.counters.page(page_id).bump_minor(offset)
+        return xor_bytes(plaintext, self._pad(address))
+
+    def decrypt_after_read(self, address: int, ciphertext: bytes) -> bytes:
+        """Decrypt with the block's current counters."""
+        if len(ciphertext) != BLOCK_SIZE_BYTES:
+            raise CryptoError(f"block must be {BLOCK_SIZE_BYTES} bytes")
+        return xor_bytes(ciphertext, self._pad(address))

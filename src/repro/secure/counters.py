@@ -1,0 +1,93 @@
+"""Counter state for counter-mode memory encryption (paper §2.4, Fig. 2).
+
+State-of-the-art memory encryption (Yan et al., ISCA 2006) builds the IV of
+each block from: a unique page id, the page offset of the block, a per-block
+*minor* counter bumped on every write to that block, and a per-page *major*
+counter bumped when any minor counter overflows (forcing a page
+re-encryption).  One 64-byte counter block holds a page's major counter and
+all 64 minor counters, which is what the counter cache caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+PAGE_SIZE_BYTES = 4096
+BLOCKS_PER_PAGE = 64
+MINOR_COUNTER_BITS = 7
+MINOR_COUNTER_LIMIT = (1 << MINOR_COUNTER_BITS) - 1
+
+
+@dataclass
+class PageCounters:
+    """Major counter plus the 64 per-block minor counters of one page."""
+
+    major: int = 0
+    minors: list[int] = field(default_factory=lambda: [0] * BLOCKS_PER_PAGE)
+
+    def bump_minor(self, block_offset: int) -> bool:
+        """Increment a block's minor counter before a write.
+
+        Returns True when the minor counter overflowed: the major counter is
+        bumped, all minors reset, and the caller must re-encrypt the whole
+        page under the new major counter.
+        """
+        if not 0 <= block_offset < BLOCKS_PER_PAGE:
+            raise ConfigurationError(f"block offset {block_offset} out of page")
+        if self.minors[block_offset] >= MINOR_COUNTER_LIMIT:
+            self.major += 1
+            self.minors = [0] * BLOCKS_PER_PAGE
+            self.minors[block_offset] = 1
+            return True
+        self.minors[block_offset] += 1
+        return False
+
+
+class CounterStore:
+    """All page counters of one protected memory (the in-memory copy).
+
+    In hardware these live in a reserved memory region and are fetched
+    through the counter cache; functionally we keep them here and let the
+    timing layer issue the corresponding fetch traffic.
+    """
+
+    def __init__(self):
+        self._pages: dict[int, PageCounters] = {}
+
+    def page(self, page_id: int) -> PageCounters:
+        """Counter block of a page (created zeroed on first touch)."""
+        if page_id not in self._pages:
+            self._pages[page_id] = PageCounters()
+        return self._pages[page_id]
+
+    def iv_components(self, address: int) -> tuple[int, int, int, int]:
+        """(page_id, page_offset, major, minor) for a block address."""
+        page_id = address // PAGE_SIZE_BYTES
+        block_offset = (address % PAGE_SIZE_BYTES) // BLOCKS_PER_PAGE
+        counters = self.page(page_id)
+        return page_id, block_offset, counters.major, counters.minors[block_offset]
+
+    def pages_touched(self) -> int:
+        """Number of pages with materialized counters."""
+        return len(self._pages)
+
+
+def pack_iv(page_id: int, block_offset: int, major: int, minor: int) -> bytes:
+    """Pack IV components into the 16-byte AES input.
+
+    Layout: page id (6 bytes) | offset (1) | major (6) | minor (1) | pad (2).
+    Uniqueness argument: the (page, offset) pair names the block; (major,
+    minor) never repeats for a block because every write bumps the pair
+    lexicographically.
+    """
+    if page_id >= 1 << 48 or major >= 1 << 48:
+        raise ConfigurationError("IV field overflow")
+    return (
+        page_id.to_bytes(6, "big")
+        + block_offset.to_bytes(1, "big")
+        + major.to_bytes(6, "big")
+        + minor.to_bytes(1, "big")
+        + b"\x00\x00"
+    )

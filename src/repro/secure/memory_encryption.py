@@ -1,0 +1,312 @@
+"""Secure memory controller: counter-mode encryption of data at rest.
+
+Sits between the LLC and the (possibly ObfusMem-protected) memory system.
+Per Table 2, it owns a 256KB, 8-way, 5-cycle *counter cache*; each 64-byte
+line holds one page's (major, minors) counter block.
+
+Timing behaviour per the paper:
+
+* Counter-cache **hit** on a read: pad generation (24-cycle AES) overlaps
+  with the LLC-miss latency; only the XOR is exposed.
+* Counter-cache **miss**: an extra memory read fetches the counter block,
+  pad generation starts when it returns — both the extra traffic and the
+  late pad are modelled.
+* Writes bump the minor counter (dirtying the counter line; dirty counter
+  evictions write back to memory), and a minor-counter overflow triggers a
+  whole-page re-encryption (64 reads + 64 writes of traffic).
+
+Integrity: counters are covered by a Merkle tree whose root stays on-chip
+(Rogers et al.).  The tree here is functional — it detects tampering in the
+security tests — while its timing cost is folded into the counter-fetch
+traffic (a standard Bonsai-Merkle-style assumption, noted in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.crypto.aes import AES128
+from repro.crypto.ctr import ctr_keystream, xor_bytes
+from repro.crypto.merkle import MerkleTree
+from repro.errors import ConfigurationError
+from repro.mem.cache import MesiState, SetAssociativeCache
+from repro.mem.dram_timing import EngineTiming
+from repro.mem.request import BLOCK_SIZE_BYTES, MemoryRequest, RequestType
+from repro.secure.counters import (
+    BLOCKS_PER_PAGE,
+    PAGE_SIZE_BYTES,
+    CounterStore,
+    pack_iv,
+)
+from repro.sim.engine import Engine
+from repro.sim.statistics import StatRegistry
+
+CompletionCallback = Callable[[MemoryRequest], None]
+
+
+@dataclass
+class _PendingRead:
+    request: MemoryRequest
+    callback: CompletionCallback | None
+    data_done_ps: int | None = None
+    pad_ready_ps: int | None = None
+
+
+class SecureMemoryController:
+    """Counter-mode memory encryption with counter-cache timing."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        downstream,
+        capacity_bytes: int,
+        stats: StatRegistry,
+        engines: EngineTiming | None = None,
+        counter_cache_bytes: int = 256 << 10,
+        counter_cache_assoc: int = 8,
+        functional_key: bytes | None = None,
+        merkle_arity: int = 8,
+        with_merkle: bool = False,
+        sequential_prefetch: bool = True,
+    ):
+        self.engine = engine
+        self.downstream = downstream
+        self.engines = engines or EngineTiming()
+        self.stats = stats.group("memenc")
+        self.counters = CounterStore()
+        self.counter_cache = SetAssociativeCache(
+            "counter_cache",
+            counter_cache_bytes,
+            counter_cache_assoc,
+            latency_cycles=5,
+            stats=stats.group("counter_cache"),
+        )
+        self._num_pages = capacity_bytes // PAGE_SIZE_BYTES
+        # Counters live in a reserved region at the top of physical memory:
+        # one 64B counter block per page.
+        counter_region_bytes = self._num_pages * BLOCK_SIZE_BYTES
+        self._counter_base = capacity_bytes - counter_region_bytes
+        if self._counter_base <= 0:
+            raise ConfigurationError("memory too small for its counter region")
+        self._sequential_prefetch = sequential_prefetch
+        self._prefetched_counter_blocks: set[int] = set()
+        self._capacity_bytes = capacity_bytes
+        # AES pad latency minus the un-modelled on-chip overlap window.
+        self._aes_exposed_ps = max(
+            0, self.engines.aes_latency_ps - self.engines.pad_overlap_ps
+        )
+        self._cipher = AES128(functional_key) if functional_key is not None else None
+        # The Merkle tree is functional (tamper detection in the security
+        # tests); the timing path skips building it — its latency cost is
+        # folded into counter-fetch traffic (see module docstring) — because
+        # materializing a tree over millions of pages has no timing effect.
+        self.merkle = (
+            MerkleTree(max(self._num_pages, 1), arity=merkle_arity)
+            if with_merkle
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Functional encryption (used when payloads carry real bytes)
+    # ------------------------------------------------------------------
+
+    @property
+    def is_functional(self) -> bool:
+        return self._cipher is not None
+
+    def _pad_for(self, address: int) -> bytes:
+        if self._cipher is None:
+            raise ConfigurationError("controller built without a functional key")
+        iv = pack_iv(*self.counters.iv_components(address))
+        return ctr_keystream(self._cipher, iv, BLOCK_SIZE_BYTES)
+
+    def encrypt_block(self, address: int, plaintext: bytes) -> bytes:
+        """Counter-mode encrypt a block for writing to memory.
+
+        Bumps the minor counter first (each write uses a fresh IV), updating
+        the Merkle tree over the page's counter block.
+        """
+        page_id = address // PAGE_SIZE_BYTES
+        offset = (address % PAGE_SIZE_BYTES) // BLOCKS_PER_PAGE
+        overflowed = self.counters.page(page_id).bump_minor(offset)
+        if overflowed:
+            self.stats.add("minor_overflows")
+        self._update_merkle(page_id)
+        return xor_bytes(plaintext, self._pad_for(address))
+
+    def decrypt_block(self, address: int, ciphertext: bytes) -> bytes:
+        """Counter-mode decrypt a block read from memory."""
+        self.verify_page_counters(address // PAGE_SIZE_BYTES)
+        return xor_bytes(ciphertext, self._pad_for(address))
+
+    def _page_counter_payload(self, page_id: int) -> bytes:
+        counters = self.counters.page(page_id)
+        return counters.major.to_bytes(8, "big") + bytes(counters.minors)
+
+    def _update_merkle(self, page_id: int) -> None:
+        if self.merkle is not None and page_id < self.merkle.num_blocks:
+            self.merkle.update(page_id, self._page_counter_payload(page_id))
+
+    def verify_page_counters(self, page_id: int) -> None:
+        """Merkle-verify a page's counter block (raises IntegrityError)."""
+        if self.merkle is not None and page_id < self.merkle.num_blocks:
+            self.merkle.verify(page_id, self._page_counter_payload(page_id))
+
+    # ------------------------------------------------------------------
+    # Timing path
+    # ------------------------------------------------------------------
+
+    def counter_block_address(self, data_address: int) -> int:
+        """Memory address of the counter block covering a data address."""
+        page_id = data_address // PAGE_SIZE_BYTES
+        return self._counter_base + page_id * BLOCK_SIZE_BYTES
+
+    def _counter_access(self, address: int, for_write: bool) -> bool:
+        """Probe the counter cache; returns True on hit.
+
+        On a miss the caller is responsible for issuing the counter fetch;
+        this method handles insertion and any dirty counter write-back.
+        """
+        page_block = self.counter_block_address(address) >> 6
+        line = self.counter_cache.lookup(page_block)
+        if line is not None:
+            if for_write:
+                self.counter_cache.set_state(page_block, MesiState.MODIFIED)
+            self.stats.add("counter_hits")
+            if page_block in self._prefetched_counter_blocks:
+                # First use of a prefetched counter block: keep the stream
+                # running by prefetching the next page (standard stream-
+                # prefetcher chaining).
+                self._prefetched_counter_blocks.discard(page_block)
+                self._prefetch_next_page_counters(address)
+            return True
+        self.stats.add("counter_misses")
+        eviction = self.counter_cache.insert(
+            page_block, MesiState.MODIFIED if for_write else MesiState.EXCLUSIVE
+        )
+        if eviction is not None and eviction.dirty:
+            # Write the evicted counter block back to its memory home.
+            self.stats.add("counter_writebacks")
+            self.downstream.issue(
+                MemoryRequest(eviction.block << 6, RequestType.WRITE), None
+            )
+        return False
+
+    def issue(self, request: MemoryRequest, callback: CompletionCallback | None) -> None:
+        """Protect and forward one LLC-level request."""
+        if request.is_dummy:
+            self.downstream.issue(request, callback)
+            return
+        if request.is_read:
+            self._issue_read(request, callback)
+        else:
+            self._issue_write(request, callback)
+
+    def _issue_read(self, request: MemoryRequest, callback: CompletionCallback | None) -> None:
+        pending = _PendingRead(request, callback)
+        hit = self._counter_access(request.address, for_write=False)
+        now = self.engine.now_ps
+
+        def data_done(req: MemoryRequest) -> None:
+            pending.data_done_ps = self.engine.now_ps
+            self._maybe_finish_read(pending)
+
+        if hit:
+            # Pad generation starts immediately and overlaps the fetch.
+            pending.pad_ready_ps = now + self._aes_exposed_ps
+            self.downstream.issue(request, data_done)
+        else:
+            counter_fetch = MemoryRequest(
+                self.counter_block_address(request.address), RequestType.READ
+            )
+
+            def counter_done(req: MemoryRequest) -> None:
+                pending.pad_ready_ps = self.engine.now_ps + self._aes_exposed_ps
+                self._maybe_finish_read(pending)
+
+            # Data first: it is the critical word; the counter fetch rides
+            # in the next bus slot (the pad cannot be built before the
+            # counter returns either way).
+            self.downstream.issue(request, data_done)
+            self.downstream.issue(counter_fetch, counter_done)
+            self._prefetch_next_page_counters(request.address)
+
+    def _prefetch_next_page_counters(self, address: int) -> None:
+        """Sequential counter prefetch: hide the page-crossing miss.
+
+        Counter caches in real secure-memory controllers prefetch the next
+        page's counter block on a miss, which turns streaming workloads'
+        compulsory counter misses into hits.  The prefetch is issued off the
+        critical path (no completion dependency).
+        """
+        if not self._sequential_prefetch:
+            return
+        # Stream detection: only prefetch if the previous page's counters
+        # are resident, i.e. the access pattern looks sequential.  This
+        # avoids wasting bandwidth on pointer-chasing misses.
+        previous_page_address = address - PAGE_SIZE_BYTES
+        if previous_page_address >= 0:
+            previous_block = self.counter_block_address(previous_page_address) >> 6
+            if not self.counter_cache.contains(previous_block):
+                return
+        next_page_address = address + PAGE_SIZE_BYTES
+        if next_page_address >= self._counter_base:
+            return
+        page_block = self.counter_block_address(next_page_address) >> 6
+        if self.counter_cache.contains(page_block):
+            return
+        self.stats.add("counter_prefetches")
+        self._prefetched_counter_blocks.add(page_block)
+        eviction = self.counter_cache.insert(page_block, MesiState.EXCLUSIVE)
+        if eviction is not None and eviction.dirty:
+            self.stats.add("counter_writebacks")
+            self.downstream.issue(
+                MemoryRequest(eviction.block << 6, RequestType.WRITE), None
+            )
+        self.downstream.issue(
+            MemoryRequest(
+                self.counter_block_address(next_page_address), RequestType.READ
+            ),
+            None,
+        )
+
+    def _maybe_finish_read(self, pending: _PendingRead) -> None:
+        if pending.data_done_ps is None or pending.pad_ready_ps is None:
+            return
+        finish_ps = max(pending.data_done_ps, pending.pad_ready_ps) + self.engines.xor_ps
+        exposed = finish_ps - pending.data_done_ps
+        self.stats.record("decrypt_exposed_ns", exposed / 1000.0)
+
+        def deliver() -> None:
+            pending.request.complete_time_ps = self.engine.now_ps
+            if pending.callback is not None:
+                pending.callback(pending.request)
+
+        self.engine.schedule_at(finish_ps, deliver)
+
+    def _issue_write(self, request: MemoryRequest, callback: CompletionCallback | None) -> None:
+        hit = self._counter_access(request.address, for_write=True)
+        if not hit:
+            # Fetch the counter block before the write's pad can be built.
+            self.downstream.issue(
+                MemoryRequest(
+                    self.counter_block_address(request.address), RequestType.READ
+                ),
+                None,
+            )
+        page_id = request.address // PAGE_SIZE_BYTES
+        offset = (request.address % PAGE_SIZE_BYTES) // BLOCKS_PER_PAGE
+        if self.counters.page(page_id).bump_minor(offset):
+            self._reencrypt_page_traffic(page_id)
+        self.stats.add("pads_generated", 4)  # four 16B pads per 64B block
+        self.downstream.issue(request, callback)
+
+    def _reencrypt_page_traffic(self, page_id: int) -> None:
+        """Minor overflow: re-encrypt the page (64 block reads + writes)."""
+        self.stats.add("minor_overflows")
+        page_base = page_id * PAGE_SIZE_BYTES
+        for block in range(BLOCKS_PER_PAGE):
+            address = page_base + block * BLOCK_SIZE_BYTES
+            self.downstream.issue(MemoryRequest(address, RequestType.READ), None)
+            self.downstream.issue(MemoryRequest(address, RequestType.WRITE), None)

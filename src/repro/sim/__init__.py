@@ -1,0 +1,17 @@
+"""Discrete-event simulation kernel: engine, clock domains and statistics."""
+
+from repro.sim.clock import Clock
+from repro.sim.engine import Engine, EventHandle, PS_PER_NS, ns_to_ps, ps_to_ns
+from repro.sim.statistics import Histogram, StatGroup, StatRegistry
+
+__all__ = [
+    "Clock",
+    "Engine",
+    "EventHandle",
+    "PS_PER_NS",
+    "ns_to_ps",
+    "ps_to_ns",
+    "Histogram",
+    "StatGroup",
+    "StatRegistry",
+]

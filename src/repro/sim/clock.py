@@ -1,0 +1,45 @@
+"""Clock domains: convert between cycles and simulation picoseconds.
+
+The simulated machine has several clock domains (2 GHz cores, 800 MHz DDR
+bus, 250 MHz AES engine cycle time of 4 ns); each is represented by a
+:class:`Clock` that converts cycle counts to engine time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import PS_PER_NS
+
+
+class Clock:
+    """A fixed-frequency clock domain.
+
+    >>> cpu = Clock.from_frequency_ghz(2.0)
+    >>> cpu.cycles_to_ps(2)
+    1000
+    """
+
+    def __init__(self, period_ps: int):
+        if period_ps <= 0:
+            raise ConfigurationError("clock period must be positive")
+        self.period_ps = period_ps
+
+    @classmethod
+    def from_frequency_ghz(cls, ghz: float) -> "Clock":
+        return cls(round(PS_PER_NS / ghz))
+
+    @classmethod
+    def from_period_ns(cls, nanoseconds: float) -> "Clock":
+        return cls(round(nanoseconds * PS_PER_NS))
+
+    @property
+    def frequency_ghz(self) -> float:
+        return PS_PER_NS / self.period_ps
+
+    def cycles_to_ps(self, cycles: float) -> int:
+        """Duration of ``cycles`` clock cycles in picoseconds."""
+        return round(cycles * self.period_ps)
+
+    def ps_to_cycles(self, picoseconds: int) -> float:
+        """How many cycles of this clock fit in ``picoseconds``."""
+        return picoseconds / self.period_ps

@@ -1,0 +1,153 @@
+"""Discrete-event simulation engine.
+
+A deliberately small, deterministic event kernel in the style of gem5's
+event queue: events are (time, priority, sequence, callback) tuples ordered
+by time, then priority, then insertion order.  The sequence number makes
+simultaneous events deterministic, which every experiment in this repository
+relies on for reproducibility.
+
+Time is kept in **picoseconds** as integers.  All the DDR/PCM timing
+parameters in the paper are exact multiples of 0.25 ns, so integer
+picoseconds keep arithmetic exact; helpers on :class:`Clock` convert to and
+from nanoseconds and CPU cycles.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+PS_PER_NS = 1000
+
+
+def ns_to_ps(nanoseconds: float) -> int:
+    """Convert nanoseconds to integer picoseconds (rounding to nearest)."""
+    return round(nanoseconds * PS_PER_NS)
+
+
+def ps_to_ns(picoseconds: int) -> float:
+    """Convert picoseconds back to float nanoseconds."""
+    return picoseconds / PS_PER_NS
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time_ps: int
+    priority: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`Engine.schedule`, for cancellation."""
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (safe after it has fired: no-op)."""
+        self._event.cancelled = True
+
+    @property
+    def time_ps(self) -> int:
+        return self._event.time_ps
+
+    @property
+    def pending(self) -> bool:
+        return not self._event.cancelled
+
+
+class Engine:
+    """Deterministic discrete-event simulation kernel."""
+
+    def __init__(self):
+        self._queue: list[_ScheduledEvent] = []
+        self._now_ps = 0
+        self._sequence = 0
+        self._running = False
+        self.events_executed = 0
+
+    @property
+    def now_ps(self) -> int:
+        """Current simulation time in picoseconds."""
+        return self._now_ps
+
+    @property
+    def now_ns(self) -> float:
+        """Current simulation time in nanoseconds."""
+        return ps_to_ns(self._now_ps)
+
+    def schedule(
+        self, delay_ps: int, callback: Callable[[], None], priority: int = 0
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay_ps`` picoseconds from now.
+
+        Lower ``priority`` values run first among simultaneous events.
+        """
+        if delay_ps < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay_ps})")
+        event = _ScheduledEvent(
+            time_ps=self._now_ps + delay_ps,
+            priority=priority,
+            sequence=self._sequence,
+            callback=callback,
+        )
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(
+        self, time_ps: int, callback: Callable[[], None], priority: int = 0
+    ) -> EventHandle:
+        """Schedule at an absolute time, which must not be in the past."""
+        if time_ps < self._now_ps:
+            raise SimulationError(
+                f"cannot schedule at {time_ps} ps; now is {self._now_ps} ps"
+            )
+        return self.schedule(time_ps - self._now_ps, callback, priority)
+
+    def run(self, until_ps: int | None = None, max_events: int | None = None) -> None:
+        """Execute events in order until the queue empties or limits hit.
+
+        Parameters
+        ----------
+        until_ps:
+            Stop once the next event would be strictly after this time.
+        max_events:
+            Safety valve for tests; raises if exceeded.
+        """
+        if self._running:
+            raise SimulationError("engine is not re-entrant")
+        self._running = True
+        executed_this_run = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until_ps is not None and event.time_ps > until_ps:
+                    break
+                heapq.heappop(self._queue)
+                if event.time_ps < self._now_ps:
+                    raise SimulationError("event queue corrupted: time reversal")
+                self._now_ps = event.time_ps
+                event.callback()
+                self.events_executed += 1
+                executed_this_run += 1
+                if max_events is not None and executed_this_run >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a livelock"
+                    )
+            if until_ps is not None and until_ps > self._now_ps:
+                self._now_ps = until_ps
+        finally:
+            self._running = False
+
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)

@@ -1,0 +1,108 @@
+"""Statistics registry: counters, histograms and derived metrics.
+
+Every simulated component owns a :class:`StatGroup`; the system simulator
+collects them into one report.  The design mirrors gem5's stats: named
+scalar counters plus simple distributions, all dumpable to a flat dict so
+experiments can diff runs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Histogram:
+    """A bucketed distribution of integer samples."""
+
+    samples: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+    buckets: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    bucket_width: float = 1.0
+
+    def record(self, value: float) -> None:
+        """Add one sample to the distribution."""
+        self.samples += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        self.buckets[int(value // self.bucket_width)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.samples if self.samples else 0.0
+
+
+class StatGroup:
+    """A named set of counters and histograms owned by one component."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise ConfigurationError("stat group needs a non-empty name")
+        self.name = name
+        self._counters: dict[str, float] = defaultdict(float)
+        self._histograms: dict[str, Histogram] = {}
+
+    def add(self, counter: str, amount: float = 1.0) -> None:
+        """Increment a named counter (created on first use)."""
+        self._counters[counter] += amount
+
+    def set(self, counter: str, value: float) -> None:
+        """Set a counter to an absolute value."""
+        self._counters[counter] = value
+
+    def get(self, counter: str) -> float:
+        """Read a counter; missing counters read as zero."""
+        return self._counters.get(counter, 0.0)
+
+    def record(self, histogram: str, value: float, bucket_width: float = 1.0) -> None:
+        """Record a sample into a named histogram."""
+        if histogram not in self._histograms:
+            self._histograms[histogram] = Histogram(bucket_width=bucket_width)
+        self._histograms[histogram].record(value)
+
+    def histogram(self, name: str) -> Histogram | None:
+        """Named histogram, or None if never recorded."""
+        return self._histograms.get(name)
+
+    def as_dict(self) -> dict[str, float]:
+        """Flatten counters (and histogram means) into ``name.key`` pairs."""
+        flat = {f"{self.name}.{key}": value for key, value in self._counters.items()}
+        for key, histogram in self._histograms.items():
+            flat[f"{self.name}.{key}.mean"] = histogram.mean
+            flat[f"{self.name}.{key}.samples"] = histogram.samples
+        return flat
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Safe ratio of two counters (0 when the denominator is 0)."""
+        denom = self.get(denominator)
+        return self.get(numerator) / denom if denom else 0.0
+
+
+class StatRegistry:
+    """All stat groups of a simulated system."""
+
+    def __init__(self):
+        self._groups: dict[str, StatGroup] = {}
+
+    def group(self, name: str) -> StatGroup:
+        """Get or create the group with this name."""
+        if name not in self._groups:
+            self._groups[name] = StatGroup(name)
+        return self._groups[name]
+
+    def as_dict(self) -> dict[str, float]:
+        """Flattened counters of every group, merged into one dict."""
+        flat: dict[str, float] = {}
+        for group in self._groups.values():
+            flat.update(group.as_dict())
+        return flat
+
+    def groups(self) -> list[StatGroup]:
+        """All stat groups registered so far."""
+        return list(self._groups.values())

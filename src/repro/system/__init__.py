@@ -1,0 +1,27 @@
+"""System composition: machine config, builder and end-to-end simulator."""
+
+from repro.system.builder import BuiltSystem, build_system
+from repro.system.config import MachineConfig, ProtectionLevel
+from repro.system.simulator import (
+    DEFAULT_NUM_REQUESTS,
+    RunResult,
+    compare_levels,
+    run_benchmark,
+    run_mix,
+    run_trace,
+    run_traces,
+)
+
+__all__ = [
+    "BuiltSystem",
+    "build_system",
+    "MachineConfig",
+    "ProtectionLevel",
+    "DEFAULT_NUM_REQUESTS",
+    "RunResult",
+    "compare_levels",
+    "run_benchmark",
+    "run_mix",
+    "run_trace",
+    "run_traces",
+]

@@ -1,0 +1,190 @@
+"""End-to-end simulation runner: trace + protection level -> measurements.
+
+This is the primary entry point of the library: build a system at a
+protection level, replay a benchmark trace through it, and report the
+execution-time and traffic statistics the paper's tables and figures are
+made of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.core import TraceDrivenCore
+from repro.cpu.generator import make_trace
+from repro.cpu.spec_profiles import BenchmarkProfile
+from repro.cpu.trace import Trace
+from repro.crypto.rng import DeterministicRng
+from repro.errors import SimulationError
+from repro.mem.bus import MemoryBus
+from repro.sim.engine import Engine
+from repro.sim.statistics import StatRegistry
+from repro.system.builder import BuiltSystem, build_system
+from repro.system.config import MachineConfig, ProtectionLevel
+
+DEFAULT_NUM_REQUESTS = 6000
+_MAX_EVENTS_PER_REQUEST = 2000  # generous livelock guard
+
+
+@dataclass
+class RunResult:
+    """Measurements from one (trace, system) simulation."""
+
+    benchmark: str
+    level: ProtectionLevel
+    channels: int
+    execution_time_ns: float
+    num_requests: int
+    instructions: float
+    stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def average_gap_ns(self) -> float:
+        return self.execution_time_ns / self.num_requests
+
+    def ipc(self, clock_ghz: float = 2.0) -> float:
+        """Instructions per cycle implied by the run's execution time."""
+        cycles = self.execution_time_ns * clock_ghz
+        return self.instructions / cycles if cycles else 0.0
+
+    def overhead_pct(self, baseline: "RunResult") -> float:
+        """Execution-time overhead relative to a baseline run (percent)."""
+        if baseline.execution_time_ns <= 0:
+            raise SimulationError("baseline has non-positive execution time")
+        return 100.0 * (self.execution_time_ns / baseline.execution_time_ns - 1.0)
+
+
+def run_traces(
+    traces: list[Trace],
+    level: ProtectionLevel,
+    machine: MachineConfig | None = None,
+    window: int | list[int] = 4,
+    seed: int = 2017,
+    bus: MemoryBus | None = None,
+) -> RunResult:
+    """Simulate one trace per core on one shared system.
+
+    Execution time is the slowest core's finish time (the paper's 4-core
+    CMP runs one benchmark instance per core).  ``window`` may be a list
+    giving each core its own outstanding-miss budget (heterogeneous mixes).
+    """
+    if not traces:
+        raise SimulationError("need at least one trace")
+    windows = window if isinstance(window, list) else [window] * len(traces)
+    if len(windows) != len(traces):
+        raise SimulationError(
+            f"{len(windows)} windows for {len(traces)} traces"
+        )
+    machine = machine or MachineConfig()
+    engine = Engine()
+    stats = StatRegistry()
+    rng = DeterministicRng(seed).fork(f"run-{traces[0].name}-{level.value}")
+    system = build_system(level, machine, engine, stats, rng, bus=bus)
+    cores = [
+        TraceDrivenCore(
+            engine, trace, system.port, window=core_window, stats=stats, core_id=i
+        )
+        for i, (trace, core_window) in enumerate(zip(traces, windows))
+    ]
+    total_requests = sum(len(trace) for trace in traces)
+    for core in cores:
+        core.start()
+    engine.run(max_events=_MAX_EVENTS_PER_REQUEST * total_requests)
+    for core in cores:
+        if not core.done:
+            raise SimulationError(
+                f"{core.trace.name}/{level.value}: core {core.core_id} did not "
+                f"finish ({core._index}/{len(core.trace)} issued)"
+            )
+    system.flush()
+    engine.run(max_events=_MAX_EVENTS_PER_REQUEST * total_requests)
+    return RunResult(
+        benchmark=traces[0].name,
+        level=level,
+        channels=machine.channels,
+        execution_time_ns=max(core.execution_time_ns for core in cores),
+        num_requests=total_requests,
+        instructions=sum(trace.total_instructions for trace in traces),
+        stats=stats.as_dict(),
+    )
+
+
+def run_trace(
+    trace: Trace,
+    level: ProtectionLevel,
+    machine: MachineConfig | None = None,
+    window: int = 4,
+    seed: int = 2017,
+    bus: MemoryBus | None = None,
+) -> RunResult:
+    """Simulate one trace on one system; returns the measurements."""
+    return run_traces([trace], level, machine=machine, window=window, seed=seed, bus=bus)
+
+
+def run_benchmark(
+    profile: BenchmarkProfile,
+    level: ProtectionLevel,
+    machine: MachineConfig | None = None,
+    num_requests: int = DEFAULT_NUM_REQUESTS,
+    seed: int = 2017,
+    bus: MemoryBus | None = None,
+    cores: int = 1,
+) -> RunResult:
+    """Generate the benchmark's trace(s) and simulate at one level.
+
+    With ``cores > 1``, one independently seeded instance of the benchmark
+    runs per core (rate-style homogeneous multiprogramming, as in the
+    paper's 4-core configuration); ``num_requests`` is per core.
+    """
+    traces = [make_trace(profile, num_requests, seed=seed + 1000 * i) for i in range(cores)]
+    return run_traces(
+        traces,
+        level,
+        machine=machine,
+        window=profile.window,
+        seed=seed,
+        bus=bus,
+    )
+
+
+def run_mix(
+    profiles: list[BenchmarkProfile],
+    level: ProtectionLevel,
+    machine: MachineConfig | None = None,
+    num_requests: int = DEFAULT_NUM_REQUESTS,
+    seed: int = 2017,
+    bus: MemoryBus | None = None,
+) -> RunResult:
+    """Multiprogrammed mix: one *different* benchmark per core.
+
+    Each core gets its own calibrated window and an independently seeded
+    trace; they share the memory system (and, under ObfusMem, the
+    obfuscated channels), so the mix exercises inter-workload interference.
+    """
+    traces = [
+        make_trace(profile, num_requests, seed=seed + 1000 * i)
+        for i, profile in enumerate(profiles)
+    ]
+    return run_traces(
+        traces,
+        level,
+        machine=machine,
+        window=[profile.window for profile in profiles],
+        seed=seed,
+        bus=bus,
+    )
+
+
+def compare_levels(
+    profile: BenchmarkProfile,
+    levels: list[ProtectionLevel],
+    machine: MachineConfig | None = None,
+    num_requests: int = DEFAULT_NUM_REQUESTS,
+    seed: int = 2017,
+) -> dict[ProtectionLevel, RunResult]:
+    """Run the *same* trace at several protection levels."""
+    trace = make_trace(profile, num_requests, seed=seed)
+    return {
+        level: run_trace(trace, level, machine=machine, window=profile.window, seed=seed)
+        for level in levels
+    }

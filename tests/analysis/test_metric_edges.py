@@ -1,0 +1,171 @@
+"""Edge cases of the leakage metrics and the bus observer."""
+
+import pytest
+
+from repro.analysis.leakage import (
+    channel_coactivity,
+    channel_entropy,
+    ciphertext_repeat_fraction,
+    footprint_leak,
+    observed_write_share,
+    spatial_locality_score,
+    timing_regularity,
+    type_inference_accuracy,
+    wire_address,
+)
+from repro.mem.bus import BusObserver, BusTransfer, Direction, MemoryBus, TransferKind
+
+
+def command(time_ps=0, channel=0, address=0x1000, is_write=False, dummy=False,
+            wire=None):
+    if wire is None:
+        wire = (b"\x01" if is_write else b"\x00") + address.to_bytes(8, "big") + b"\x00" * 7
+    return BusTransfer(
+        time_ps=time_ps,
+        channel=channel,
+        kind=TransferKind.COMMAND,
+        direction=Direction.TO_MEMORY,
+        wire_bytes=wire,
+        plaintext_address=address,
+        plaintext_is_write=is_write,
+        is_dummy=dummy,
+    )
+
+
+def data(time_ps=0, channel=0, to_memory=True):
+    return BusTransfer(
+        time_ps=time_ps,
+        channel=channel,
+        kind=TransferKind.DATA,
+        direction=Direction.TO_MEMORY if to_memory else Direction.TO_PROCESSOR,
+        wire_bytes=b"\x00" * 64,
+    )
+
+
+class TestEmptyInputs:
+    def test_all_metrics_handle_empty(self):
+        assert ciphertext_repeat_fraction([]) == 0.0
+        assert spatial_locality_score([]) == 0.0
+        assert type_inference_accuracy([]) == 0.0
+        assert observed_write_share([]) == 0.0
+        assert channel_entropy([], 4) == 1.0
+        assert channel_coactivity([], 4) == 0.0
+        assert timing_regularity([]) == 0.0
+        leak = footprint_leak([])
+        assert leak.observed_unique == 0 and leak.relative_error == 0.0
+
+
+class TestSingletons:
+    def test_single_command(self):
+        transfers = [command()]
+        assert ciphertext_repeat_fraction(transfers) == 0.0
+        assert spatial_locality_score(transfers) == 0.0
+        assert timing_regularity(transfers) == 0.0
+
+    def test_attacker_view_excludes_annotations(self):
+        transfer = command(address=0xDEAD00, dummy=True)
+        view = transfer.attacker_view()
+        assert 0xDEAD00 not in view  # only via wire bytes, not annotation
+        assert len(view) == 5
+
+    def test_wire_address_decodes_plain_format(self):
+        assert wire_address(command(address=0xAB40)) == 0xAB40
+
+
+class TestTypeAccuracyStructure:
+    def test_no_dummies_means_full_leak(self):
+        transfers = [
+            command(time_ps=i * 1000, address=i * 64, is_write=i % 2 == 0)
+            for i in range(10)
+        ]
+        assert type_inference_accuracy(transfers) == 1.0
+
+    def test_paired_dummies_halve_accuracy(self):
+        transfers = []
+        for i in range(10):
+            transfers.append(command(time_ps=i * 10_000, address=i * 64))
+            transfers.append(
+                command(time_ps=i * 10_000 + 100, address=0xFFC0, is_write=True, dummy=True)
+            )
+        assert type_inference_accuracy(transfers) == pytest.approx(0.5)
+
+    def test_unpaired_real_request_leaks_despite_dummies_elsewhere(self):
+        transfers = [
+            command(time_ps=0, address=0),
+            command(time_ps=100, address=0xFFC0, is_write=True, dummy=True),
+            # A lone real write far away in time: no opposite-type companion.
+            command(time_ps=10**9, address=64, is_write=True),
+        ]
+        accuracy = type_inference_accuracy(transfers)
+        assert accuracy == pytest.approx((0.5 + 1.0) / 2)
+
+
+class TestChannelMetrics:
+    def test_entropy_single_channel_traffic_on_many_channels(self):
+        transfers = [command(time_ps=i, channel=0) for i in range(8)]
+        assert channel_entropy(transfers, 4) == 0.0
+
+    def test_entropy_uniform(self):
+        transfers = [command(time_ps=i, channel=i % 4) for i in range(8)]
+        assert channel_entropy(transfers, 4) == pytest.approx(1.0)
+
+    def test_coactivity_requires_all_channels(self):
+        transfers = [
+            command(time_ps=0, channel=0),
+            command(time_ps=10, channel=1, dummy=True),
+        ]
+        assert channel_coactivity(transfers, 2) == 1.0
+        assert channel_coactivity(transfers, 4) == 0.0
+
+
+class TestTimingRegularity:
+    def test_perfectly_regular(self):
+        transfers = [command(time_ps=i * 100_000, address=i * 64) for i in range(20)]
+        assert timing_regularity(transfers) == pytest.approx(0.0)
+
+    def test_bursty_traffic_scores_high(self):
+        times = []
+        t = 0
+        for burst in range(5):
+            for i in range(4):
+                times.append(t)
+                t += 30_000  # above the clustering threshold
+            t += 5_000_000
+        transfers = [command(time_ps=tp, address=i * 64) for i, tp in enumerate(times)]
+        assert timing_regularity(transfers) > 1.0
+
+    def test_pair_clustering(self):
+        """Read-then-write pairs 1ns apart count as one slot."""
+        transfers = []
+        for i in range(10):
+            transfers.append(command(time_ps=i * 100_000))
+            transfers.append(command(time_ps=i * 100_000 + 1_000, is_write=True))
+        assert timing_regularity(transfers) == pytest.approx(0.0)
+
+
+class TestBusObserver:
+    def test_fanout_to_all_observers(self):
+        bus = MemoryBus()
+        a, b = BusObserver("a"), BusObserver("b")
+        bus.attach(a)
+        bus.attach(b)
+        bus.emit(command())
+        assert len(a.transfers) == len(b.transfers) == 1
+
+    def test_kind_filters(self):
+        observer = BusObserver()
+        observer.record(command())
+        observer.record(data())
+        assert len(observer.command_transfers()) == 1
+        assert len(observer.data_transfers()) == 1
+        assert observer.channels_seen() == {0}
+
+    def test_clear(self):
+        observer = BusObserver()
+        observer.record(command())
+        observer.clear()
+        assert observer.transfers == []
+
+    def test_write_share(self):
+        transfers = [data(to_memory=True), data(to_memory=True), data(to_memory=False)]
+        assert observed_write_share(transfers) == pytest.approx(2 / 3)

@@ -1,0 +1,192 @@
+"""ObfusMem timing controller: pairing, substitution, channel injection."""
+
+import pytest
+
+from repro.core.config import (
+    AuthMode,
+    ChannelInjection,
+    DummyAddressPolicy,
+    ObfusMemConfig,
+)
+from repro.core.controller import ObfusMemController
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ConfigurationError
+from repro.mem.address_mapping import AddressMapping
+from repro.mem.bus import BusObserver, MemoryBus
+from repro.mem.request import MemoryRequest, RequestType
+from repro.mem.scheduler import MemorySystem
+from repro.sim.engine import Engine
+from repro.sim.statistics import StatRegistry
+
+
+def make_stack(channels=1, config=None, bus=None):
+    engine = Engine()
+    stats = StatRegistry()
+    mapping = AddressMapping(channels=channels)
+    memory = MemorySystem(engine, mapping, stats, bus=bus)
+    controller = ObfusMemController(
+        engine, memory, config or ObfusMemConfig(), stats, DeterministicRng(1)
+    )
+    return engine, stats, controller
+
+
+def issue(engine, controller, request):
+    done = []
+    request.issue_time_ps = engine.now_ps
+    controller.issue(request, lambda r: done.append(r))
+    engine.run()
+    return done
+
+
+class TestPairing:
+    def test_read_gets_dummy_write_escort(self):
+        engine, stats, controller = make_stack()
+        issue(engine, controller, MemoryRequest(0, RequestType.READ))
+        assert stats.group("channel0").get("reads") == 1
+        assert stats.group("channel0").get("dummy_writes") == 1
+
+    def test_write_gets_dummy_read_escort(self):
+        engine, stats, controller = make_stack()
+        issue(engine, controller, MemoryRequest(0, RequestType.WRITE))
+        assert stats.group("channel0").get("writes") == 1
+        assert stats.group("channel0").get("dummy_reads") == 1
+
+    def test_every_access_is_read_then_write_on_the_wire(self):
+        bus = MemoryBus()
+        observer = BusObserver()
+        bus.attach(observer)
+        engine, _, controller = make_stack(bus=bus)
+        issue(engine, controller, MemoryRequest(0, RequestType.READ))
+        types = [t.plaintext_is_write for t in observer.command_transfers()]
+        assert sorted(types) == [False, True]
+
+    def test_dummy_targets_reserved_block(self):
+        engine, stats, controller = make_stack()
+        mapping = controller.mapping
+        issue(engine, controller, MemoryRequest(0, RequestType.READ))
+        # Droppable fixed-address dummies never touch the array.
+        assert stats.group("pcm0").get("row_buffer_accesses") == 1  # the read only
+
+    def test_dummy_issue_rejected(self):
+        engine, _, controller = make_stack()
+        with pytest.raises(ConfigurationError):
+            controller.issue(MemoryRequest(0, RequestType.READ, is_dummy=True), None)
+
+
+class TestSubstitution:
+    def test_pending_write_substitutes_for_dummy(self):
+        engine, stats, controller = make_stack()
+        # Enqueue a real write, then a read before the engine runs: the
+        # write is still pending and becomes the read's write half.
+        controller.issue(MemoryRequest(64, RequestType.WRITE), None)
+        controller.issue(MemoryRequest(0, RequestType.READ), None)
+        engine.run()
+        assert stats.group("obfusmem").get("dummy_writes_substituted") == 1
+        assert stats.group("channel0").get("dummy_writes") == 0
+
+    def test_pending_read_substitutes_for_dummy_read(self):
+        engine, stats, controller = make_stack()
+        controller.issue(MemoryRequest(0, RequestType.READ), lambda r: None)
+        controller.issue(MemoryRequest(64, RequestType.WRITE), None)
+        engine.run()
+        assert stats.group("obfusmem").get("dummy_reads_substituted") == 1
+
+    def test_substitution_disabled(self):
+        config = ObfusMemConfig(substitute_dummies=False)
+        engine, stats, controller = make_stack(config=config)
+        controller.issue(MemoryRequest(64, RequestType.WRITE), None)
+        controller.issue(MemoryRequest(0, RequestType.READ), None)
+        engine.run()
+        assert stats.group("channel0").get("dummy_writes") == 1
+        assert stats.group("channel0").get("dummy_reads") == 1
+
+
+class TestChannelInjection:
+    def test_unopt_floods_all_other_channels(self):
+        config = ObfusMemConfig(channel_injection=ChannelInjection.UNOPT)
+        engine, stats, controller = make_stack(channels=4, config=config)
+        issue(engine, controller, MemoryRequest(0, RequestType.READ))
+        assert stats.group("obfusmem").get("channel_pairs_injected") == 3
+        for channel in (1, 2, 3):
+            group = stats.group(f"channel{channel}")
+            assert group.get("dummy_reads") == 1
+            assert group.get("dummy_writes") == 1
+
+    def test_opt_skips_busy_channels(self):
+        config = ObfusMemConfig(channel_injection=ChannelInjection.OPT)
+        engine, stats, controller = make_stack(channels=2, config=config)
+        # Make channel 1 busy with a direct enqueue, then issue on channel 0.
+        controller.memory.channels[1].enqueue(
+            MemoryRequest(1024, RequestType.READ), None
+        )
+        controller.issue(MemoryRequest(0, RequestType.READ), None)
+        engine.run()
+        assert stats.group("obfusmem").get("injections_skipped_busy") == 1
+        assert stats.group("obfusmem").get("channel_pairs_injected") == 0
+
+    def test_none_injection_leaks(self):
+        config = ObfusMemConfig(channel_injection=ChannelInjection.NONE)
+        engine, stats, controller = make_stack(channels=4, config=config)
+        issue(engine, controller, MemoryRequest(0, RequestType.READ))
+        assert stats.group("obfusmem").get("channel_pairs_injected") == 0
+
+    def test_single_channel_never_injects(self):
+        config = ObfusMemConfig(channel_injection=ChannelInjection.UNOPT)
+        engine, stats, controller = make_stack(channels=1, config=config)
+        issue(engine, controller, MemoryRequest(0, RequestType.READ))
+        assert stats.group("obfusmem").get("channel_pairs_injected") == 0
+
+
+class TestPadAccounting:
+    def test_sixteen_pads_per_access(self):
+        engine, stats, controller = make_stack()
+        issue(engine, controller, MemoryRequest(0, RequestType.READ))
+        assert stats.group("obfusmem").get("pads_total") == 16
+
+    def test_injection_adds_pads(self):
+        config = ObfusMemConfig(channel_injection=ChannelInjection.UNOPT)
+        engine, stats, controller = make_stack(channels=4, config=config)
+        issue(engine, controller, MemoryRequest(0, RequestType.READ))
+        # 16 for the access + 16 per injected pair on 3 channels = 64,
+        # matching the paper's worst-case 4-channel figure.
+        assert stats.group("obfusmem").get("pads_total") == 64
+
+
+class TestAuthentication:
+    def test_auth_slows_requests(self):
+        plain_engine, _, plain = make_stack()
+        plain_latency = issue(plain_engine, plain, MemoryRequest(0, RequestType.READ))[
+            0
+        ].latency_ps
+        auth_config = ObfusMemConfig(auth=AuthMode.ENCRYPT_AND_MAC)
+        auth_engine, _, auth = make_stack(config=auth_config)
+        auth_latency = issue(auth_engine, auth, MemoryRequest(0, RequestType.READ))[
+            0
+        ].latency_ps
+        assert auth_latency > plain_latency
+
+    def test_encrypt_then_mac_slower_than_encrypt_and_mac(self):
+        eam_engine, _, eam = make_stack(config=ObfusMemConfig(auth=AuthMode.ENCRYPT_AND_MAC))
+        eam_latency = issue(eam_engine, eam, MemoryRequest(0, RequestType.READ))[0].latency_ps
+        etm_engine, _, etm = make_stack(
+            config=ObfusMemConfig(auth=AuthMode.ENCRYPT_THEN_MAC)
+        )
+        etm_latency = issue(etm_engine, etm, MemoryRequest(0, RequestType.READ))[0].latency_ps
+        assert etm_latency > eam_latency
+
+    def test_auth_widens_command_slots(self):
+        assert ObfusMemConfig(auth=AuthMode.ENCRYPT_AND_MAC).command_slots == 2
+        assert ObfusMemConfig().command_slots == 1
+
+
+class TestWireOpacity:
+    def test_wire_bytes_are_unique_ciphertext(self):
+        bus = MemoryBus()
+        observer = BusObserver()
+        bus.attach(observer)
+        engine, _, controller = make_stack(bus=bus)
+        for i in range(20):
+            controller.issue(MemoryRequest(0, RequestType.READ), None)
+        engine.run()
+        encodings = [t.wire_bytes for t in observer.command_transfers()]
+        assert len(set(encodings)) == len(encodings)  # never repeats

@@ -1,0 +1,131 @@
+"""ObfusMem controller details: dummy dropping modes, ETM path, multichannel
+pad accounting, wire data uniqueness."""
+
+import pytest
+
+from repro.core.config import (
+    AuthMode,
+    ChannelInjection,
+    DummyAddressPolicy,
+    ObfusMemConfig,
+)
+from repro.core.controller import ObfusMemController
+from repro.crypto.rng import DeterministicRng
+from repro.mem.address_mapping import AddressMapping
+from repro.mem.bus import BusObserver, MemoryBus, TransferKind
+from repro.mem.request import MemoryRequest, RequestType
+from repro.mem.scheduler import MemorySystem
+from repro.sim.engine import Engine
+from repro.sim.statistics import StatRegistry
+
+
+def make_stack(channels=1, config=None, bus=None):
+    engine = Engine()
+    stats = StatRegistry()
+    memory = MemorySystem(engine, AddressMapping(channels=channels), stats, bus=bus)
+    controller = ObfusMemController(
+        engine, memory, config or ObfusMemConfig(), stats, DeterministicRng(21)
+    )
+    return engine, stats, controller
+
+
+def drain(engine, controller, requests):
+    done = []
+    for request in requests:
+        request.issue_time_ps = engine.now_ps
+        controller.issue(request, (lambda r: done.append(r)) if request.is_read else None)
+    engine.run()
+    return done
+
+
+class TestDummyDropModes:
+    def test_default_drops_dummies(self):
+        engine, stats, controller = make_stack()
+        drain(engine, controller, [MemoryRequest(0, RequestType.READ)])
+        assert stats.group("channel0").get("dummy_writes_dropped") == 1
+        assert stats.group("pcm0").get("array_writes") == 0
+
+    def test_undropped_dummies_touch_the_array(self):
+        config = ObfusMemConfig(drop_dummies=False)
+        engine, stats, controller = make_stack(config=config)
+        drain(engine, controller, [MemoryRequest(0, RequestType.READ)])
+        assert stats.group("channel0").get("dummy_writes_dropped") == 0
+        # The undropped dummy write dirtied a row buffer (array work).
+        assert stats.group("pcm0").get("row_buffer_accesses") >= 2
+
+    def test_original_policy_dummy_mirrors_address(self):
+        config = ObfusMemConfig(dummy_policy=DummyAddressPolicy.ORIGINAL)
+        bus = MemoryBus()
+        observer = BusObserver()
+        bus.attach(observer)
+        engine, _, controller = make_stack(config=config, bus=bus)
+        drain(engine, controller, [MemoryRequest(0x8000, RequestType.READ)])
+        dummy = [t for t in observer.command_transfers() if t.is_dummy][0]
+        assert dummy.plaintext_address == 0x8000
+
+
+class TestEncryptThenMacPath:
+    def test_etm_response_also_delayed(self):
+        etm_engine, _, etm = make_stack(
+            config=ObfusMemConfig(auth=AuthMode.ENCRYPT_THEN_MAC)
+        )
+        etm_done = drain(etm_engine, etm, [MemoryRequest(0, RequestType.READ)])
+        plain_engine, _, plain = make_stack()
+        plain_done = drain(plain_engine, plain, [MemoryRequest(0, RequestType.READ)])
+        # ETM pays the full MD5 fill twice (request and response paths).
+        md5_ps = ObfusMemConfig().engines.md5_latency_ps
+        assert etm_done[0].latency_ps >= plain_done[0].latency_ps + 2 * md5_ps
+
+    def test_verify_exposure_scales_with_md5_depth(self):
+        shallow = ObfusMemConfig(auth=AuthMode.ENCRYPT_THEN_MAC)
+        assert shallow.auth_verify_exposed_ps() == shallow.engines.md5_latency_ps
+
+
+class TestMultiChannelAccounting:
+    def test_pads_accounted_per_channel(self):
+        config = ObfusMemConfig(channel_injection=ChannelInjection.UNOPT)
+        engine, stats, controller = make_stack(channels=2, config=config)
+        drain(engine, controller, [MemoryRequest(0, RequestType.READ)])
+        group = stats.group("obfusmem")
+        assert group.get("pads_processor_ch0") == 10
+        assert group.get("pads_memory_ch0") == 6
+        # The injected pair on channel 1 carries its own 16 pads.
+        assert group.get("pads_processor_ch1") == 10
+        assert group.get("pads_memory_ch1") == 6
+
+    def test_requests_route_to_their_channel(self):
+        engine, stats, controller = make_stack(channels=2)
+        drain(
+            engine,
+            controller,
+            [
+                MemoryRequest(0, RequestType.READ),  # channel 0
+                MemoryRequest(1024, RequestType.READ),  # channel 1
+            ],
+        )
+        assert stats.group("channel0").get("reads") == 1
+        assert stats.group("channel1").get("reads") == 1
+
+
+class TestWireOpacity:
+    def test_data_bursts_unique_too(self):
+        bus = MemoryBus()
+        observer = BusObserver()
+        bus.attach(observer)
+        engine, _, controller = make_stack(bus=bus)
+        drain(
+            engine,
+            controller,
+            [MemoryRequest(i * 64, RequestType.WRITE) for i in range(10)],
+        )
+        payloads = [t.wire_bytes for t in observer.data_transfers()]
+        assert len(set(payloads)) == len(payloads)
+
+    def test_dummy_and_real_commands_same_length(self):
+        bus = MemoryBus()
+        observer = BusObserver()
+        bus.attach(observer)
+        engine, _, controller = make_stack(bus=bus)
+        drain(engine, controller, [MemoryRequest(0, RequestType.READ)])
+        lengths = {len(t.wire_bytes) for t in observer.command_transfers()}
+        assert len(lengths) == 1  # indistinguishable by size

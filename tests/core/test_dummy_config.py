@@ -1,0 +1,91 @@
+"""Dummy-address policies (§3.3) and controller configuration."""
+
+import pytest
+
+from repro.core.config import (
+    AuthMode,
+    ChannelInjection,
+    DummyAddressPolicy,
+    ObfusMemConfig,
+)
+from repro.core.dummy import DummyRequestFactory
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ConfigurationError
+from repro.mem.address_mapping import AddressMapping
+from repro.mem.request import RequestType
+
+
+def make_factory(policy, channels=2):
+    mapping = AddressMapping(channels=channels)
+    return DummyRequestFactory(policy, mapping, DeterministicRng(3)), mapping
+
+
+class TestFixedPolicy:
+    def test_targets_reserved_block(self):
+        factory, mapping = make_factory(DummyAddressPolicy.FIXED)
+        dummy = factory.make(1, RequestType.WRITE, real_address=0x4000)
+        assert dummy.address == mapping.dummy_block_address(1)
+        assert dummy.is_dummy and dummy.droppable
+
+    def test_same_address_every_time(self):
+        factory, _ = make_factory(DummyAddressPolicy.FIXED)
+        first = factory.make(0, RequestType.READ)
+        second = factory.make(0, RequestType.READ)
+        assert first.address == second.address
+
+
+class TestOriginalPolicy:
+    def test_mirrors_real_address(self):
+        factory, _ = make_factory(DummyAddressPolicy.ORIGINAL)
+        dummy = factory.make(0, RequestType.WRITE, real_address=0x8000)
+        assert dummy.address == 0x8000
+        assert not dummy.droppable  # really writes the array
+
+    def test_without_real_address_falls_back(self):
+        factory, mapping = make_factory(DummyAddressPolicy.ORIGINAL)
+        dummy = factory.make(0, RequestType.READ)
+        assert dummy.address == mapping.dummy_block_address(0)
+        assert not dummy.droppable
+
+
+class TestRandomPolicy:
+    def test_address_on_requested_channel(self):
+        factory, mapping = make_factory(DummyAddressPolicy.RANDOM, channels=4)
+        for channel in range(4):
+            dummy = factory.make(channel, RequestType.WRITE)
+            assert mapping.channel_of(dummy.address) == channel
+            assert not dummy.droppable
+
+    def test_addresses_vary(self):
+        factory, _ = make_factory(DummyAddressPolicy.RANDOM)
+        addresses = {factory.make(0, RequestType.READ).address for _ in range(20)}
+        assert len(addresses) > 10
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = ObfusMemConfig()
+        assert config.dummy_policy is DummyAddressPolicy.FIXED
+        assert config.channel_injection is ChannelInjection.OPT
+        assert config.auth is AuthMode.NONE
+        assert config.substitute_dummies
+
+    def test_auth_verify_exposed_overlaps_for_eam(self):
+        config = ObfusMemConfig(auth=AuthMode.ENCRYPT_AND_MAC)
+        # 64 x 1ns MD5 fill < 70ns overlap window -> fully hidden.
+        assert config.auth_verify_exposed_ps() == 0
+
+    def test_auth_verify_exposed_serializes_for_etm(self):
+        config = ObfusMemConfig(auth=AuthMode.ENCRYPT_THEN_MAC)
+        assert config.auth_verify_exposed_ps() == 64_000
+
+    def test_no_auth_no_exposure(self):
+        assert ObfusMemConfig().auth_verify_exposed_ps() == 0
+
+    def test_tag_occupancy_only_with_auth(self):
+        assert ObfusMemConfig().tag_bus_extra_ps == 0
+        assert ObfusMemConfig(auth=AuthMode.ENCRYPT_AND_MAC).tag_bus_extra_ps > 0
+
+    def test_negative_residual_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ObfusMemConfig(auth_gen_residual_ps=-1)

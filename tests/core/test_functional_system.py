@@ -1,0 +1,115 @@
+"""Multi-channel functional system: boot to ciphertext, end to end."""
+
+import pytest
+
+from repro.analysis.leakage import channel_entropy, ciphertext_repeat_fraction
+from repro.core.config import AuthMode
+from repro.core.system import BootApproach, FunctionalObfusMemSystem
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ConfigurationError, TrustError
+from repro.mem.bus import BusObserver, MemoryBus
+
+
+def make_system(**kwargs):
+    return FunctionalObfusMemSystem(DeterministicRng(2024), **kwargs)
+
+
+class TestBoot:
+    @pytest.mark.parametrize("approach", list(BootApproach))
+    def test_all_approaches_boot(self, approach):
+        system = make_system(approach=approach)
+        assert len(system.session_keys) == 2
+
+    def test_per_channel_keys_differ(self):
+        system = make_system(channels=4)
+        keys = {system.session_keys.key_for(c) for c in range(4)}
+        assert len(keys) == 4
+
+    def test_malicious_integrator_fails_attested_boot(self):
+        with pytest.raises(TrustError):
+            make_system(
+                approach=BootApproach.UNTRUSTED_INTEGRATOR,
+                malicious_integrator=True,
+            )
+
+    def test_malicious_integrator_also_fails_trusted_boot(self):
+        # The burned MITM key cannot produce valid chip signatures.
+        with pytest.raises(TrustError):
+            make_system(
+                approach=BootApproach.TRUSTED_INTEGRATOR,
+                malicious_integrator=True,
+            )
+
+
+class TestDataPath:
+    def test_roundtrip_across_channels(self):
+        system = make_system(channels=2)
+        blocks = {i * 64: bytes([i]) * 64 for i in range(1, 40)}
+        for address, data in blocks.items():
+            system.write(address, data)
+        for address, data in blocks.items():
+            assert system.read(address) == data
+
+    def test_addresses_route_to_distinct_channels(self):
+        system = make_system(channels=2)
+        system.write(0, b"a" * 64)  # channel 0
+        system.write(1024, b"b" * 64)  # channel 1 (RoRaBaChCo stripes @1KB)
+        assert system.channels[0].memory_side.cell_writes == 1
+        assert system.channels[1].memory_side.cell_writes == 1
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_system().write(0, b"short")
+
+    def test_dummy_block_not_addressable(self):
+        system = make_system()
+        with pytest.raises(ConfigurationError):
+            system.channels[0].read(system.channels[0].dummy_address)
+
+    def test_snapshot_is_ciphertext_only(self):
+        system = make_system()
+        secret = b"very secret block contents!".ljust(64, b".")
+        system.write(0x4000, secret)
+        assert secret not in system.array_snapshot().values()
+
+
+class TestObfuscation:
+    def _observe(self, **kwargs):
+        bus = MemoryBus()
+        observer = BusObserver()
+        bus.attach(observer)
+        system = FunctionalObfusMemSystem(DeterministicRng(9), bus=bus, **kwargs)
+        for i in range(1, 30):
+            # Blocks 1..15 stay within the first 1KB stripe: channel 0 only.
+            address = (i % 15 + 1) * 64
+            system.write(address, bytes([i]) * 64)
+            system.read(address)
+        return system, observer
+
+    def test_inter_channel_dummies_balance_channels(self):
+        _, observer = self._observe(channels=2)
+        assert channel_entropy(observer.transfers, 2) > 0.95
+
+    def test_without_injection_single_channel_leaks(self):
+        _, observer = self._observe(channels=2, inter_channel_dummies=False)
+        assert channel_entropy(observer.transfers, 2) < 0.5
+
+    def test_no_ciphertext_repeats_anywhere(self):
+        _, observer = self._observe(channels=2)
+        assert ciphertext_repeat_fraction(observer.transfers) == 0.0
+
+    def test_dummies_dropped_in_memory(self):
+        system, _ = self._observe(channels=2)
+        assert system.dummies_dropped > 50
+
+    def test_counters_stay_synchronized_under_load(self):
+        system, _ = self._observe(channels=2)
+        for channel in system.channels:
+            assert channel.codec.request_counter == (
+                channel.memory_side.codec.request_counter
+            )
+
+    def test_auth_none_also_works(self):
+        system = make_system(auth=AuthMode.NONE)
+        system.write(0x1000, b"x" * 64)
+        assert system.read(0x1000) == b"x" * 64

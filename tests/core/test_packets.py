@@ -1,0 +1,138 @@
+"""Wire codec: encryption roundtrips, counter sync, tamper evidence."""
+
+import pytest
+
+from repro.core.packets import ChannelCodec
+from repro.errors import CryptoError, IntegrityError
+from repro.mem.request import RequestType
+
+KEY = bytes(range(16))
+
+
+def codec_pair():
+    """Processor- and memory-side codecs over the same session key."""
+    return ChannelCodec(KEY), ChannelCodec(KEY)
+
+
+class TestCommandRoundtrip:
+    def test_read_command(self):
+        processor, memory = codec_pair()
+        wire, counter = processor.encode_command(RequestType.READ, 0x1000)
+        decoded = memory.decode_command(wire)
+        assert decoded.request_type is RequestType.READ
+        assert decoded.address == 0x1000
+        assert decoded.counter == counter == 0
+
+    def test_write_command(self):
+        processor, memory = codec_pair()
+        wire, _ = processor.encode_command(RequestType.WRITE, 0xABC0)
+        decoded = memory.decode_command(wire)
+        assert decoded.request_type is RequestType.WRITE
+        assert decoded.address == 0xABC0
+
+    def test_counters_stay_synchronized(self):
+        processor, memory = codec_pair()
+        for i in range(10):
+            wire, _ = processor.encode_command(RequestType.READ, i * 64)
+            assert memory.decode_command(wire).address == i * 64
+        assert processor.request_counter == memory.request_counter == 10
+
+    def test_same_address_different_wire_bytes(self):
+        """Counter mode: temporal reuse is invisible (Observation 1)."""
+        processor, _ = codec_pair()
+        first, _ = processor.encode_command(RequestType.READ, 0x1000)
+        second, _ = processor.encode_command(RequestType.READ, 0x1000)
+        assert first != second
+
+    def test_oversized_address_rejected(self):
+        processor, _ = codec_pair()
+        with pytest.raises(CryptoError):
+            processor.encode_command(RequestType.READ, 1 << 64)
+
+    def test_wrong_packet_size_rejected(self):
+        _, memory = codec_pair()
+        with pytest.raises(CryptoError):
+            memory.decode_command(b"short")
+
+
+class TestDesynchronization:
+    def test_lost_message_garbles_decode(self):
+        processor, memory = codec_pair()
+        processor.encode_command(RequestType.READ, 0x40)  # lost on the wire
+        wire, _ = processor.encode_command(RequestType.READ, 0x80)
+        # Memory decodes with the stale pad: type byte is garbage with
+        # overwhelming probability.
+        with pytest.raises(IntegrityError):
+            memory.decode_command(wire)
+
+
+class TestDataRoundtrip:
+    def test_request_data(self):
+        processor, memory = codec_pair()
+        block = bytes(range(64))
+        assert memory.decode_request_data(processor.encode_request_data(block)) == block
+
+    def test_response_data(self):
+        processor, memory = codec_pair()
+        block = bytes(reversed(range(64)))
+        assert processor.decode_response_data(memory.encode_response_data(block)) == block
+
+    def test_streams_are_independent(self):
+        processor, memory = codec_pair()
+        # Consuming response pads must not desync the request stream.
+        memory.encode_response_data(b"\x00" * 64)
+        wire, _ = processor.encode_command(RequestType.READ, 0)
+        assert memory.decode_command(wire).address == 0
+
+    def test_second_encryption_hides_identical_ciphertext(self):
+        """The same at-rest ciphertext never looks the same on the bus."""
+        processor, _ = codec_pair()
+        at_rest = b"\x77" * 64
+        assert processor.encode_request_data(at_rest) != processor.encode_request_data(
+            at_rest
+        )
+
+    def test_wrong_data_size_rejected(self):
+        processor, _ = codec_pair()
+        with pytest.raises(CryptoError):
+            processor.encode_request_data(b"x" * 63)
+
+
+class TestTags:
+    def test_tag_verifies(self):
+        processor, memory = codec_pair()
+        tag = processor.make_tag(RequestType.READ, 0x40, processor.request_counter)
+        wire, _ = processor.encode_command(RequestType.READ, 0x40)
+        decoded = memory.decode_command(wire)
+        memory.verify_tag(decoded, tag)  # must not raise
+
+    def test_stale_counter_tag_rejected(self):
+        """A replayed tag reflects an old counter: verification fails."""
+        processor, memory = codec_pair()
+        stale_tag = processor.make_tag(RequestType.READ, 0x40, 5)  # old counter
+        wire, _ = processor.encode_command(RequestType.READ, 0x40)  # counter 0
+        decoded = memory.decode_command(wire)
+        with pytest.raises(IntegrityError):
+            memory.verify_tag(decoded, stale_tag)
+
+    def test_wrong_address_tag_rejected(self):
+        processor, memory = codec_pair()
+        tag = processor.make_tag(RequestType.READ, 0x80, 0)  # different address
+        wire, _ = processor.encode_command(RequestType.READ, 0x40)
+        decoded = memory.decode_command(wire)
+        with pytest.raises(IntegrityError):
+            memory.verify_tag(decoded, tag)
+
+    def test_ciphertext_tag_roundtrip(self):
+        processor, memory = codec_pair()
+        wire, _ = processor.encode_command(RequestType.WRITE, 0x80)
+        tag = processor.make_ciphertext_tag(wire)
+        memory.verify_ciphertext_tag(wire, tag)
+
+    def test_ciphertext_tag_detects_flip(self):
+        processor, memory = codec_pair()
+        wire, _ = processor.encode_command(RequestType.WRITE, 0x80)
+        tag = processor.make_ciphertext_tag(wire)
+        tampered = bytes([wire[0] ^ 1]) + wire[1:]
+        with pytest.raises(IntegrityError):
+            memory.verify_ciphertext_tag(tampered, tag)

@@ -1,0 +1,121 @@
+"""Model-based stateful testing of the functional encrypted stacks.
+
+Hypothesis drives random operation sequences against the ObfusMem
+functional channel and both ORAMs, comparing every read against a plain
+dict reference model and re-checking structural invariants along the way.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.config import AuthMode
+from repro.core.functional import FunctionalObfusMem
+from repro.crypto.rng import DeterministicRng
+from repro.mem.request import BLOCK_SIZE_BYTES
+from repro.oram.path_oram import PathOram
+from repro.oram.ring_oram import RingOram
+
+ADDRESSES = st.integers(min_value=0, max_value=31)
+PAYLOADS = st.binary(min_size=BLOCK_SIZE_BYTES, max_size=BLOCK_SIZE_BYTES)
+SMALL_PAYLOADS = st.binary(min_size=1, max_size=16)
+
+
+class ObfusMemMachine(RuleBasedStateMachine):
+    """The encrypted channel must be observationally a dict."""
+
+    @initialize(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def setup(self, seed):
+        rng = DeterministicRng(seed)
+        self.stack = FunctionalObfusMem(
+            session_key=rng.fork("s").token_bytes(16),
+            memory_key=rng.fork("m").token_bytes(16),
+            rng=rng,
+            auth=AuthMode.ENCRYPT_AND_MAC,
+        )
+        self.reference = {}
+
+    @rule(block=ADDRESSES, payload=PAYLOADS)
+    def write(self, block, payload):
+        address = block * BLOCK_SIZE_BYTES
+        self.stack.write(address, payload)
+        self.reference[address] = payload
+
+    @rule(block=ADDRESSES)
+    def read(self, block):
+        address = block * BLOCK_SIZE_BYTES
+        if address in self.reference:
+            assert self.stack.read(address) == self.reference[address]
+
+    @invariant()
+    def counters_synchronized(self):
+        if not hasattr(self, "stack"):
+            return
+        assert self.stack.codec.request_counter == (
+            self.stack.memory_side.codec.request_counter
+        )
+
+    @invariant()
+    def array_never_holds_plaintext(self):
+        if not hasattr(self, "stack") or not self.reference:
+            return
+        plaintexts = set(self.reference.values())
+        for stored in self.stack.memory_side.array_snapshot().values():
+            assert stored not in plaintexts
+
+
+class PathOramMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def setup(self, seed):
+        self.oram = PathOram(32, DeterministicRng(seed), stash_limit=512)
+        self.reference = {}
+
+    @rule(block=ADDRESSES, payload=SMALL_PAYLOADS)
+    def write(self, block, payload):
+        self.oram.write(block, payload)
+        self.reference[block] = payload
+
+    @rule(block=ADDRESSES)
+    def read(self, block):
+        assert self.oram.read(block) == self.reference.get(block)
+
+    @invariant()
+    def structural_invariant(self):
+        if hasattr(self, "oram"):
+            self.oram.check_invariant()
+
+
+class RingOramMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def setup(self, seed):
+        self.oram = RingOram(32, DeterministicRng(seed), stash_limit=512)
+        self.reference = {}
+
+    @rule(block=ADDRESSES, payload=SMALL_PAYLOADS)
+    def write(self, block, payload):
+        self.oram.write(block, payload)
+        self.reference[block] = payload
+
+    @rule(block=ADDRESSES)
+    def read(self, block):
+        assert self.oram.read(block) == self.reference.get(block)
+
+    @invariant()
+    def structural_invariant(self):
+        if hasattr(self, "oram"):
+            self.oram.check_invariant()
+
+
+TestObfusMemMachine = ObfusMemMachine.TestCase
+TestObfusMemMachine.settings = settings(max_examples=12, stateful_step_count=15, deadline=None)
+
+TestPathOramMachine = PathOramMachine.TestCase
+TestPathOramMachine.settings = settings(max_examples=12, stateful_step_count=20, deadline=None)
+
+TestRingOramMachine = RingOramMachine.TestCase
+TestRingOramMachine.settings = settings(max_examples=12, stateful_step_count=20, deadline=None)

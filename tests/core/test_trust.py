@@ -1,0 +1,129 @@
+"""Trust architecture: the three bootstrapping approaches of §3.1."""
+
+import pytest
+
+from repro.core.session import SessionKeyTable
+from repro.core.trust import (
+    Manufacturer,
+    MemoryChip,
+    ProcessorChip,
+    SystemIntegrator,
+    bootstrap_naive,
+    bootstrap_trusted_integrator,
+    bootstrap_untrusted_integrator,
+)
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ConfigurationError, TrustError
+
+
+@pytest.fixture
+def parts():
+    rng = DeterministicRng(31337)
+    processor_vendor = Manufacturer("cpu-vendor", rng)
+    memory_vendor = Manufacturer("mem-vendor", rng)
+    processor = ProcessorChip(processor_vendor)
+    memories = [MemoryChip(memory_vendor, channel=c) for c in range(2)]
+    return rng, processor, memories
+
+
+class TestManufacturer:
+    def test_vouches_for_own_chips(self, parts):
+        _, processor, memories = parts
+        assert processor.manufacturer.vouches_for(processor.public_key)
+        assert not processor.manufacturer.vouches_for(memories[0].public_key)
+
+    def test_chips_have_distinct_identities(self, parts):
+        _, processor, memories = parts
+        keys = {processor.public_key, memories[0].public_key, memories[1].public_key}
+        assert len(keys) == 3
+
+
+class TestNaive:
+    def test_naive_bootstrap_without_attacker(self, parts):
+        rng, processor, memories = parts
+        table = bootstrap_naive(processor, memories, rng)
+        assert isinstance(table, SessionKeyTable)
+        assert table.channels == [0, 1]
+        assert table.key_for(0) != table.key_for(1)
+
+
+class TestTrustedIntegrator:
+    def test_honest_integration_succeeds(self, parts):
+        rng, processor, memories = parts
+        SystemIntegrator(rng).integrate(processor, memories)
+        table = bootstrap_trusted_integrator(processor, memories, rng)
+        assert len(table) == 2
+
+    def test_unintegrated_system_fails(self, parts):
+        rng, processor, memories = parts
+        with pytest.raises(TrustError):
+            bootstrap_trusted_integrator(processor, memories, rng)
+
+    def test_malicious_integrator_breaks_signature_check(self, parts):
+        rng, processor, memories = parts
+        SystemIntegrator(rng, malicious=True).integrate(processor, memories)
+        with pytest.raises(TrustError):
+            bootstrap_trusted_integrator(processor, memories, rng)
+
+    def test_spare_registers_exhaust(self, parts):
+        rng, processor, memories = parts
+        chip = memories[0]
+        for _ in range(4):  # DEFAULT_SPARE_REGISTERS
+            chip.burn_peer_key(processor.public_key)
+        with pytest.raises(TrustError):
+            chip.burn_peer_key(processor.public_key)
+
+    def test_component_upgrade_uses_spare_register(self, parts):
+        rng, processor, memories = parts
+        SystemIntegrator(rng).integrate(processor, memories)
+        # Upgrade: a new memory chip is integrated post-deployment.
+        new_memory = MemoryChip(memories[0].manufacturer, channel=2)
+        processor.burn_peer_key(new_memory.public_key)
+        new_memory.burn_peer_key(processor.public_key)
+        table = bootstrap_trusted_integrator(
+            processor, memories + [new_memory], rng
+        )
+        assert table.channels == [0, 1, 2]
+
+
+class TestUntrustedIntegrator:
+    def test_attestation_accepts_honest_integration(self, parts):
+        rng, processor, memories = parts
+        SystemIntegrator(rng).integrate(processor, memories)
+        table = bootstrap_untrusted_integrator(processor, memories, rng)
+        assert len(table) == 2
+
+    def test_attestation_catches_malicious_integrator(self, parts):
+        rng, processor, memories = parts
+        SystemIntegrator(rng, malicious=True).integrate(processor, memories)
+        with pytest.raises(TrustError, match="wrong key"):
+            bootstrap_untrusted_integrator(processor, memories, rng)
+
+    def test_non_capable_memory_rejected(self, parts):
+        rng, processor, _ = parts
+        legacy = MemoryChip(
+            Manufacturer("legacy-vendor", rng), channel=0, obfusmem_capable=False
+        )
+        SystemIntegrator(rng).integrate(processor, [legacy])
+        with pytest.raises(TrustError, match="not ObfusMem-capable"):
+            bootstrap_untrusted_integrator(processor, [legacy], rng)
+
+
+class TestSessionKeyTable:
+    def test_generate(self):
+        table = SessionKeyTable.generate(4, DeterministicRng(1))
+        assert table.channels == [0, 1, 2, 3]
+        assert len({table.key_for(c) for c in range(4)}) == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SessionKeyTable({})
+
+    def test_bad_key_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SessionKeyTable({0: b"short"})
+
+    def test_missing_channel_rejected(self):
+        table = SessionKeyTable.generate(1, DeterministicRng(1))
+        with pytest.raises(ConfigurationError):
+            table.key_for(5)

@@ -1,0 +1,122 @@
+"""Trace-driven core: windowing, dependence, completion semantics."""
+
+import pytest
+
+from repro.cpu.core import TraceDrivenCore
+from repro.cpu.trace import Trace, TraceRecord
+from repro.errors import ConfigurationError, SimulationError
+from repro.mem.request import MemoryRequest
+from repro.sim.engine import Engine, ns_to_ps
+from repro.sim.statistics import StatRegistry
+
+
+class FixedLatencyPort:
+    """Test double: completes reads after a fixed latency; counts traffic."""
+
+    def __init__(self, engine, latency_ns=100.0):
+        self.engine = engine
+        self.latency_ps = ns_to_ps(latency_ns)
+        self.issued = []
+        self.in_flight = 0
+        self.max_in_flight = 0
+
+    def issue(self, request: MemoryRequest, callback):
+        self.issued.append(request)
+        if callback is None:
+            return
+        self.in_flight += 1
+        self.max_in_flight = max(self.max_in_flight, self.in_flight)
+
+        def finish():
+            self.in_flight -= 1
+            request.complete_time_ps = self.engine.now_ps
+            callback(request)
+
+        self.engine.schedule(self.latency_ps, finish)
+
+
+def reads(n, gap=10.0, dependent=False):
+    return [
+        TraceRecord(gap_ns=gap, address=i * 64, is_write=False, dependent=dependent)
+        for i in range(n)
+    ]
+
+
+def run_core(records, window=4, latency_ns=100.0):
+    engine = Engine()
+    port = FixedLatencyPort(engine, latency_ns)
+    trace = Trace("test", records)
+    core = TraceDrivenCore(engine, trace, port, window=window, stats=StatRegistry())
+    core.start()
+    engine.run()
+    return core, port
+
+
+class TestWindow:
+    def test_window_caps_outstanding_reads(self):
+        core, port = run_core(reads(20, gap=1.0), window=3)
+        assert port.max_in_flight == 3
+
+    def test_wider_window_finishes_faster(self):
+        narrow, _ = run_core(reads(20, gap=1.0), window=1)
+        wide, _ = run_core(reads(20, gap=1.0), window=8)
+        assert wide.execution_time_ns < narrow.execution_time_ns
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_core(reads(1), window=0)
+
+
+class TestDependence:
+    def test_dependent_reads_serialize(self):
+        independent, _ = run_core(reads(10, gap=1.0), window=8)
+        dependent, _ = run_core(reads(10, gap=1.0, dependent=True), window=8)
+        # Each dependent read waits the full latency: ~10x100ns.
+        assert dependent.execution_time_ns > 9 * 100
+        assert dependent.execution_time_ns > 3 * independent.execution_time_ns
+
+
+class TestWrites:
+    def test_writes_do_not_block(self):
+        records = [
+            TraceRecord(gap_ns=1.0, address=i * 64, is_write=True) for i in range(10)
+        ]
+        core, port = run_core(records, window=1)
+        # All posted immediately: execution bounded by compute gaps alone.
+        assert core.execution_time_ns < 20
+        assert len(port.issued) == 10
+
+
+class TestCompletion:
+    def test_finish_waits_for_outstanding_reads(self):
+        core, _ = run_core(reads(3, gap=1.0), window=8, latency_ns=500)
+        assert core.execution_time_ns >= 500
+
+    def test_execution_time_unavailable_before_finish(self):
+        engine = Engine()
+        port = FixedLatencyPort(engine)
+        core = TraceDrivenCore(
+            engine, Trace("t", reads(2)), port, window=1, stats=StatRegistry()
+        )
+        with pytest.raises(SimulationError):
+            _ = core.execution_time_ns
+
+    def test_double_start_rejected(self):
+        engine = Engine()
+        port = FixedLatencyPort(engine)
+        core = TraceDrivenCore(
+            engine, Trace("t", reads(2)), port, window=1, stats=StatRegistry()
+        )
+        core.start()
+        with pytest.raises(SimulationError):
+            core.start()
+
+    def test_average_gap_and_ipc(self):
+        core, _ = run_core(reads(10, gap=50.0), window=8)
+        assert core.average_gap_ns == core.execution_time_ns / 10
+        assert core.measured_ipc(2.0) > 0
+
+    def test_issue_order_preserved(self):
+        core, port = run_core(reads(10, gap=1.0), window=2)
+        addresses = [r.address for r in port.issued]
+        assert addresses == sorted(addresses)

@@ -1,0 +1,99 @@
+"""Application kernels and the kernel-to-trace pipeline."""
+
+import pytest
+
+from repro.cpu.kernels import (
+    pointer_chase,
+    random_lookup,
+    sequential_scan,
+    stencil,
+    trace_through_hierarchy,
+)
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ConfigurationError
+from repro.mem.hierarchy import HierarchyConfig
+from repro.system.config import ProtectionLevel
+from repro.system.simulator import run_trace
+
+SMALL_HIERARCHY = HierarchyConfig(
+    cores=1, l1_size=4 << 10, l2_size=16 << 10, l3_size=64 << 10
+)
+
+
+class TestKernelStreams:
+    def test_sequential_scan_covers_array(self):
+        accesses = list(sequential_scan(1024, stride=64))
+        assert [a for a, _ in accesses] == list(range(0, 1024, 64))
+        assert all(not w for _, w in accesses)
+
+    def test_sequential_scan_with_writes(self):
+        accesses = list(
+            sequential_scan(4096, write_fraction=1.0, rng=DeterministicRng(1))
+        )
+        assert all(w for _, w in accesses)
+
+    def test_random_lookup_touches_whole_records(self):
+        accesses = list(random_lookup(1 << 16, lookups=5, record_bytes=64))
+        assert len(accesses) == 5 * 8  # 8 words per 64B record
+        # Each lookup's accesses are consecutive words of one record.
+        first_record = accesses[:8]
+        base = first_record[0][0]
+        assert [a for a, _ in first_record] == [base + 8 * i for i in range(8)]
+
+    def test_pointer_chase_visits_all_nodes_before_repeat(self):
+        accesses = [a for a, _ in pointer_chase(64 * 16, hops=16)]
+        assert len(set(accesses)) == 16
+
+    def test_stencil_reads_neighbours_writes_centre(self):
+        accesses = list(stencil(3 * 4096, sweeps=1))
+        reads = [a for a, w in accesses if not w]
+        writes = [a for a, w in accesses if w]
+        assert len(reads) == 2 * len(writes)
+        assert all(4096 <= a < 2 * 4096 for a in writes)  # centre row
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            list(sequential_scan(0))
+        with pytest.raises(ConfigurationError):
+            list(random_lookup(32, 1))
+        with pytest.raises(ConfigurationError):
+            list(pointer_chase(32, 1))
+        with pytest.raises(ConfigurationError):
+            list(stencil(4096))
+
+
+class TestKernelToTrace:
+    def test_scan_produces_streaming_misses(self):
+        trace, hierarchy = trace_through_hierarchy(
+            sequential_scan(1 << 20, stride=8), SMALL_HIERARCHY, name="scan"
+        )
+        # One miss per 64B block of the 1MB array (8 accesses per block).
+        assert hierarchy.stats.get("l1_hits") > hierarchy.stats.get("llc_misses")
+        assert trace.footprint_blocks == pytest.approx((1 << 20) // 64, rel=0.05)
+
+    def test_pointer_chase_defeats_caches(self):
+        trace, hierarchy = trace_through_hierarchy(
+            pointer_chase(1 << 20, hops=4000), SMALL_HIERARCHY, name="chase"
+        )
+        misses = hierarchy.stats.get("llc_misses")
+        assert misses / 4000 > 0.8  # nearly every hop misses
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ConfigurationError, match="no memory traffic"):
+            trace_through_hierarchy(iter(()), SMALL_HIERARCHY, name="empty")
+
+    def test_second_pass_mostly_hits(self):
+        """A cache-resident array misses only on the first pass."""
+        trace, hierarchy = trace_through_hierarchy(
+            sequential_scan(8 << 10, passes=4), SMALL_HIERARCHY, name="resident"
+        )
+        # 128 compulsory block misses; the other 3 passes hit.
+        assert hierarchy.stats.get("llc_misses") <= 140
+
+    def test_kernel_trace_runs_protected(self):
+        trace, _ = trace_through_hierarchy(
+            random_lookup(1 << 20, lookups=500), SMALL_HIERARCHY, name="kv"
+        )
+        result = run_trace(trace, ProtectionLevel.OBFUSMEM_AUTH, window=4)
+        assert result.execution_time_ns > 0
+        assert result.stats.get("channel0.dummy_writes", 0) > 0

@@ -1,0 +1,158 @@
+"""Traces, the synthetic generator, and the Table 1 profiles."""
+
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.generator import SyntheticTraceGenerator, make_trace
+from repro.cpu.spec_profiles import BENCHMARK_NAMES, SPEC_PROFILES
+from repro.cpu.trace import Trace, TraceRecord
+from repro.crypto.rng import DeterministicRng
+from repro.errors import TraceError
+
+
+class TestTraceRecord:
+    def test_negative_gap_rejected(self):
+        with pytest.raises(TraceError):
+            TraceRecord(gap_ns=-1, address=0, is_write=False)
+
+    def test_unaligned_address_rejected(self):
+        with pytest.raises(TraceError):
+            TraceRecord(gap_ns=0, address=3, is_write=False)
+
+    def test_dependent_write_rejected(self):
+        with pytest.raises(TraceError):
+            TraceRecord(gap_ns=0, address=0, is_write=True, dependent=True)
+
+
+class TestTrace:
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            Trace("empty", [])
+
+    def test_derived_statistics(self):
+        records = [
+            TraceRecord(10, 0, False),
+            TraceRecord(10, 64, True),
+            TraceRecord(10, 0, False),
+        ]
+        trace = Trace("t", records, instructions_per_request=100)
+        assert trace.read_fraction == pytest.approx(2 / 3)
+        assert trace.footprint_blocks == 2
+        assert trace.total_instructions == 300
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = make_trace(SPEC_PROFILES["bwaves"], 50)
+        path = tmp_path / "bwaves.trace"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.name == trace.name
+        assert len(loaded) == len(trace)
+        assert loaded.instructions_per_request == pytest.approx(
+            trace.instructions_per_request
+        )
+        for original, restored in zip(trace, loaded):
+            assert restored.address == original.address
+            assert restored.is_write == original.is_write
+            assert restored.dependent == original.dependent
+            assert restored.gap_ns == pytest.approx(original.gap_ns, abs=1e-3)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("not a trace\n")
+        with pytest.raises(TraceError):
+            Trace.load(path)
+
+    def test_load_reports_bad_line(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# trace t ipr=100\n1.0 0x40 R\nbogus line here\n")
+        with pytest.raises(TraceError, match=":3"):
+            Trace.load(path)
+
+
+class TestGeneratorStatistics:
+    def test_deterministic(self):
+        profile = SPEC_PROFILES["mcf"]
+        a = make_trace(profile, 100, seed=5)
+        b = make_trace(profile, 100, seed=5)
+        assert [r.address for r in a] == [r.address for r in b]
+
+    def test_seed_changes_trace(self):
+        profile = SPEC_PROFILES["mcf"]
+        a = make_trace(profile, 100, seed=5)
+        b = make_trace(profile, 100, seed=6)
+        assert [r.address for r in a] != [r.address for r in b]
+
+    def test_write_fraction_close_to_profile(self):
+        profile = SPEC_PROFILES["bwaves"]
+        trace = make_trace(profile, 4000)
+        writes = sum(1 for r in trace if r.is_write)
+        assert writes / len(trace) == pytest.approx(profile.write_fraction, abs=0.03)
+
+    def test_mean_gap_close_to_calibration(self):
+        profile = SPEC_PROFILES["libquantum"]
+        trace = make_trace(profile, 4000)
+        mean_gap = statistics.mean(r.gap_ns for r in trace)
+        assert mean_gap == pytest.approx(profile.compute_gap_ns, rel=0.1)
+
+    def test_dependent_fraction_close(self):
+        profile = SPEC_PROFILES["xalan"]  # high dependence
+        trace = make_trace(profile, 4000)
+        reads = [r for r in trace if not r.is_write]
+        dependent = sum(1 for r in reads if r.dependent)
+        assert dependent / len(reads) == pytest.approx(
+            profile.dependent_fraction, abs=0.05
+        )
+
+    def test_footprint_bounded_by_profile(self):
+        profile = SPEC_PROFILES["astar"]
+        trace = make_trace(profile, 2000)
+        footprint_bytes = profile.footprint_mib << 20
+        assert all(r.address < footprint_bytes for r in trace)
+
+    def test_streaming_has_sequential_runs(self):
+        streaming = make_trace(SPEC_PROFILES["bwaves"], 2000)
+        pointer = make_trace(SPEC_PROFILES["mcf"], 2000)
+
+        def sequential_fraction(trace):
+            pairs = zip(trace.records, trace.records[1:])
+            return sum(1 for a, b in pairs if b.address - a.address == 64) / len(trace)
+
+        assert sequential_fraction(streaming) > 2 * sequential_fraction(pointer)
+
+
+class TestProfiles:
+    def test_all_fifteen_present(self):
+        assert len(BENCHMARK_NAMES) == 15
+        assert "bwaves" in BENCHMARK_NAMES and "gems" in BENCHMARK_NAMES
+
+    def test_table1_values_recorded(self):
+        mcf = SPEC_PROFILES["mcf"]
+        assert mcf.ipc == 0.17
+        assert mcf.llc_mpki == 24.82
+        assert mcf.avg_gap_ns == 74.95
+
+    def test_calibration_sane(self):
+        for profile in SPEC_PROFILES.values():
+            assert profile.window >= 1
+            assert 0.0 <= profile.dependent_fraction <= 1.0
+            assert profile.compute_gap_ns >= 1.0
+            assert profile.compute_gap_ns <= profile.avg_gap_ns + 1e-9
+
+    def test_bandwidth_bound_benchmarks_have_wide_windows(self):
+        assert SPEC_PROFILES["bwaves"].window > SPEC_PROFILES["astar"].window
+
+    def test_instructions_per_request(self):
+        assert SPEC_PROFILES["mcf"].instructions_per_request == pytest.approx(
+            1000 / 24.82
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(num_requests=st.integers(min_value=1, max_value=200))
+def test_generator_length_property(num_requests):
+    profile = SPEC_PROFILES["cactus"]
+    generator = SyntheticTraceGenerator(profile, DeterministicRng(1))
+    assert len(generator.generate(num_requests)) == num_requests

@@ -1,0 +1,100 @@
+"""AES-128 against FIPS-197 vectors plus structural properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES128, INV_SBOX, SBOX, expand_key
+from repro.errors import CryptoError
+
+FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_CIPHERTEXT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+
+class TestKnownVectors:
+    def test_fips197_appendix_c1_encrypt(self):
+        assert AES128(FIPS_KEY).encrypt_block(FIPS_PLAINTEXT) == FIPS_CIPHERTEXT
+
+    def test_fips197_appendix_c1_decrypt(self):
+        assert AES128(FIPS_KEY).decrypt_block(FIPS_CIPHERTEXT) == FIPS_PLAINTEXT
+
+    def test_fips197_appendix_b(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_nist_ecb_kat(self):
+        # SP 800-38A F.1.1, first block.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+
+class TestSbox:
+    def test_sbox_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_inverse_sbox_inverts(self):
+        for value in range(256):
+            assert INV_SBOX[SBOX[value]] == value
+
+    def test_known_sbox_entries(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+
+class TestKeySchedule:
+    def test_eleven_round_keys(self):
+        assert len(expand_key(FIPS_KEY)) == 11
+
+    def test_first_round_key_is_the_key(self):
+        assert bytes(expand_key(FIPS_KEY)[0]) == FIPS_KEY
+
+    def test_rejects_short_key(self):
+        with pytest.raises(CryptoError):
+            expand_key(b"short")
+
+    def test_rejects_long_key(self):
+        with pytest.raises(CryptoError):
+            AES128(b"x" * 24)
+
+
+class TestBlockValidation:
+    def test_encrypt_rejects_wrong_size(self):
+        with pytest.raises(CryptoError):
+            AES128(FIPS_KEY).encrypt_block(b"tiny")
+
+    def test_decrypt_rejects_wrong_size(self):
+        with pytest.raises(CryptoError):
+            AES128(FIPS_KEY).decrypt_block(b"x" * 17)
+
+
+@given(
+    key=st.binary(min_size=16, max_size=16),
+    block=st.binary(min_size=16, max_size=16),
+)
+def test_roundtrip_property(key, block):
+    cipher = AES128(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@given(key=st.binary(min_size=16, max_size=16))
+def test_encryption_is_not_identity(key):
+    block = bytes(16)
+    assert AES128(key).encrypt_block(block) != block
+
+
+@given(
+    key=st.binary(min_size=16, max_size=16),
+    block=st.binary(min_size=16, max_size=16),
+    bit=st.integers(min_value=0, max_value=127),
+)
+def test_avalanche_single_bit_changes_ciphertext(key, block, bit):
+    cipher = AES128(key)
+    flipped = bytearray(block)
+    flipped[bit // 8] ^= 1 << (bit % 8)
+    assert cipher.encrypt_block(block) != cipher.encrypt_block(bytes(flipped))

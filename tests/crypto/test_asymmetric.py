@@ -1,0 +1,110 @@
+"""Diffie-Hellman, RSA signatures and the deterministic RNG."""
+
+import pytest
+
+from repro.crypto.diffie_hellman import DhGroup, DhParty, establish_session_key
+from repro.crypto.rng import DeterministicRng, generate_prime, generate_safe_prime
+from repro.crypto.rsa import RsaKeyPair, verify
+from repro.errors import CryptoError
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a, b = DeterministicRng(1), DeterministicRng(1)
+        assert [a.randint(0, 100) for _ in range(5)] == [
+            b.randint(0, 100) for _ in range(5)
+        ]
+
+    def test_fork_is_deterministic(self):
+        a = DeterministicRng(1).fork("child")
+        b = DeterministicRng(1).fork("child")
+        assert a.token_bytes(8) == b.token_bytes(8)
+
+    def test_fork_labels_independent(self):
+        root = DeterministicRng(1)
+        assert root.fork("a").token_bytes(8) != root.fork("b").token_bytes(8)
+
+    def test_token_bytes_length(self):
+        assert len(DeterministicRng(0).token_bytes(33)) == 33
+        assert DeterministicRng(0).token_bytes(0) == b""
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(CryptoError):
+            DeterministicRng(0).token_bytes(-1)
+
+
+class TestPrimes:
+    def test_generated_prime_has_requested_bits(self):
+        rng = DeterministicRng(11)
+        prime = generate_prime(64, rng)
+        assert prime.bit_length() == 64
+
+    def test_prime_is_odd(self):
+        assert generate_prime(32, DeterministicRng(3)) % 2 == 1
+
+    def test_safe_prime_structure(self):
+        p = generate_safe_prime(48, DeterministicRng(5))
+        q = (p - 1) // 2
+        # q must itself be prime: check with a few small divisions and a
+        # Fermat test.
+        assert pow(2, q - 1, q) == 1
+
+    def test_tiny_prime_rejected(self):
+        with pytest.raises(CryptoError):
+            generate_prime(4, DeterministicRng(0))
+
+
+class TestDiffieHellman:
+    def test_both_sides_agree(self):
+        key_a, key_b = establish_session_key(DeterministicRng(42))
+        assert key_a == key_b
+        assert len(key_a) == 16
+
+    def test_different_seeds_different_keys(self):
+        key_1, _ = establish_session_key(DeterministicRng(1))
+        key_2, _ = establish_session_key(DeterministicRng(2))
+        assert key_1 != key_2
+
+    def test_out_of_range_peer_value_rejected(self):
+        rng = DeterministicRng(9)
+        group = DhGroup.generate(rng.fork("g"), bits=64)
+        party = DhParty(group, rng.fork("p"))
+        with pytest.raises(CryptoError):
+            party.shared_secret(1)
+        with pytest.raises(CryptoError):
+            party.shared_secret(group.prime - 1)
+
+    def test_bad_group_rejected(self):
+        with pytest.raises(CryptoError):
+            DhGroup(prime=10)
+
+
+class TestRsa:
+    def test_sign_verify(self):
+        keypair = RsaKeyPair.generate(DeterministicRng(7), bits=256)
+        signature = keypair.sign(b"measurement")
+        assert verify(keypair.public, b"measurement", signature)
+
+    def test_wrong_message_fails(self):
+        keypair = RsaKeyPair.generate(DeterministicRng(7), bits=256)
+        signature = keypair.sign(b"measurement")
+        assert not verify(keypair.public, b"tampered", signature)
+
+    def test_wrong_key_fails(self):
+        signer = RsaKeyPair.generate(DeterministicRng(7), bits=256)
+        other = RsaKeyPair.generate(DeterministicRng(8), bits=256)
+        signature = signer.sign(b"m")
+        assert not verify(other.public, b"m", signature)
+
+    def test_signature_out_of_range_fails(self):
+        keypair = RsaKeyPair.generate(DeterministicRng(7), bits=256)
+        assert not verify(keypair.public, b"m", keypair.public.modulus + 1)
+
+    def test_fingerprint_stable(self):
+        keypair = RsaKeyPair.generate(DeterministicRng(7), bits=256)
+        assert keypair.public.fingerprint() == keypair.public.fingerprint()
+        assert len(keypair.public.fingerprint()) == 20
+
+    def test_tiny_modulus_rejected(self):
+        with pytest.raises(CryptoError):
+            RsaKeyPair.generate(DeterministicRng(1), bits=32)

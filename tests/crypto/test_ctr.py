@@ -1,0 +1,119 @@
+"""Counter-mode encryption: pad streams, synchronisation, roundtrips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.ctr import (
+    CtrPadGenerator,
+    ctr_decrypt,
+    ctr_encrypt,
+    make_iv,
+    xor_bytes,
+)
+from repro.errors import CryptoError
+
+KEY = bytes(range(16))
+
+
+class TestXor:
+    def test_xor_roundtrip(self):
+        a, b = b"\xaa" * 8, b"\x55" * 8
+        assert xor_bytes(xor_bytes(a, b), b) == a
+
+    def test_length_mismatch(self):
+        with pytest.raises(CryptoError):
+            xor_bytes(b"ab", b"abc")
+
+
+class TestIv:
+    def test_iv_packing(self):
+        iv = make_iv(nonce=1, counter=2)
+        assert len(iv) == 16
+        assert int.from_bytes(iv[:8], "big") == 1
+        assert int.from_bytes(iv[8:], "big") == 2
+
+    def test_nonce_overflow_rejected(self):
+        with pytest.raises(CryptoError):
+            make_iv(1 << 64, 0)
+
+    def test_counter_overflow_rejected(self):
+        with pytest.raises(CryptoError):
+            make_iv(0, 1 << 64)
+
+
+class TestPadGenerator:
+    def test_synchronized_generators_produce_equal_pads(self):
+        processor = CtrPadGenerator(KEY, nonce=7)
+        memory = CtrPadGenerator(KEY, nonce=7)
+        assert processor.next_pads(6) == memory.next_pads(6)
+
+    def test_counter_advances_by_pad_count(self):
+        generator = CtrPadGenerator(KEY)
+        generator.next_pads(6)
+        assert generator.counter == 6
+
+    def test_peek_does_not_advance(self):
+        generator = CtrPadGenerator(KEY)
+        peeked = generator.peek_pads(3)
+        assert generator.counter == 0
+        assert generator.next_pads(3) == peeked
+
+    def test_pads_never_repeat(self):
+        generator = CtrPadGenerator(KEY)
+        pads = generator.next_pads(64)
+        assert len(set(pads)) == 64
+
+    def test_different_nonces_different_streams(self):
+        a = CtrPadGenerator(KEY, nonce=0)
+        b = CtrPadGenerator(KEY, nonce=1)
+        assert a.next_pads(4) != b.next_pads(4)
+
+    def test_desync_after_skip(self):
+        processor = CtrPadGenerator(KEY)
+        memory = CtrPadGenerator(KEY)
+        processor.next_pads(1)  # one message lost on the wire
+        assert processor.next_pads(1) != memory.next_pads(1)
+
+    def test_advance_skips(self):
+        a = CtrPadGenerator(KEY)
+        b = CtrPadGenerator(KEY)
+        a.advance(5)
+        b.next_pads(5)
+        assert a.next_pads(1) == b.next_pads(1)
+
+    def test_advance_rejects_rewind(self):
+        with pytest.raises(CryptoError):
+            CtrPadGenerator(KEY).advance(-1)
+
+    def test_fork_preserves_state(self):
+        generator = CtrPadGenerator(KEY, nonce=3)
+        generator.next_pads(9)
+        fork = generator.fork()
+        assert fork.next_pads(2) == generator.next_pads(2)
+
+    def test_zero_pads_rejected(self):
+        with pytest.raises(CryptoError):
+            CtrPadGenerator(KEY).next_pads(0)
+
+
+class TestWholeMessage:
+    def test_roundtrip(self):
+        iv = make_iv(9, 0)
+        message = b"the access pattern must be obfuscated on the memory bus!"
+        assert ctr_decrypt(KEY, iv, ctr_encrypt(KEY, iv, message)) == message
+
+    def test_empty_message(self):
+        iv = make_iv(0, 0)
+        assert ctr_encrypt(KEY, iv, b"") == b""
+
+    @given(st.binary(max_size=200), st.integers(min_value=0, max_value=2**63))
+    def test_roundtrip_property(self, message, counter):
+        iv = make_iv(1, counter)
+        assert ctr_decrypt(KEY, iv, ctr_encrypt(KEY, iv, message)) == message
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_same_iv_same_keystream(self, counter):
+        iv = make_iv(2, counter)
+        message = b"x" * 48
+        assert ctr_encrypt(KEY, iv, message) == ctr_encrypt(KEY, iv, message)

@@ -1,0 +1,93 @@
+"""HMAC construction (RFC 2202 vectors) and the two bus-MAC schemes."""
+
+import pytest
+
+from repro.crypto.mac import (
+    constant_time_equal,
+    encode_request_fields,
+    encrypt_and_mac_tag,
+    encrypt_then_mac_tag,
+    hmac,
+)
+from repro.errors import CryptoError
+
+
+class TestHmacRfc2202:
+    """HMAC-MD5 test vectors from RFC 2202."""
+
+    def test_case_1(self):
+        tag = hmac(b"\x0b" * 16, b"Hi There", "md5")
+        assert tag.hex() == "9294727a3638bb1c13f48ef8158bfc9d"
+
+    def test_case_2(self):
+        tag = hmac(b"Jefe", b"what do ya want for nothing?", "md5")
+        assert tag.hex() == "750c783e6ab0b503eaa86e310a5db738"
+
+    def test_case_3(self):
+        tag = hmac(b"\xaa" * 16, b"\xdd" * 50, "md5")
+        assert tag.hex() == "56be34521d144c88dbb8c733f0e8b3f6"
+
+    def test_case_6_long_key(self):
+        tag = hmac(
+            b"\xaa" * 80,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+            "md5",
+        )
+        assert tag.hex() == "6b1ab7fe4bd7bf8f0b62e6ce61b9d0cd"
+
+    def test_sha1_case_1(self):
+        tag = hmac(b"\x0b" * 20, b"Hi There", "sha1")
+        assert tag.hex() == "b617318655057264e28bc0b6fb378c8ef146be00"
+
+
+class TestHmacInterface:
+    def test_unknown_hash_rejected(self):
+        with pytest.raises(CryptoError):
+            hmac(b"k", b"m", "sha256")
+
+    def test_key_separates_tags(self):
+        assert hmac(b"k1", b"m") != hmac(b"k2", b"m")
+
+
+class TestConstantTimeEqual:
+    def test_equal(self):
+        assert constant_time_equal(b"abc", b"abc")
+
+    def test_unequal(self):
+        assert not constant_time_equal(b"abc", b"abd")
+
+    def test_length_mismatch(self):
+        assert not constant_time_equal(b"abc", b"abcd")
+
+
+class TestRequestFieldEncoding:
+    def test_layout(self):
+        encoded = encode_request_fields(1, 0x1234, 99)
+        assert len(encoded) == 17
+        assert encoded[0] == 1
+        assert int.from_bytes(encoded[1:9], "big") == 0x1234
+        assert int.from_bytes(encoded[9:], "big") == 99
+
+    def test_negative_rejected(self):
+        with pytest.raises(CryptoError):
+            encode_request_fields(-1, 0, 0)
+
+
+class TestBusMacs:
+    KEY = b"sixteen byte key"
+
+    def test_encrypt_and_mac_binds_all_fields(self):
+        base = encrypt_and_mac_tag(self.KEY, 0, 0x1000, 5)
+        assert encrypt_and_mac_tag(self.KEY, 1, 0x1000, 5) != base  # type
+        assert encrypt_and_mac_tag(self.KEY, 0, 0x1040, 5) != base  # address
+        assert encrypt_and_mac_tag(self.KEY, 0, 0x1000, 6) != base  # counter
+
+    def test_encrypt_and_mac_deterministic(self):
+        assert encrypt_and_mac_tag(self.KEY, 0, 0x1000, 5) == encrypt_and_mac_tag(
+            self.KEY, 0, 0x1000, 5
+        )
+
+    def test_encrypt_then_mac_binds_ciphertext(self):
+        assert encrypt_then_mac_tag(self.KEY, b"ct-1") != encrypt_then_mac_tag(
+            self.KEY, b"ct-2"
+        )

@@ -1,0 +1,108 @@
+"""Merkle tree: verification, tamper detection, geometry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.merkle import MerkleTree
+from repro.crypto.sha1 import sha1
+from repro.errors import ConfigurationError, IntegrityError
+
+
+class TestConstruction:
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ConfigurationError):
+            MerkleTree(0)
+
+    def test_rejects_unary(self):
+        with pytest.raises(ConfigurationError):
+            MerkleTree(8, arity=1)
+
+    def test_rounds_up_to_full_tree(self):
+        tree = MerkleTree(100, arity=8)
+        assert tree.num_leaves == 512
+        assert tree.num_levels == 4  # 512 -> 64 -> 8 -> 1
+
+    def test_binary_tree_geometry(self):
+        tree = MerkleTree(4, arity=2)
+        assert tree.num_leaves == 4
+        assert tree.num_levels == 3
+
+
+class TestVerification:
+    def test_update_then_verify(self):
+        tree = MerkleTree(64)
+        tree.update(10, b"block ten")
+        assert tree.verify(10, b"block ten") > 0
+
+    def test_verify_wrong_payload_fails(self):
+        tree = MerkleTree(64)
+        tree.update(10, b"block ten")
+        with pytest.raises(IntegrityError):
+            tree.verify(10, b"block eleven")
+
+    def test_root_changes_on_update(self):
+        tree = MerkleTree(64)
+        before = tree.root
+        tree.update(0, b"data")
+        assert tree.root != before
+
+    def test_update_is_idempotent_on_root(self):
+        tree = MerkleTree(64)
+        tree.update(3, b"v")
+        root = tree.root
+        tree.update(3, b"v")
+        assert tree.root == root
+
+    def test_out_of_range_rejected(self):
+        tree = MerkleTree(10)
+        with pytest.raises(ConfigurationError):
+            tree.verify(10, b"x")
+
+
+class TestTamperDetection:
+    def test_tampered_leaf_detected(self):
+        tree = MerkleTree(64)
+        tree.update(5, b"legit")
+        tree.tamper_leaf(5, sha1(b"evil"))
+        with pytest.raises(IntegrityError):
+            tree.verify(5, b"legit")
+
+    def test_tampered_internal_node_detected(self):
+        tree = MerkleTree(64, arity=2)
+        tree.update(5, b"legit")
+        tree.tamper_node(1, 2, sha1(b"evil"))
+        with pytest.raises(IntegrityError):
+            tree.verify(5, b"legit")
+
+    def test_root_is_untamperable(self):
+        tree = MerkleTree(64)
+        with pytest.raises(ConfigurationError):
+            tree.tamper_node(tree.num_levels - 1, 0, sha1(b"evil"))
+
+    def test_consistent_tamper_of_leaf_and_data_still_detected(self):
+        # Attacker replaces both the stored data and the leaf hash; the
+        # parent chain still mismatches because parents were not recomputed.
+        tree = MerkleTree(64, arity=2)
+        tree.update(7, b"original")
+        tree.tamper_leaf(7, sha1(b"forged"))
+        with pytest.raises(IntegrityError):
+            tree.verify(7, b"forged")
+
+
+@settings(max_examples=25)
+@given(
+    updates=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=63), st.binary(max_size=32)),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_all_updates_remain_verifiable(updates):
+    tree = MerkleTree(64, arity=4)
+    latest = {}
+    for index, payload in updates:
+        tree.update(index, payload)
+        latest[index] = payload
+    for index, payload in latest.items():
+        tree.verify(index, payload)

@@ -1,0 +1,40 @@
+"""NIST SP 800-38A F.5.1 CTR-AES128 known-answer test."""
+
+from repro.crypto.aes import AES128
+from repro.crypto.ctr import ctr_keystream, xor_bytes
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+INITIAL_COUNTER = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+
+PLAINTEXT_BLOCKS = [
+    "6bc1bee22e409f96e93d7e117393172a",
+    "ae2d8a571e03ac9c9eb76fac45af8e51",
+    "30c81c46a35ce411e5fbc1191a0a52ef",
+    "f69f2445df4f9b17ad2b417be66c3710",
+]
+
+CIPHERTEXT_BLOCKS = [
+    "874d6191b620e3261bef6864990db6ce",
+    "9806f66b7970fdff8617187bb9fffdff",
+    "5ae4df3edbd5d35e5b4f09020db03eab",
+    "1e031dda2fbe03d1792170a0f3009cee",
+]
+
+
+def test_sp800_38a_f51_ctr_encrypt():
+    """Our keystream XORed with NIST's plaintext must give NIST's
+    ciphertext for all four blocks (the low-64-bit counter increments
+    match the 128-bit reference counter here: no carry crosses bit 64)."""
+    cipher = AES128(KEY)
+    plaintext = b"".join(bytes.fromhex(block) for block in PLAINTEXT_BLOCKS)
+    expected = b"".join(bytes.fromhex(block) for block in CIPHERTEXT_BLOCKS)
+    keystream = ctr_keystream(cipher, INITIAL_COUNTER, len(plaintext))
+    assert xor_bytes(plaintext, keystream) == expected
+
+
+def test_sp800_38a_f51_ctr_decrypt():
+    cipher = AES128(KEY)
+    ciphertext = b"".join(bytes.fromhex(block) for block in CIPHERTEXT_BLOCKS)
+    expected = b"".join(bytes.fromhex(block) for block in PLAINTEXT_BLOCKS)
+    keystream = ctr_keystream(cipher, INITIAL_COUNTER, len(ciphertext))
+    assert xor_bytes(ciphertext, keystream) == expected

@@ -1,0 +1,78 @@
+"""CSV export and the Markdown report generator."""
+
+import csv
+
+from repro.experiments import energy, export, figure4, figure5, table1, table3, table4
+from repro.experiments.report import generate_report
+
+FAST = dict(num_requests=400, seed=7)
+SUBSET = ["bwaves", "astar"]
+
+
+def _read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestCsvExport:
+    def test_table1(self, tmp_path):
+        rows = table1.run(benchmarks=SUBSET, **FAST)
+        path = export.write_table1(rows, tmp_path / "t1.csv")
+        content = _read_csv(path)
+        assert content[0][0] == "benchmark"
+        assert len(content) == 3
+        assert content[1][0] == "bwaves"
+
+    def test_table3(self, tmp_path):
+        result = table3.run(benchmarks=SUBSET, **FAST)
+        content = _read_csv(export.write_table3(result, tmp_path / "t3.csv"))
+        assert len(content) == 3
+        assert float(content[1][1]) > 100  # bwaves ORAM overhead
+
+    def test_figure4(self, tmp_path):
+        result = figure4.run(benchmarks=SUBSET, **FAST)
+        content = _read_csv(export.write_figure4(result, tmp_path / "f4.csv"))
+        assert content[0] == [
+            "benchmark",
+            "encryption_pct",
+            "obfusmem_pct",
+            "obfusmem_auth_pct",
+        ]
+
+    def test_figure5(self, tmp_path):
+        result = figure5.run(
+            benchmarks=["astar"], channel_counts=(2,), num_requests=300, cores=1
+        )
+        content = _read_csv(export.write_figure5(result, tmp_path / "f5.csv"))
+        assert len(content) == 5  # header + 2 injections x 2 auth modes
+
+    def test_table4(self, tmp_path):
+        result = table4.run(benchmark="astar", num_requests=300, seed=7)
+        content = _read_csv(export.write_table4(result, tmp_path / "t4.csv"))
+        aspects = [row[0] for row in content[1:]]
+        assert "type_accuracy" in aspects
+
+    def test_energy(self, tmp_path):
+        result = energy.run(benchmark="astar", num_requests=300, seed=7)
+        content = _read_csv(export.write_energy(result, tmp_path / "energy.csv"))
+        by_name = {row[0]: row for row in content[1:]}
+        assert float(by_name["energy_factor"][1]) == 780.0
+
+
+class TestReport:
+    def test_report_contains_all_sections(self):
+        report = generate_report(
+            num_requests=300, benchmarks=SUBSET, include_figure5=False
+        )
+        for section in ("Table 1", "Table 3", "Figure 4", "Table 4", "Section 5.2"):
+            assert section in report
+        assert "Figure 5" not in report
+
+    def test_report_with_figure5(self):
+        report = generate_report(
+            num_requests=300,
+            benchmarks=["astar"],
+            include_figure5=True,
+            figure5_requests=200,
+        )
+        assert "Figure 5" in report

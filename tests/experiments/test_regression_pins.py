@@ -1,0 +1,69 @@
+"""Regression pins: deterministic headline numbers stay in their bands.
+
+Every simulation in this repository is deterministic, so the reproduction's
+headline quantities can be pinned.  These bands are intentionally wider
+than run-to-run noise (there is none) but tight enough that a refactor
+which silently shifts the physics — a lost turnaround penalty, a broken
+dummy drop, a counter-cache regression — fails loudly here.
+"""
+
+import pytest
+
+from repro.experiments import figure4, table3
+from repro.experiments.runner import clear_cache
+
+BENCHMARKS = ["bwaves", "mcf", "astar"]
+REQUESTS = 1000
+SEED = 2017
+
+
+@pytest.fixture(scope="module")
+def results():
+    clear_cache()
+    t3 = table3.run(benchmarks=BENCHMARKS, num_requests=REQUESTS, seed=SEED)
+    f4 = figure4.run(benchmarks=BENCHMARKS, num_requests=REQUESTS, seed=SEED)
+    clear_cache()
+    return t3, f4
+
+
+class TestHeadlinePins:
+    def test_oram_overhead_band(self, results):
+        t3, _ = results
+        by_name = {row.benchmark: row for row in t3.rows}
+        # Paper: bwaves 1561%, mcf 1133%, astar 31%.
+        assert 900 < by_name["bwaves"].oram_overhead_pct < 1600
+        assert 600 < by_name["mcf"].oram_overhead_pct < 1300
+        assert 20 < by_name["astar"].oram_overhead_pct < 45
+
+    def test_obfusmem_overhead_band(self, results):
+        t3, _ = results
+        by_name = {row.benchmark: row for row in t3.rows}
+        # Paper: bwaves 18.9%, mcf 32.1%, astar 0.1%.
+        assert 8 < by_name["bwaves"].obfusmem_auth_overhead_pct < 25
+        assert 15 < by_name["mcf"].obfusmem_auth_overhead_pct < 40
+        assert by_name["astar"].obfusmem_auth_overhead_pct < 2.5
+
+    def test_speedup_band(self, results):
+        t3, _ = results
+        by_name = {row.benchmark: row for row in t3.rows}
+        assert 8 < by_name["bwaves"].speedup < 16  # paper 14.0x
+        assert 5 < by_name["mcf"].speedup < 12  # paper 9.3x
+        assert 1.1 < by_name["astar"].speedup < 1.6  # paper 1.3x
+
+    def test_breakdown_monotone_and_bounded(self, results):
+        _, f4 = results
+        for row in f4.rows:
+            assert 0 <= row.encryption_pct <= row.obfusmem_pct + 0.5
+            assert row.obfusmem_pct <= row.obfusmem_auth_pct + 0.5
+            assert row.obfusmem_auth_pct < 40
+
+    def test_determinism_of_the_pins_themselves(self, results):
+        """Re-running the exact configuration reproduces identical values."""
+        t3, _ = results
+        clear_cache()
+        again = table3.run(benchmarks=BENCHMARKS, num_requests=REQUESTS, seed=SEED)
+        for first, second in zip(t3.rows, again.rows):
+            assert first.oram_overhead_pct == second.oram_overhead_pct
+            assert (
+                first.obfusmem_auth_overhead_pct == second.obfusmem_auth_overhead_pct
+            )

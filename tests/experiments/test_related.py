@@ -1,0 +1,53 @@
+"""Related-work comparison experiment (§7 positioning, measured)."""
+
+import pytest
+
+from repro.experiments import related
+
+
+@pytest.fixture(scope="module")
+def result():
+    return related.run(benchmark="bwaves", num_requests=800, seed=7)
+
+
+class TestRelatedComparison:
+    def test_unprotected_leaks_everything_for_free(self, result):
+        row = result.row("unprotected")
+        assert row.overhead_pct == pytest.approx(0.0)
+        assert row.block_locality > 0.5
+        assert row.type_accuracy == 1.0
+
+    def test_hide_is_partial(self, result):
+        row = result.row("hide-chunk-permute")
+        # Intra-chunk locality hidden...
+        assert row.block_locality < 0.3
+        # ...but chunk-grain locality and the request type leak.
+        assert row.chunk_locality > 0.7
+        assert row.type_accuracy == 1.0
+
+    def test_hide_reshuffling_costs_row_locality(self, result):
+        """The measured §6.2 argument: schemes that move data pay for it."""
+        hide = result.row("hide-chunk-permute")
+        obfus = result.row("obfusmem+auth")
+        assert hide.overhead_pct > obfus.overhead_pct
+
+    def test_obfusmem_hides_all_dimensions(self, result):
+        row = result.row("obfusmem+auth")
+        assert row.block_locality < 0.02
+        assert row.chunk_locality < 0.1
+        assert row.temporal_repeats == 0.0
+        assert row.type_accuracy == pytest.approx(0.5, abs=0.05)
+
+    def test_oram_complete_but_costly(self, result):
+        oram = result.row("path-oram")
+        obfus = result.row("obfusmem+auth")
+        assert oram.overhead_pct > 10 * obfus.overhead_pct
+
+    def test_formatting(self, result):
+        table = related.format_results(result)
+        assert "hide-chunk-permute" in table
+        assert "obfusmem+auth" in table
+
+    def test_unknown_system_raises(self, result):
+        with pytest.raises(KeyError):
+            result.row("invisimem")

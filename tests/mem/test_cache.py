@@ -1,0 +1,113 @@
+"""Set-associative cache: LRU, evictions, MESI line states."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mem.cache import MesiState, SetAssociativeCache
+from repro.sim.statistics import StatGroup
+
+
+def make_cache(size=4096, assoc=4):
+    return SetAssociativeCache("test", size, assoc, 2, StatGroup("test"))
+
+
+class TestGeometry:
+    def test_set_count(self):
+        cache = make_cache(size=4096, assoc=4)  # 4096/(4*64) = 16 sets
+        assert cache.num_sets == 16
+
+    def test_indivisible_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache("bad", 1000, 3, 1, StatGroup("bad"))
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache("bad", 3 * 64 * 2, 2, 1, StatGroup("bad"))
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.lookup(5) is None
+        cache.insert(5, MesiState.EXCLUSIVE)
+        assert cache.lookup(5).state is MesiState.EXCLUSIVE
+
+    def test_reinsert_updates_state(self):
+        cache = make_cache()
+        cache.insert(5, MesiState.EXCLUSIVE)
+        cache.insert(5, MesiState.MODIFIED)
+        assert cache.lookup(5).state is MesiState.MODIFIED
+
+    def test_lru_victim_selection(self):
+        cache = make_cache(size=2 * 64 * 16, assoc=2)  # 16 sets, 2-way
+        way0, way1, way2 = 0, 16, 32  # same set (stride = num_sets)
+        cache.insert(way0, MesiState.EXCLUSIVE)
+        cache.insert(way1, MesiState.EXCLUSIVE)
+        cache.lookup(way0)  # touch way0: way1 becomes LRU
+        eviction = cache.insert(way2, MesiState.EXCLUSIVE)
+        assert eviction.block == way1
+
+    def test_dirty_eviction_flagged(self):
+        cache = make_cache(size=2 * 64 * 16, assoc=2)
+        cache.insert(0, MesiState.MODIFIED)
+        cache.insert(16, MesiState.EXCLUSIVE)
+        eviction = cache.insert(32, MesiState.EXCLUSIVE)
+        assert eviction.block == 0 and eviction.dirty
+
+    def test_clean_eviction_not_dirty(self):
+        cache = make_cache(size=2 * 64 * 16, assoc=2)
+        cache.insert(0, MesiState.SHARED)
+        cache.insert(16, MesiState.EXCLUSIVE)
+        eviction = cache.insert(32, MesiState.EXCLUSIVE)
+        assert not eviction.dirty
+
+
+class TestCoherenceOperations:
+    def test_invalidate_returns_dirtiness(self):
+        cache = make_cache()
+        cache.insert(1, MesiState.MODIFIED)
+        assert cache.invalidate(1) is True
+        assert cache.lookup(1) is None
+
+    def test_invalidate_absent_block(self):
+        assert make_cache().invalidate(99) is False
+
+    def test_downgrade_modified_to_shared(self):
+        cache = make_cache()
+        cache.insert(1, MesiState.MODIFIED)
+        assert cache.downgrade(1) is True
+        assert cache.lookup(1).state is MesiState.SHARED
+
+    def test_downgrade_exclusive_clean(self):
+        cache = make_cache()
+        cache.insert(1, MesiState.EXCLUSIVE)
+        assert cache.downgrade(1) is False
+
+    def test_set_state_requires_residency(self):
+        with pytest.raises(ConfigurationError):
+            make_cache().set_state(42, MesiState.SHARED)
+
+
+@settings(max_examples=30)
+@given(
+    operations=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=200), st.booleans()),
+        max_size=100,
+    )
+)
+def test_capacity_never_exceeded(operations):
+    cache = make_cache(size=1024, assoc=2)  # 8 sets x 2 ways = 16 lines
+    for block, dirty in operations:
+        cache.insert(block, MesiState.MODIFIED if dirty else MesiState.EXCLUSIVE)
+    assert len(cache.resident_blocks()) <= 16
+
+
+@settings(max_examples=30)
+@given(blocks=st.lists(st.integers(min_value=0, max_value=500), max_size=60))
+def test_most_recent_insert_always_resident(blocks):
+    cache = make_cache(size=1024, assoc=2)
+    for block in blocks:
+        cache.insert(block, MesiState.EXCLUSIVE)
+        assert cache.contains(block)

@@ -1,0 +1,117 @@
+"""Three-level hierarchy: hit levels, write-backs, MESI coherence."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.mem.request import RequestType
+from repro.sim.statistics import StatRegistry
+
+
+def make_hierarchy(**kwargs):
+    return CacheHierarchy(HierarchyConfig(**kwargs), StatRegistry())
+
+
+class TestHitLevels:
+    def test_cold_miss_goes_to_memory(self):
+        hierarchy = make_hierarchy()
+        result = hierarchy.access(0, 0x1000, is_write=False)
+        assert result.hit_level == "memory"
+        assert any(r.is_read for r in result.memory_requests)
+
+    def test_second_access_hits_l1(self):
+        hierarchy = make_hierarchy()
+        hierarchy.access(0, 0x1000, is_write=False)
+        result = hierarchy.access(0, 0x1000, is_write=False)
+        assert result.hit_level == "L1"
+        assert result.memory_requests == []
+
+    def test_latency_accumulates_per_level(self):
+        config = HierarchyConfig()
+        hierarchy = CacheHierarchy(config, StatRegistry())
+        miss = hierarchy.access(0, 0x1000, False)
+        hit = hierarchy.access(0, 0x1000, False)
+        assert hit.latency_cycles == config.l1_latency
+        assert miss.latency_cycles == (
+            config.l1_latency + config.l2_latency + config.l3_latency
+        )
+
+    def test_l3_hit_after_other_core_fetch(self):
+        hierarchy = make_hierarchy()
+        hierarchy.access(0, 0x1000, is_write=False)
+        result = hierarchy.access(1, 0x1000, is_write=False)
+        assert result.hit_level == "L3"
+
+
+class TestWritebacks:
+    def test_dirty_l3_eviction_writes_back(self):
+        # Tiny L3 so evictions occur quickly.
+        hierarchy = make_hierarchy(
+            cores=1,
+            l1_size=2 * 64 * 2,
+            l1_assoc=2,
+            l2_size=4 * 64 * 2,
+            l2_assoc=2,
+            l3_size=8 * 64 * 2,
+            l3_assoc=2,
+        )
+        writebacks = []
+        # Write a block, then stream enough conflicting blocks to push it
+        # out of the inclusive L3.
+        hierarchy.access(0, 0, is_write=True)
+        for i in range(1, 64):
+            result = hierarchy.access(0, i * 64 * 16, is_write=False)
+            writebacks += [r for r in result.memory_requests if r.is_write]
+        assert writebacks, "expected a dirty write-back from L3 eviction"
+        assert all(r.request_type is RequestType.WRITE for r in writebacks)
+
+    def test_inclusive_l3_back_invalidates(self):
+        hierarchy = make_hierarchy(
+            cores=1,
+            l1_size=2 * 64 * 2,
+            l1_assoc=2,
+            l2_size=4 * 64 * 2,
+            l2_assoc=2,
+            l3_size=8 * 64 * 2,
+            l3_assoc=2,
+        )
+        hierarchy.access(0, 0, is_write=False)
+        for i in range(1, 64):
+            hierarchy.access(0, i * 64 * 16, is_write=False)
+        stats = hierarchy.stats
+        assert stats.get("back_invalidations") > 0
+
+
+class TestCoherence:
+    def test_write_invalidates_other_core(self):
+        hierarchy = make_hierarchy()
+        hierarchy.access(0, 0x2000, is_write=False)
+        hierarchy.access(1, 0x2000, is_write=False)
+        hierarchy.access(0, 0x2000, is_write=True)
+        # Core 1 must re-fetch (its copy was invalidated) — but from L3,
+        # not memory.
+        result = hierarchy.access(1, 0x2000, is_write=False)
+        assert result.hit_level == "L3"
+        assert hierarchy.stats.get("coherence_invalidations") > 0
+
+    def test_read_sharing_no_invalidation(self):
+        hierarchy = make_hierarchy()
+        hierarchy.access(0, 0x3000, is_write=False)
+        hierarchy.access(1, 0x3000, is_write=False)
+        assert hierarchy.stats.get("coherence_invalidations") == 0
+
+    def test_invalid_core_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_hierarchy(cores=2).access(2, 0, False)
+
+
+class TestMpki:
+    def test_mpki_accounting(self):
+        hierarchy = make_hierarchy()
+        hierarchy.instructions = 10_000
+        for i in range(10):
+            hierarchy.access(0, i * 64 * 1024, is_write=False)
+        assert hierarchy.mpki() == pytest.approx(1.0)
+
+    def test_zero_instructions(self):
+        assert make_hierarchy().mpki() == 0.0

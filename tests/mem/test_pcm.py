@@ -1,0 +1,127 @@
+"""PCM device: row-buffer semantics, wear accounting, functional store."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.address_mapping import AddressMapping
+from repro.mem.dram_timing import PcmEnergy, PcmTiming
+from repro.mem.pcm import PcmDevice
+from repro.sim.statistics import StatGroup
+
+
+def make_device(functional=False, channels=1):
+    mapping = AddressMapping(channels=channels)
+    return (
+        PcmDevice(
+            mapping, 0, PcmTiming(), PcmEnergy(), StatGroup("pcm"), functional=functional
+        ),
+        mapping,
+    )
+
+
+class TestRowBuffer:
+    def test_first_access_activates(self):
+        device, mapping = make_device()
+        timing = device.access(mapping.decode(0), is_write=False)
+        assert not timing.row_hit
+        assert timing.preparation_ps == PcmTiming().t_rcd_ps
+
+    def test_same_row_hits(self):
+        device, mapping = make_device()
+        device.access(mapping.decode(0), is_write=False)
+        timing = device.access(mapping.decode(64), is_write=False)
+        assert timing.row_hit
+        assert timing.preparation_ps == 0
+
+    def test_clean_row_conflict_costs_activation_only(self):
+        device, mapping = make_device()
+        device.access(mapping.decode(0), is_write=False)
+        # Another row in the same bank: same (rank, bank), different row.
+        conflict = mapping.encode(
+            mapping.decode(0).__class__(channel=0, rank=0, bank=0, row=5, column=0)
+        )
+        timing = device.access(mapping.decode(conflict), is_write=False)
+        assert timing.preparation_ps == PcmTiming().t_rcd_ps
+        assert not timing.wrote_cells
+
+    def test_dirty_row_conflict_writes_cells(self):
+        device, mapping = make_device()
+        device.access(mapping.decode(0), is_write=True)  # dirty row 0
+        conflict = mapping.encode(
+            mapping.decode(0).__class__(channel=0, rank=0, bank=0, row=5, column=0)
+        )
+        timing = device.access(mapping.decode(conflict), is_write=False)
+        assert timing.wrote_cells
+        expected = PcmTiming().t_rp_ps + PcmTiming().t_rcd_ps
+        assert timing.preparation_ps == expected
+        assert device.total_cell_writes == 1
+
+    def test_writes_only_dirty_the_buffer(self):
+        device, mapping = make_device()
+        device.access(mapping.decode(0), is_write=True)
+        assert device.total_cell_writes == 0  # cells written only on eviction
+
+
+class TestWear:
+    def test_flush_accounts_dirty_rows(self):
+        device, mapping = make_device()
+        device.access(mapping.decode(0), is_write=True)
+        assert device.flush_dirty_rows() == 1
+        assert device.total_cell_writes == 1
+
+    def test_flush_idempotent(self):
+        device, mapping = make_device()
+        device.access(mapping.decode(0), is_write=True)
+        device.flush_dirty_rows()
+        assert device.flush_dirty_rows() == 0
+
+    def test_max_row_writes_tracks_hot_row(self):
+        device, mapping = make_device()
+        row0 = mapping.decode(0)
+        row5 = mapping.decode(
+            mapping.encode(row0.__class__(channel=0, rank=0, bank=0, row=5, column=0))
+        )
+        for _ in range(3):
+            device.access(row0, is_write=True)
+            device.access(row5, is_write=False)  # evicts dirty row 0
+        assert device.max_row_writes == 3
+
+
+class TestEnergyStats:
+    def test_energy_accumulates(self):
+        device, mapping = make_device()
+        device.access(mapping.decode(0), is_write=False)
+        assert device.stats.get("energy_pj") > 0
+        assert device.stats.get("array_reads") == 1
+
+    def test_row_hit_counted(self):
+        device, mapping = make_device()
+        device.access(mapping.decode(0), is_write=False)
+        device.access(mapping.decode(64), is_write=False)
+        assert device.stats.get("row_buffer_hits") == 1
+
+
+class TestFunctionalStore:
+    def test_read_write_roundtrip(self):
+        device, _ = make_device(functional=True)
+        device.write_block(128, b"\x42" * 64)
+        assert device.read_block(128) == b"\x42" * 64
+
+    def test_unwritten_reads_zero(self):
+        device, _ = make_device(functional=True)
+        assert device.read_block(0) == b"\x00" * 64
+
+    def test_unaligned_access_normalized(self):
+        device, _ = make_device(functional=True)
+        device.write_block(130, b"\x01" * 64)
+        assert device.read_block(128) == b"\x01" * 64
+
+    def test_non_functional_rejects_data_access(self):
+        device, _ = make_device(functional=False)
+        with pytest.raises(ConfigurationError):
+            device.read_block(0)
+
+    def test_bad_block_size_rejected(self):
+        device, _ = make_device(functional=True)
+        with pytest.raises(ConfigurationError):
+            device.write_block(0, b"short")

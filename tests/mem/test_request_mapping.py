@@ -1,0 +1,130 @@
+"""Memory requests and the RoRaBaChCo address mapping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mem.address_mapping import AddressMapping, DecodedAddress
+from repro.mem.request import (
+    BLOCK_SIZE_BYTES,
+    MemoryRequest,
+    RequestType,
+    block_aligned,
+)
+
+
+class TestMemoryRequest:
+    def test_alignment_enforced(self):
+        with pytest.raises(ConfigurationError):
+            MemoryRequest(3, RequestType.READ)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryRequest(-64, RequestType.READ)
+
+    def test_payload_size_enforced(self):
+        with pytest.raises(ConfigurationError):
+            MemoryRequest(0, RequestType.WRITE, payload=b"short")
+
+    def test_opposite_type(self):
+        assert RequestType.READ.opposite is RequestType.WRITE
+        assert RequestType.WRITE.opposite is RequestType.READ
+
+    def test_block_index(self):
+        assert MemoryRequest(128, RequestType.READ).block_index == 2
+
+    def test_latency_requires_completion(self):
+        request = MemoryRequest(0, RequestType.READ)
+        with pytest.raises(ConfigurationError):
+            _ = request.latency_ps
+        request.issue_time_ps = 100
+        request.complete_time_ps = 350
+        assert request.latency_ps == 250
+
+    def test_unique_ids(self):
+        a = MemoryRequest(0, RequestType.READ)
+        b = MemoryRequest(0, RequestType.READ)
+        assert a.request_id != b.request_id
+
+    def test_block_aligned(self):
+        assert block_aligned(130) == 128
+
+
+class TestAddressMapping:
+    def test_table2_organization(self):
+        mapping = AddressMapping()
+        assert mapping.channels == 1
+        assert mapping.blocks_per_row == 16  # 1KB row / 64B blocks
+        assert mapping.num_blocks == (8 << 30) // 64
+
+    def test_decode_low_address(self):
+        mapping = AddressMapping(channels=2)
+        decoded = mapping.decode(0)
+        assert decoded == DecodedAddress(channel=0, rank=0, bank=0, row=0, column=0)
+
+    def test_column_walks_first(self):
+        mapping = AddressMapping(channels=2)
+        # Consecutive blocks stay in the same row until the column wraps.
+        first = mapping.decode(0)
+        second = mapping.decode(64)
+        assert (second.row, second.channel, second.bank) == (
+            first.row,
+            first.channel,
+            first.bank,
+        )
+        assert second.column == first.column + 1
+
+    def test_channel_interleaves_after_row_chunk(self):
+        mapping = AddressMapping(channels=2)
+        # After one row's worth of blocks (1KB), the channel flips.
+        assert mapping.decode(1024).channel == 1
+        assert mapping.decode(2048).channel == 0
+
+    def test_channel_of_matches_decode(self):
+        mapping = AddressMapping(channels=4)
+        for address in (0, 1024, 4096, 123 * 64, 999 * 1024):
+            assert mapping.channel_of(address) == mapping.decode(address).channel
+
+    def test_out_of_range_rejected(self):
+        mapping = AddressMapping(capacity_bytes=1 << 20, channels=1)
+        with pytest.raises(ConfigurationError):
+            mapping.decode(1 << 20)
+
+    def test_non_power_of_two_channels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AddressMapping(channels=3)
+
+    def test_dummy_block_per_channel(self):
+        mapping = AddressMapping(channels=4)
+        addresses = {mapping.dummy_block_address(c) for c in range(4)}
+        assert len(addresses) == 4
+        for channel in range(4):
+            address = mapping.dummy_block_address(channel)
+            assert mapping.channel_of(address) == channel
+            assert address % BLOCK_SIZE_BYTES == 0
+
+    def test_dummy_block_out_of_range_channel(self):
+        with pytest.raises(ConfigurationError):
+            AddressMapping(channels=2).dummy_block_address(2)
+
+
+@given(
+    block=st.integers(min_value=0, max_value=(1 << 27) - 1),
+    channels=st.sampled_from([1, 2, 4, 8]),
+)
+def test_encode_decode_roundtrip(block, channels):
+    mapping = AddressMapping(capacity_bytes=8 << 30, channels=channels)
+    address = block * BLOCK_SIZE_BYTES
+    assert mapping.encode(mapping.decode(address)) == address
+
+
+@given(block=st.integers(min_value=0, max_value=(1 << 27) - 1))
+def test_decode_fields_in_range(block):
+    mapping = AddressMapping(channels=4)
+    decoded = mapping.decode(block * BLOCK_SIZE_BYTES)
+    assert 0 <= decoded.channel < 4
+    assert 0 <= decoded.rank < mapping.ranks_per_channel
+    assert 0 <= decoded.bank < mapping.banks_per_rank
+    assert 0 <= decoded.column < mapping.blocks_per_row
+    assert 0 <= decoded.row < mapping.rows_per_bank

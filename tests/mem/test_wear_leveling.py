@@ -1,0 +1,126 @@
+"""Start-Gap wear leveling: mapping algebra and wear spreading."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.address_mapping import AddressMapping, DecodedAddress
+from repro.mem.dram_timing import PcmEnergy, PcmTiming
+from repro.mem.pcm import PcmDevice
+from repro.mem.wear_leveling import StartGapWearLeveler, wear_metrics
+from repro.sim.statistics import StatGroup
+
+
+def make_leveler(rows=16, interval=4):
+    return StartGapWearLeveler(rows, StatGroup("wl"), gap_write_interval=interval)
+
+
+class TestMapping:
+    def test_initial_mapping_is_identity(self):
+        leveler = make_leveler()
+        for row in range(16):
+            assert leveler.physical_row(row) == row
+
+    def test_mapping_is_injective_always(self):
+        leveler = make_leveler(rows=16, interval=1)
+        for _ in range(100):
+            physical = [leveler.physical_row(r) for r in range(16)]
+            assert len(set(physical)) == 16
+            assert all(0 <= p <= 16 for p in physical)
+            leveler.note_row_write()
+
+    def test_gap_never_mapped(self):
+        leveler = make_leveler(rows=8, interval=1)
+        for _ in range(50):
+            physical = {leveler.physical_row(r) for r in range(8)}
+            assert leveler.gap not in physical
+            leveler.note_row_write()
+
+    def test_gap_moves_every_interval(self):
+        leveler = make_leveler(rows=8, interval=4)
+        start_gap = leveler.gap
+        for _ in range(3):
+            assert leveler.note_row_write() == 0
+        assert leveler.note_row_write() == 1
+        assert leveler.gap == start_gap - 1
+
+    def test_full_rotation_advances_start(self):
+        leveler = make_leveler(rows=4, interval=1)
+        for _ in range(5):  # gap walks 4 -> 0, then wraps
+            leveler.note_row_write()
+        assert leveler.start == 1
+
+    def test_every_logical_row_migrates(self):
+        """Over enough rotations, a hot logical row visits many physical
+        rows — the property that bounds wear."""
+        leveler = make_leveler(rows=8, interval=1)
+        homes = set()
+        for _ in range(100):
+            homes.add(leveler.physical_row(0))
+            leveler.note_row_write()
+        assert len(homes) >= 8
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_leveler(rows=8).physical_row(8)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            StartGapWearLeveler(1, StatGroup("wl"))
+        with pytest.raises(ConfigurationError):
+            StartGapWearLeveler(8, StatGroup("wl"), gap_write_interval=0)
+
+    def test_write_overhead(self):
+        assert make_leveler(interval=16).write_overhead == pytest.approx(1 / 16)
+
+
+class TestWearMetrics:
+    def test_even_wear(self):
+        maximum, imbalance = wear_metrics({0: 5, 1: 5, 2: 5, 3: 5}, 4)
+        assert maximum == 5
+        assert imbalance == pytest.approx(1.0)
+
+    def test_hot_row(self):
+        maximum, imbalance = wear_metrics({0: 100}, 10)
+        assert maximum == 100
+        assert imbalance == pytest.approx(10.0)
+
+    def test_empty(self):
+        assert wear_metrics({}, 4) == (0, 1.0)
+
+
+class TestDeviceIntegration:
+    def _hammer(self, wear_leveling):
+        """Alternate dirty evictions between two rows of one bank.
+
+        A 1MB device has 64 rows per bank, so the gap sweeps the whole
+        region several times during the hammering and the hot row migrates.
+        """
+        mapping = AddressMapping(capacity_bytes=1 << 20, channels=1)
+        device = PcmDevice(
+            mapping,
+            0,
+            PcmTiming(),
+            PcmEnergy(),
+            StatGroup("pcm"),
+            wear_leveling=wear_leveling,
+            gap_write_interval=2,
+        )
+        hot = DecodedAddress(channel=0, rank=0, bank=0, row=0, column=0)
+        other = DecodedAddress(channel=0, rank=0, bank=0, row=1, column=0)
+        for _ in range(400):
+            device.access(hot, is_write=True)
+            device.access(other, is_write=False)  # evicts dirty hot row
+        return device
+
+    def test_leveling_spreads_hot_row_wear(self):
+        plain = self._hammer(wear_leveling=False)
+        leveled = self._hammer(wear_leveling=True)
+        assert leveled.max_row_writes < plain.max_row_writes
+
+    def test_leveling_costs_extra_writes(self):
+        plain = self._hammer(wear_leveling=False)
+        leveled = self._hammer(wear_leveling=True)
+        extra = leveled.stats.get("wear_level_writes")
+        assert extra > 0
+        # Bounded by the configured 1/interval overhead.
+        assert extra <= plain.total_cell_writes / 2 + 1

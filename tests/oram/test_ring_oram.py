@@ -1,0 +1,128 @@
+"""Ring ORAM: correctness, invariants, and bandwidth vs Path ORAM."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ConfigurationError, OramError
+from repro.oram.path_oram import PathOram
+from repro.oram.ring_oram import RingOram
+
+
+def make_ring(num_blocks=64, **kwargs):
+    return RingOram(num_blocks, DeterministicRng(2017), **kwargs)
+
+
+class TestCorrectness:
+    def test_read_your_write(self):
+        ring = make_ring()
+        ring.write(7, b"ring data")
+        assert ring.read(7) == b"ring data"
+
+    def test_unwritten_reads_none(self):
+        assert make_ring().read(1) is None
+
+    def test_overwrite(self):
+        ring = make_ring()
+        ring.write(3, b"v1")
+        ring.write(3, b"v2")
+        assert ring.read(3) == b"v2"
+
+    def test_full_working_set(self):
+        ring = make_ring(num_blocks=96, stash_limit=512)
+        for block in range(96):
+            ring.write(block, bytes([block]))
+        for block in range(96):
+            assert ring.read(block) == bytes([block])
+
+    def test_out_of_range(self):
+        with pytest.raises(OramError):
+            make_ring(num_blocks=8).read(9)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            make_ring(bucket_reals=0)
+        with pytest.raises(ConfigurationError):
+            make_ring(evict_rate=0)
+
+
+class TestMaintenance:
+    def test_early_reshuffles_trigger(self):
+        # Few dummies per bucket -> the root exhausts them quickly.
+        ring = make_ring(bucket_dummies=2, stash_limit=512)
+        for i in range(40):
+            ring.write(i % 16, b"x")
+        assert ring.stats.get("early_reshuffles") > 0
+
+    def test_scheduled_evictions(self):
+        ring = make_ring(evict_rate=4)
+        for i in range(16):
+            ring.write(i, b"x")
+        assert ring.stats.get("evictions") == 4
+
+    def test_invariant_after_mixed_workload(self):
+        ring = make_ring(stash_limit=512)
+        rng = DeterministicRng(5)
+        for i in range(300):
+            block = rng.randrange(64)
+            if i % 3:
+                ring.write(block, bytes([i % 256]))
+            else:
+                ring.read(block)
+        ring.check_invariant()
+
+
+class TestBandwidth:
+    def test_xor_reduces_online_bus_blocks(self):
+        with_xor = make_ring(use_xor=True)
+        without = make_ring(use_xor=False)
+        for ring in (with_xor, without):
+            for i in range(20):
+                ring.write(i, b"x")
+        assert (
+            with_xor.stats.get("bus_blocks_read")
+            < without.stats.get("bus_blocks_read")
+        )
+
+    def test_ring_cheaper_than_path_on_the_bus(self):
+        """The paper's ordering: Ring ORAM's bandwidth overhead is a
+        multiple below Path ORAM's (24x vs 120x in the cited config)."""
+        rng = DeterministicRng(9)
+        ring = make_ring(num_blocks=64, stash_limit=512)
+        path = PathOram(64, rng, stash_limit=512)
+        for i in range(200):
+            block = i % 64
+            ring.write(block, b"r")
+            path.write(block, b"p")
+        path_blocks = (
+            path.stats.get("blocks_read") + path.stats.get("blocks_written")
+        ) / path.stats.get("accesses")
+        assert ring.bus_blocks_per_access < path_blocks / 1.5
+
+    def test_slots_touched_once_per_bucket(self):
+        ring = make_ring()
+        ring.write(0, b"x")
+        # levels+1 buckets on the path, one slot each.
+        assert ring.stats.get("slots_touched") == ring.levels + 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=31), st.booleans()),
+        max_size=50,
+    )
+)
+def test_ring_invariant_property(operations):
+    ring = RingOram(32, DeterministicRng(3), stash_limit=512)
+    written = {}
+    for block, is_write in operations:
+        if is_write:
+            ring.write(block, bytes([block]))
+            written[block] = bytes([block])
+        else:
+            data = ring.read(block)
+            if block in written:
+                assert data == written[block]
+    ring.check_invariant()

@@ -1,0 +1,90 @@
+"""Clock domains and the statistics registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import Clock
+from repro.sim.statistics import StatGroup, StatRegistry
+
+
+class TestClock:
+    def test_two_ghz_period(self):
+        assert Clock.from_frequency_ghz(2.0).period_ps == 500
+
+    def test_cycles_to_ps(self):
+        cpu = Clock.from_frequency_ghz(2.0)
+        assert cpu.cycles_to_ps(17) == 8500
+
+    def test_period_ns_constructor(self):
+        aes = Clock.from_period_ns(4.0)
+        assert aes.cycles_to_ps(24) == 96_000
+
+    def test_ps_to_cycles(self):
+        cpu = Clock.from_frequency_ghz(2.0)
+        assert cpu.ps_to_cycles(1000) == 2.0
+
+    def test_frequency_roundtrip(self):
+        assert Clock.from_frequency_ghz(0.8).frequency_ghz == pytest.approx(0.8)
+
+    def test_invalid_period(self):
+        with pytest.raises(ConfigurationError):
+            Clock(0)
+
+
+class TestStatGroup:
+    def test_counters_accumulate(self):
+        group = StatGroup("g")
+        group.add("hits")
+        group.add("hits", 2)
+        assert group.get("hits") == 3
+
+    def test_missing_counter_reads_zero(self):
+        assert StatGroup("g").get("nothing") == 0.0
+
+    def test_set_overwrites(self):
+        group = StatGroup("g")
+        group.add("x", 5)
+        group.set("x", 1)
+        assert group.get("x") == 1
+
+    def test_ratio(self):
+        group = StatGroup("g")
+        group.add("hits", 3)
+        group.add("total", 4)
+        assert group.ratio("hits", "total") == 0.75
+        assert group.ratio("hits", "missing") == 0.0
+
+    def test_histogram_mean(self):
+        group = StatGroup("g")
+        for value in (10, 20, 30):
+            group.record("latency", value)
+        histogram = group.histogram("latency")
+        assert histogram.mean == 20
+        assert histogram.samples == 3
+        assert histogram.minimum == 10
+        assert histogram.maximum == 30
+
+    def test_as_dict_namespacing(self):
+        group = StatGroup("channel0")
+        group.add("reads", 7)
+        group.record("latency", 5)
+        flat = group.as_dict()
+        assert flat["channel0.reads"] == 7
+        assert flat["channel0.latency.mean"] == 5
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StatGroup("")
+
+
+class TestRegistry:
+    def test_group_is_cached(self):
+        registry = StatRegistry()
+        assert registry.group("a") is registry.group("a")
+
+    def test_as_dict_merges_groups(self):
+        registry = StatRegistry()
+        registry.group("a").add("x")
+        registry.group("b").add("y", 2)
+        flat = registry.as_dict()
+        assert flat == {"a.x": 1, "b.y": 2}

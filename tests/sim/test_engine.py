@@ -1,0 +1,139 @@
+"""Event engine: ordering, priorities, cancellation, safety rails."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, ns_to_ps, ps_to_ns
+
+
+class TestTimeConversion:
+    def test_ns_to_ps(self):
+        assert ns_to_ps(1.25) == 1250
+
+    def test_roundtrip(self):
+        assert ps_to_ns(ns_to_ps(13.75)) == 13.75
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(300, lambda: order.append("c"))
+        engine.schedule(100, lambda: order.append("a"))
+        engine.schedule(200, lambda: order.append("b"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        engine = Engine()
+        order = []
+        for name in "abc":
+            engine.schedule(50, lambda n=name: order.append(n))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_breaks_ties(self):
+        engine = Engine()
+        order = []
+        engine.schedule(50, lambda: order.append("low"), priority=5)
+        engine.schedule(50, lambda: order.append("high"), priority=0)
+        engine.run()
+        assert order == ["high", "low"]
+
+    def test_time_advances_to_event(self):
+        engine = Engine()
+        engine.schedule(123, lambda: None)
+        engine.run()
+        assert engine.now_ps == 123
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        times = []
+
+        def first():
+            engine.schedule(10, lambda: times.append(engine.now_ps))
+
+        engine.schedule(5, first)
+        engine.run()
+        assert times == [15]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        engine = Engine()
+        engine.schedule(100, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(50, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(77, lambda: fired.append(engine.now_ps))
+        engine.run()
+        assert fired == [77]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule(10, lambda: fired.append(1))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_cancel_after_fire_is_noop(self):
+        engine = Engine()
+        handle = engine.schedule(10, lambda: None)
+        engine.run()
+        handle.cancel()  # must not raise
+
+    def test_pending_events_excludes_cancelled(self):
+        engine = Engine()
+        handle = engine.schedule(10, lambda: None)
+        engine.schedule(20, lambda: None)
+        handle.cancel()
+        assert engine.pending_events() == 1
+
+
+class TestRunLimits:
+    def test_until_stops_before_later_events(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(100, lambda: fired.append(1))
+        engine.schedule(300, lambda: fired.append(2))
+        engine.run(until_ps=200)
+        assert fired == [1]
+        assert engine.now_ps == 200
+        engine.run()
+        assert fired == [1, 2]
+
+    def test_max_events_guards_livelock(self):
+        engine = Engine()
+
+        def reschedule():
+            engine.schedule(1, reschedule)
+
+        engine.schedule(1, reschedule)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+    def test_events_executed_counter(self):
+        engine = Engine()
+        for _ in range(5):
+            engine.schedule(1, lambda: None)
+        engine.run()
+        assert engine.events_executed == 5
+
+    def test_not_reentrant(self):
+        engine = Engine()
+
+        def recurse():
+            engine.run()
+
+        engine.schedule(1, recurse)
+        with pytest.raises(SimulationError):
+            engine.run()

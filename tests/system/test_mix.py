@@ -1,0 +1,65 @@
+"""Multiprogrammed mixes: heterogeneous cores sharing a protected memory."""
+
+import pytest
+
+from repro.cpu.spec_profiles import SPEC_PROFILES
+from repro.errors import SimulationError
+from repro.system.config import MachineConfig, ProtectionLevel
+from repro.system.simulator import run_benchmark, run_mix, run_traces
+from repro.cpu.generator import make_trace
+
+REQUESTS = 500
+
+
+class TestRunMix:
+    def test_mix_completes(self):
+        result = run_mix(
+            [SPEC_PROFILES["mcf"], SPEC_PROFILES["astar"]],
+            ProtectionLevel.OBFUSMEM_AUTH,
+            num_requests=REQUESTS,
+        )
+        assert result.num_requests == 2 * REQUESTS
+        assert result.execution_time_ns > 0
+
+    def test_mix_reproducible(self):
+        profiles = [SPEC_PROFILES["bwaves"], SPEC_PROFILES["xalan"]]
+        a = run_mix(profiles, ProtectionLevel.UNPROTECTED, num_requests=REQUESTS)
+        b = run_mix(profiles, ProtectionLevel.UNPROTECTED, num_requests=REQUESTS)
+        assert a.execution_time_ns == b.execution_time_ns
+
+    def test_heavy_partner_slows_light_workload(self):
+        """Interference: astar finishes later when co-running with mcf."""
+        alone = run_benchmark(
+            SPEC_PROFILES["astar"], ProtectionLevel.UNPROTECTED, num_requests=REQUESTS
+        )
+        mixed = run_mix(
+            [SPEC_PROFILES["astar"], SPEC_PROFILES["mcf"]],
+            ProtectionLevel.UNPROTECTED,
+            num_requests=REQUESTS,
+        )
+        # The mix's finish time is dominated by the heavier workload.
+        assert mixed.execution_time_ns > alone.execution_time_ns
+
+    def test_mix_protection_ordering_holds(self):
+        profiles = [SPEC_PROFILES["milc"], SPEC_PROFILES["libquantum"]]
+        base = run_mix(profiles, ProtectionLevel.UNPROTECTED, num_requests=REQUESTS)
+        obfus = run_mix(profiles, ProtectionLevel.OBFUSMEM_AUTH, num_requests=REQUESTS)
+        oram = run_mix(profiles, ProtectionLevel.ORAM, num_requests=REQUESTS)
+        assert base.execution_time_ns <= obfus.execution_time_ns
+        assert obfus.execution_time_ns * 3 < oram.execution_time_ns
+
+    def test_window_list_validation(self):
+        traces = [make_trace(SPEC_PROFILES["astar"], 50)]
+        with pytest.raises(SimulationError):
+            run_traces(traces, ProtectionLevel.UNPROTECTED, window=[1, 2])
+
+    def test_multichannel_mix(self):
+        result = run_mix(
+            [SPEC_PROFILES["bwaves"], SPEC_PROFILES["mcf"]],
+            ProtectionLevel.OBFUSMEM,
+            machine=MachineConfig(channels=2),
+            num_requests=REQUESTS,
+        )
+        # Both channels saw traffic.
+        assert result.stats.get("channel0.reads", 0) > 0
+        assert result.stats.get("channel1.reads", 0) > 0

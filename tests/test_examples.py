@@ -1,0 +1,58 @@
+"""Smoke-test the runnable examples (the fast ones, end to end)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert process.returncode == 0, process.stderr
+    return process.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py", "astar")
+        assert "obfusmem_auth" in output
+        assert "faster than ORAM" in output
+
+    def test_quickstart_rejects_unknown_benchmark(self):
+        process = subprocess.run(
+            [sys.executable, str(EXAMPLES / "quickstart.py"), "doom"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert process.returncode != 0
+
+    def test_attack_lab(self):
+        output = run_example("attack_lab.py")
+        assert output.count("DETECTED") == 4
+        assert "not detected at bus level" in output
+
+    def test_secure_boot_and_storage(self):
+        output = run_example("secure_boot_and_storage.py")
+        assert "boot attestation passed" in output
+        assert "malicious integrator detected" in output
+        assert "read-back verified" in output
+
+    @pytest.mark.slow
+    def test_nvm_lifetime_planner(self):
+        output = run_example("nvm_lifetime_planner.py", timeout=400)
+        assert "dummy-address policy ablation" in output
+
+    @pytest.mark.slow
+    def test_application_kernels(self):
+        output = run_example("application_kernels.py", timeout=400)
+        assert "graph-chase" in output
+        assert "multiprogrammed mix" in output
