@@ -19,8 +19,12 @@ SEED = 2017
 
 @pytest.fixture(scope="session", autouse=True)
 def _clear_experiment_cache():
-    from repro.experiments import clear_cache
+    from repro.experiments import clear_cache, runner
 
+    # Hermetic timing: no persistent cache and no parallel fan-out, so every
+    # measured round actually simulates (the scaling benchmark manages its
+    # own executor explicitly).
+    runner.configure(workers=1, cache_enabled=False)
     clear_cache()
     yield
 

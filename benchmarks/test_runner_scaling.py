@@ -1,0 +1,80 @@
+"""Bench: executor scaling — serial vs 4-worker wall-clock on a Table 1 subset.
+
+Runs the same small (benchmark x unprotected) job grid through the
+:class:`~repro.experiments.executor.ParallelRunner` with one worker and
+with four, with caching disabled so every job actually simulates.  The
+measured wall-clocks (and the speedup) are written to
+``benchmarks/BENCH_runner_scaling.json`` so runner-scaling regressions are
+visible across commits, following the ``BENCH_*.json`` convention for
+machine-generated benchmark artifacts.
+
+The correctness assertion — parallel results bit-identical to serial —
+rides along, so this bench doubles as an end-to-end determinism check at
+benchmark scale.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import SEED, run_once
+from repro.experiments.executor import JobSpec, ParallelRunner
+from repro.system.config import MachineConfig, ProtectionLevel
+
+SCALING_SUBSET = ["bwaves", "mcf", "libquantum", "astar"]
+SCALING_REQUESTS = 800
+PARALLEL_WORKERS = 4
+OUTPUT_PATH = Path(__file__).parent / "BENCH_runner_scaling.json"
+
+_timings: dict[str, float] = {}
+
+
+def _specs():
+    machine = MachineConfig()
+    return [
+        JobSpec(name, ProtectionLevel.UNPROTECTED, machine, SCALING_REQUESTS, SEED)
+        for name in SCALING_SUBSET
+    ]
+
+
+def _timed_run(workers):
+    executor = ParallelRunner(workers=workers)  # no cache: every job simulates
+    started = time.perf_counter()
+    results = executor.run(_specs(), label=f"scaling-{workers}w")
+    elapsed = time.perf_counter() - started
+    return results, elapsed
+
+
+def test_serial_baseline(benchmark):
+    results, elapsed = run_once(benchmark, _timed_run, 1)
+    _timings["serial_s"] = elapsed
+    assert len(results) == len(SCALING_SUBSET)
+
+
+def test_parallel_four_workers(benchmark):
+    (parallel_results, elapsed) = run_once(benchmark, _timed_run, PARALLEL_WORKERS)
+    _timings["parallel_s"] = elapsed
+    serial_results = ParallelRunner(workers=1).run(_specs())
+    assert parallel_results == serial_results  # bit-identical, incl. stats
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_bench_json():
+    yield
+    if "serial_s" not in _timings or "parallel_s" not in _timings:
+        return  # a subset of the module ran; don't emit a partial record
+    payload = {
+        "bench": "runner_scaling",
+        "cpus": os.cpu_count(),  # speedup is bounded by this
+        "jobs": len(SCALING_SUBSET),
+        "benchmarks": SCALING_SUBSET,
+        "num_requests": SCALING_REQUESTS,
+        "workers": PARALLEL_WORKERS,
+        "serial_s": round(_timings["serial_s"], 4),
+        "parallel_s": round(_timings["parallel_s"], 4),
+        "speedup": round(_timings["serial_s"] / _timings["parallel_s"], 3),
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=1))

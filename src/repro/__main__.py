@@ -92,7 +92,9 @@ def _cmd_experiments(args: argparse.Namespace) -> None:
         table3,
         table4,
     )
+    from repro.experiments.runner import configure_from_args
 
+    configure_from_args(args)
     modules = {
         "table1": table1,
         "table3": table3,
@@ -106,7 +108,7 @@ def _cmd_experiments(args: argparse.Namespace) -> None:
     for name in names:
         if name not in modules:
             raise SystemExit(f"unknown experiment {name!r}; one of {_EXPERIMENTS}")
-        modules[name].main()
+        modules[name].main([])
         print()
 
 
@@ -146,6 +148,12 @@ def _cmd_report(args: argparse.Namespace) -> None:
     if args.fast:
         forwarded += ["--fast"]
     forwarded += ["--requests", str(args.requests)]
+    if args.workers is not None:
+        forwarded += ["--workers", str(args.workers)]
+    if args.no_cache:
+        forwarded += ["--no-cache"]
+    if args.cache_dir is not None:
+        forwarded += ["--cache-dir", str(args.cache_dir)]
     report.main(forwarded)
 
 
@@ -168,10 +176,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--stats", action="store_true", help="dump all statistics")
 
+    from repro.experiments.runner import add_runner_arguments
+
     experiments_parser = subparsers.add_parser(
         "experiments", help="regenerate a paper table/figure"
     )
     experiments_parser.add_argument("name", choices=(*_EXPERIMENTS, "all"))
+    add_runner_arguments(experiments_parser)
 
     subparsers.add_parser("attacks", help="run the active-attack suite")
 
@@ -179,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("-o", "--output")
     report_parser.add_argument("--requests", type=int, default=4000)
     report_parser.add_argument("--fast", action="store_true")
+    add_runner_arguments(report_parser)
 
     return parser
 

@@ -9,12 +9,36 @@
 - :mod:`repro.experiments.related` — §7 related-work comparison (HIDE/ORAM).
 - :mod:`repro.experiments.report` — one-shot Markdown report of everything.
 - :mod:`repro.experiments.export` — CSV writers for every result type.
+- :mod:`repro.experiments.executor` — parallel job execution + persistent
+  on-disk result cache + run manifests.
+- :mod:`repro.experiments.runner` — cached-run frontend, process-wide
+  worker/cache configuration, table formatting.
 
-Each module exposes ``run(...)`` returning structured results and a
-``main()`` that prints the regenerated table; run them as scripts, e.g.
-``python -m repro.experiments.table3``.
+Each experiment module exposes ``run(...)`` returning structured results
+and a ``main()`` that prints the regenerated table; run them as scripts,
+e.g. ``python -m repro.experiments.table3 --workers 4``.  The shared flags
+``--workers``, ``--no-cache`` and ``--cache-dir`` (or the environment
+variables ``REPRO_WORKERS``, ``REPRO_NO_CACHE``, ``REPRO_CACHE_DIR``)
+control parallel fan-out and the persistent result cache.
 """
 
-from repro.experiments.runner import cached_run, clear_cache, select_benchmarks
+from repro.experiments.executor import JobSpec, ParallelRunner, ResultCache, RunManifest
+from repro.experiments.runner import (
+    cached_run,
+    clear_cache,
+    configure,
+    prefetch,
+    select_benchmarks,
+)
 
-__all__ = ["cached_run", "clear_cache", "select_benchmarks"]
+__all__ = [
+    "JobSpec",
+    "ParallelRunner",
+    "ResultCache",
+    "RunManifest",
+    "cached_run",
+    "clear_cache",
+    "configure",
+    "prefetch",
+    "select_benchmarks",
+]

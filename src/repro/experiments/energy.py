@@ -8,6 +8,7 @@ against what the simulator measured.
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass
 
 from repro.analysis.energy import (
@@ -17,11 +18,15 @@ from repro.analysis.energy import (
     measure_obfusmem,
     measure_oram,
 )
+from repro.experiments.executor import sweep_specs
 from repro.experiments.runner import (
     DEFAULT_SEED,
     TableColumn,
+    add_runner_arguments,
     cached_run,
+    configure_from_args,
     format_table,
+    prefetch,
 )
 from repro.system.config import MachineConfig, ProtectionLevel
 
@@ -41,6 +46,16 @@ def run(
 ) -> EnergyResult:
     """Run the §5.2 analysis (analytical + measured) for one benchmark."""
     machine = MachineConfig(channels=channels)
+    prefetch(
+        sweep_specs(
+            [benchmark],
+            [ProtectionLevel.OBFUSMEM_AUTH, ProtectionLevel.ORAM],
+            machine=machine,
+            num_requests=num_requests,
+            seed=seed,
+        ),
+        label="energy",
+    )
     obfus = cached_run(
         benchmark, ProtectionLevel.OBFUSMEM_AUTH, machine, num_requests, seed
     )
@@ -97,8 +112,11 @@ def format_results(result: EnergyResult) -> str:
     return format_table(columns, rows)
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
     """Print the regenerated result (script entry point)."""
+    parser = argparse.ArgumentParser(prog="repro.experiments.energy")
+    add_runner_arguments(parser)
+    configure_from_args(parser.parse_args(argv))
     print("Section 5.2 — energy and lifetime comparison")
     print(format_results(run()))
 

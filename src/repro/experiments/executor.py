@@ -1,0 +1,407 @@
+"""Parallel experiment execution with a persistent on-disk result cache.
+
+The paper's evaluation is a grid of independent (benchmark x protection
+level x machine config x seed) simulations.  This module is the execution
+layer that grid rides on:
+
+* :class:`JobSpec` — a content-hashable description of one simulation
+  (benchmark, protection level, machine config, request count, seed,
+  cores).  Two specs that are equal by value share one cache identity,
+  no matter which process built them.
+* :class:`ResultCache` — a content-addressed store of
+  :class:`~repro.system.simulator.RunResult` JSON files under a directory
+  (``.repro-cache/`` by convention), so regenerating any table or figure
+  is a cache hit *across processes*, not just within one.
+* :class:`ParallelRunner` — fans a list of jobs out over
+  ``multiprocessing`` workers (``fork`` start method), collects results in
+  job order, and records a :class:`RunManifest` of what ran, which cache
+  layer served each job, and how long every job took.
+
+Usage::
+
+    from repro.experiments.executor import JobSpec, ParallelRunner, ResultCache
+    from repro.system.config import ProtectionLevel
+
+    specs = [JobSpec("mcf", level, num_requests=1000) for level in ProtectionLevel]
+    runner = ParallelRunner(workers=4, cache=ResultCache(".repro-cache"))
+    results = runner.run(specs, label="mcf-levels")  # ordered like specs
+    print(f"{runner.manifest.cache_misses} simulated, "
+          f"{runner.manifest.cache_hits} served from cache")
+
+Determinism: every job is fully described by its spec and runs on its own
+deterministically seeded system, so serial execution (``workers=1``, or a
+platform without ``fork``) produces results bit-identical to parallel
+execution, and a cached result is bit-identical to a fresh simulation up
+to JSON float round-tripping (which Python performs exactly).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cpu.spec_profiles import BENCHMARK_NAMES, SPEC_PROFILES
+from repro.errors import ConfigurationError
+from repro.sim.statistics import StatRegistry
+from repro.system.config import MachineConfig, ProtectionLevel
+from repro.system.simulator import RunResult, run_benchmark
+
+#: Bumped whenever the simulation physics or the result format changes in a
+#: way that invalidates previously cached results.  The version participates
+#: in every job digest, so a bump orphans (rather than corrupts) old entries.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default location of the persistent result cache, relative to the working
+#: directory.  Override with ``--cache-dir`` or ``REPRO_CACHE_DIR``.
+DEFAULT_CACHE_DIR = Path(".repro-cache")
+
+DEFAULT_REQUESTS = 4000
+DEFAULT_SEED = 2017
+
+
+def _jsonable(value):
+    """Canonical JSON-ready form of configs: dataclasses, enums, scalars."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise ConfigurationError(f"cannot serialize {type(value).__name__} in a job spec")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One simulation job: everything :func:`repro.system.run_benchmark` needs.
+
+    The spec is hashable by value (all fields are frozen dataclasses, enums
+    or scalars) and content-addressable via :meth:`digest`, which is the
+    persistent cache key.
+    """
+
+    benchmark: str
+    level: ProtectionLevel
+    machine: MachineConfig = field(default_factory=MachineConfig)
+    num_requests: int = DEFAULT_REQUESTS
+    seed: int = DEFAULT_SEED
+    cores: int = 1
+
+    def __post_init__(self) -> None:
+        if self.benchmark not in SPEC_PROFILES:
+            raise ConfigurationError(
+                f"unknown benchmark {self.benchmark!r}; choose from {BENCHMARK_NAMES}"
+            )
+
+    def to_jsonable(self) -> dict:
+        """The full job spec as a canonical JSON-ready dict."""
+        return _jsonable(self)
+
+    def digest(self) -> str:
+        """Content hash of the spec plus the cache schema version."""
+        payload = {"schema": CACHE_SCHEMA_VERSION, "spec": self.to_jsonable()}
+        encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+    def execute(self) -> RunResult:
+        """Run the simulation this spec describes (no caching)."""
+        return run_benchmark(
+            SPEC_PROFILES[self.benchmark],
+            self.level,
+            machine=self.machine,
+            num_requests=self.num_requests,
+            seed=self.seed,
+            cores=self.cores,
+        )
+
+
+def sweep_specs(
+    benchmarks: list[str],
+    levels: list[ProtectionLevel],
+    machine: MachineConfig | None = None,
+    num_requests: int = DEFAULT_REQUESTS,
+    seed: int = DEFAULT_SEED,
+    cores: int = 1,
+) -> list[JobSpec]:
+    """The full (benchmark x level) grid as specs, in deterministic order."""
+    machine = machine or MachineConfig()
+    return [
+        JobSpec(benchmark, level, machine, num_requests, seed, cores)
+        for benchmark in benchmarks
+        for level in levels
+    ]
+
+
+def result_to_jsonable(result: RunResult) -> dict:
+    """A ``RunResult`` as a JSON-ready dict (enums become their values)."""
+    return {
+        "benchmark": result.benchmark,
+        "level": result.level.value,
+        "channels": result.channels,
+        "execution_time_ns": result.execution_time_ns,
+        "num_requests": result.num_requests,
+        "instructions": result.instructions,
+        "stats": dict(result.stats),
+    }
+
+
+def result_from_jsonable(payload: dict) -> RunResult:
+    """Rebuild a ``RunResult`` from :func:`result_to_jsonable` output."""
+    return RunResult(
+        benchmark=payload["benchmark"],
+        level=ProtectionLevel(payload["level"]),
+        channels=int(payload["channels"]),
+        execution_time_ns=float(payload["execution_time_ns"]),
+        num_requests=int(payload["num_requests"]),
+        instructions=float(payload["instructions"]),
+        stats={str(k): float(v) for k, v in payload["stats"].items()},
+    )
+
+
+class ResultCache:
+    """Content-addressed persistent store of simulation results.
+
+    One JSON file per job digest under ``directory``.  Every entry embeds
+    the schema version and the full spec it was computed from, so a load
+    only succeeds when both match — hash collisions, stale schema versions
+    and corrupted files all degrade to a cache miss, never to a wrong or
+    crashing result.
+    """
+
+    def __init__(self, directory: str | Path = DEFAULT_CACHE_DIR):
+        self.directory = Path(directory)
+
+    def path_for(self, spec: JobSpec) -> Path:
+        """Where this spec's result lives (whether or not it exists yet)."""
+        return self.directory / f"{spec.digest()}.json"
+
+    def get(self, spec: JobSpec) -> RunResult | None:
+        """The cached result for ``spec``, or None on any miss or damage."""
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                return None
+            if payload.get("spec") != spec.to_jsonable():
+                return None
+            return result_from_jsonable(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, spec: JobSpec, result: RunResult) -> Path:
+        """Persist ``result`` for ``spec``; returns the entry's path."""
+        path = self.path_for(spec)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "spec": spec.to_jsonable(),
+            "result": result_to_jsonable(result),
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename so concurrent writers (or a crash) can never
+        # leave a half-written entry under the final name.
+        scratch = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        scratch.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        os.replace(scratch, path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One manifest line: a job's identity, cache provenance and wall-clock."""
+
+    digest: str
+    benchmark: str
+    level: str
+    channels: int
+    cores: int
+    num_requests: int
+    seed: int
+    source: str  # "memory" | "disk" | "simulated"
+    wall_ms: float
+
+
+@dataclass
+class RunManifest:
+    """What one sweep did: job list, cache hits/misses, timing, workers."""
+
+    label: str
+    workers: int
+    records: list[JobRecord]
+    wall_clock_s: float
+    stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def jobs(self) -> int:
+        """Total number of jobs in the sweep."""
+        return len(self.records)
+
+    @property
+    def cache_hits(self) -> int:
+        """Jobs served from the in-memory or on-disk cache."""
+        return sum(1 for record in self.records if record.source != "simulated")
+
+    @property
+    def cache_misses(self) -> int:
+        """Jobs that had to be simulated."""
+        return sum(1 for record in self.records if record.source == "simulated")
+
+    def to_jsonable(self) -> dict:
+        """The manifest as a JSON-ready dict."""
+        return {
+            "label": self.label,
+            "workers": self.workers,
+            "jobs": self.jobs,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "wall_clock_s": self.wall_clock_s,
+            "stats": dict(self.stats),
+            "records": [dataclasses.asdict(record) for record in self.records],
+        }
+
+    def write(self, path: str | Path) -> Path:
+        """Write the manifest as JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_jsonable(), indent=1))
+        return path
+
+
+def _execute_job(spec: JobSpec) -> tuple[RunResult, float]:
+    """Worker entry point: simulate one spec, timing the job's wall-clock."""
+    started = time.perf_counter()
+    result = spec.execute()
+    return result, (time.perf_counter() - started) * 1000.0
+
+
+def _fork_context():
+    """The ``fork`` multiprocessing context, or None if the platform lacks it."""
+    try:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return None
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform-dependent
+        return None
+
+
+class ParallelRunner:
+    """Fan job specs over worker processes, memoized through two cache layers.
+
+    Resolution order per job: the shared in-memory dict (``memory``), then
+    the persistent :class:`ResultCache` (``cache``), then simulation.  All
+    misses of one :meth:`run` call are executed together — in a ``fork``
+    process pool when ``workers > 1``, serially otherwise — and results are
+    returned in the order the specs were given.  After :meth:`run`, the
+    :attr:`manifest` attribute describes the sweep.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: ResultCache | None = None,
+        memory: dict[str, RunResult] | None = None,
+        stats: StatRegistry | None = None,
+    ):
+        self.workers = max(1, int(workers))
+        self.cache = cache
+        self.memory = memory if memory is not None else {}
+        self.stats = stats or StatRegistry()
+        self.manifest: RunManifest | None = None
+
+    def run(self, specs: list[JobSpec], label: str = "sweep") -> list[RunResult]:
+        """Resolve every spec (cache or simulation); ordered like ``specs``."""
+        specs = list(specs)
+        started = time.perf_counter()
+        sweep_stats = StatRegistry()
+        group = sweep_stats.group("executor")
+        lifetime = self.stats.group("executor")
+
+        results: list[RunResult | None] = [None] * len(specs)
+        sources = ["simulated"] * len(specs)
+        walls = [0.0] * len(specs)
+        pending: list[int] = []
+        digests = [spec.digest() for spec in specs]
+        for index, digest in enumerate(digests):
+            if digest in self.memory:
+                results[index] = self.memory[digest]
+                sources[index] = "memory"
+            elif self.cache is not None:
+                cached = self.cache.get(specs[index])
+                if cached is not None:
+                    results[index] = cached
+                    sources[index] = "disk"
+                    self.memory[digest] = cached
+                else:
+                    pending.append(index)
+            else:
+                pending.append(index)
+
+        if pending:
+            outcomes = self._execute([specs[index] for index in pending])
+            for index, (result, wall_ms) in zip(pending, outcomes):
+                results[index] = result
+                walls[index] = wall_ms
+                self.memory[digests[index]] = result
+                if self.cache is not None:
+                    self.cache.put(specs[index], result)
+
+        for index, spec in enumerate(specs):
+            counter = (
+                "simulations"
+                if sources[index] == "simulated"
+                else f"{sources[index]}_hits"
+            )
+            for target in (group, lifetime):
+                target.add("jobs")
+                target.add(counter)
+            group.record("job_wall_ms", walls[index], bucket_width=100.0)
+        wall_clock_s = time.perf_counter() - started
+        self.manifest = RunManifest(
+            label=label,
+            workers=self.workers,
+            records=[
+                JobRecord(
+                    digest=digests[index],
+                    benchmark=spec.benchmark,
+                    level=spec.level.value,
+                    channels=spec.machine.channels,
+                    cores=spec.cores,
+                    num_requests=spec.num_requests,
+                    seed=spec.seed,
+                    source=sources[index],
+                    wall_ms=walls[index],
+                )
+                for index, spec in enumerate(specs)
+            ],
+            wall_clock_s=wall_clock_s,
+            stats=sweep_stats.as_dict(),
+        )
+        return results  # type: ignore[return-value]
+
+    def _execute(self, specs: list[JobSpec]) -> list[tuple[RunResult, float]]:
+        """Simulate ``specs`` (parallel when possible); ordered outcomes."""
+        context = _fork_context()
+        workers = min(self.workers, len(specs))
+        if workers <= 1 or context is None:
+            return [_execute_job(spec) for spec in specs]
+        with context.Pool(processes=workers) as pool:
+            return pool.map(_execute_job, specs, chunksize=1)

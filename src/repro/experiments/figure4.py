@@ -8,15 +8,20 @@ that authentication adds little because it overlaps encryption.
 
 from __future__ import annotations
 
+import argparse
 import statistics
 from dataclasses import dataclass
 
+from repro.experiments.executor import sweep_specs
 from repro.experiments.runner import (
     DEFAULT_REQUESTS,
     DEFAULT_SEED,
     TableColumn,
+    add_runner_arguments,
     cached_run,
+    configure_from_args,
     format_table,
+    prefetch,
     select_benchmarks,
 )
 from repro.system.config import MachineConfig, ProtectionLevel
@@ -36,14 +41,17 @@ class Figure4Result:
 
     @property
     def avg_encryption_pct(self) -> float:
+        """Mean encryption-only overhead across benchmarks (paper: 2.2%)."""
         return statistics.mean(r.encryption_pct for r in self.rows)
 
     @property
     def avg_obfusmem_pct(self) -> float:
+        """Mean plain-ObfusMem overhead across benchmarks (paper: 8.3%)."""
         return statistics.mean(r.obfusmem_pct for r in self.rows)
 
     @property
     def avg_obfusmem_auth_pct(self) -> float:
+        """Mean ObfusMem+Auth overhead across benchmarks (paper: 10.9%)."""
         return statistics.mean(r.obfusmem_auth_pct for r in self.rows)
 
 
@@ -56,7 +64,23 @@ def run(
     """Measure the per-level overhead breakdown for each benchmark."""
     machine = machine or MachineConfig()
     rows = []
-    for name in select_benchmarks(benchmarks):
+    names = select_benchmarks(benchmarks)
+    prefetch(
+        sweep_specs(
+            names,
+            [
+                ProtectionLevel.UNPROTECTED,
+                ProtectionLevel.ENCRYPTION_ONLY,
+                ProtectionLevel.OBFUSMEM,
+                ProtectionLevel.OBFUSMEM_AUTH,
+            ],
+            machine=machine,
+            num_requests=num_requests,
+            seed=seed,
+        ),
+        label="figure4",
+    )
+    for name in names:
         baseline = cached_run(name, ProtectionLevel.UNPROTECTED, machine, num_requests, seed)
         enc = cached_run(name, ProtectionLevel.ENCRYPTION_ONLY, machine, num_requests, seed)
         obf = cached_run(name, ProtectionLevel.OBFUSMEM, machine, num_requests, seed)
@@ -101,8 +125,11 @@ def format_results(result: Figure4Result) -> str:
     return format_table(columns, body)
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
     """Print the regenerated figure (script entry point)."""
+    parser = argparse.ArgumentParser(prog="repro.experiments.figure4")
+    add_runner_arguments(parser)
+    configure_from_args(parser.parse_args(argv))
     print("Figure 4 — overhead breakdown vs unprotected system")
     print(format_results(run()))
 

@@ -10,15 +10,20 @@ number of channels.  Paper peaks at 8 channels: UNOPT 18.8%/16.3%
 
 from __future__ import annotations
 
+import argparse
 import statistics
 from dataclasses import dataclass, replace
 
 from repro.core.config import ChannelInjection
+from repro.experiments.executor import JobSpec
 from repro.experiments.runner import (
     DEFAULT_SEED,
     TableColumn,
+    add_runner_arguments,
     cached_run,
+    configure_from_args,
     format_table,
+    prefetch,
     select_benchmarks,
 )
 from repro.system.config import MachineConfig, ProtectionLevel
@@ -74,6 +79,21 @@ def run(
 ) -> Figure5Result:
     """Sweep channel counts and injection strategies (4-core by default)."""
     names = select_benchmarks(benchmarks)
+    specs = []
+    for channels in channel_counts:
+        base_machine = MachineConfig(channels=channels)
+        specs += [
+            JobSpec(name, ProtectionLevel.UNPROTECTED, base_machine, num_requests, seed, cores)
+            for name in names
+        ]
+        for injection in (ChannelInjection.UNOPT, ChannelInjection.OPT):
+            machine = replace(base_machine, channel_injection=injection)
+            for level in (ProtectionLevel.OBFUSMEM, ProtectionLevel.OBFUSMEM_AUTH):
+                specs += [
+                    JobSpec(name, level, machine, num_requests, seed, cores)
+                    for name in names
+                ]
+    prefetch(specs, label="figure5")
     points = []
     for channels in channel_counts:
         base_machine = MachineConfig(channels=channels)
@@ -126,8 +146,11 @@ def format_results(result: Figure5Result) -> str:
     return format_table(columns, body)
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
     """Print the regenerated figure (script entry point)."""
+    parser = argparse.ArgumentParser(prog="repro.experiments.figure5")
+    add_runner_arguments(parser)
+    configure_from_args(parser.parse_args(argv))
     print("Figure 5 — channel-count sweep (avg overhead vs equal-channel baseline)")
     print(format_results(run()))
 

@@ -150,8 +150,8 @@ def format_results(result: RelatedResult) -> str:
     return format_table(columns, body)
 
 
-def main() -> None:
-    """Print the comparison (script entry point)."""
+def main(argv: list[str] | None = None) -> None:
+    """Print the comparison (script entry point; ``argv`` is ignored)."""
     print("Related-work comparison (§7): what each scheme costs and hides")
     print("(leakage columns: lower = better hidden; TypeAcc 0.5 = blind)")
     print(format_results(run()))

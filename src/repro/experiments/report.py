@@ -15,7 +15,12 @@ import sys
 import time
 
 from repro.experiments import energy, figure4, figure5, table1, table3, table4
-from repro.experiments.runner import DEFAULT_REQUESTS, DEFAULT_SEED
+from repro.experiments.runner import (
+    DEFAULT_REQUESTS,
+    DEFAULT_SEED,
+    add_runner_arguments,
+    configure_from_args,
+)
 
 
 def _code_block(text: str) -> str:
@@ -108,7 +113,9 @@ def main(argv: list[str] | None = None) -> None:
         action="store_true",
         help="reduced scale: 800 requests, skip the Figure 5 sweep",
     )
+    add_runner_arguments(parser)
     args = parser.parse_args(argv)
+    configure_from_args(args)
 
     report = generate_report(
         num_requests=800 if args.fast else args.requests,

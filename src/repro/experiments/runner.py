@@ -1,29 +1,134 @@
-"""Shared experiment plumbing: cached runs and table formatting.
+"""Shared experiment plumbing: cached runs, parallel prefetch, tables.
 
 Every experiment module (table1/table3/figure4/figure5/table4/energy) runs
-benchmarks through :func:`repro.system.run_benchmark`; this module caches
-results so a full regeneration of the paper's evaluation reuses each
-(benchmark, system) simulation instead of repeating it.
+benchmarks through :func:`repro.system.run_benchmark`.  This module fronts
+that call with a two-layer cache — a process-lifetime dict plus the
+persistent on-disk :class:`~repro.experiments.executor.ResultCache` — and a
+parallel prefetch step, so a full regeneration of the paper's evaluation
+reuses each (benchmark, level, machine, seed) simulation across processes
+and can fan cold jobs out over every core.
+
+The execution surface is configured once per process::
+
+    from repro.experiments import runner
+
+    runner.configure(workers=4, cache_dir="/tmp/obfus-cache")
+    rows = table1.run()          # cold jobs run on 4 workers, warm ones hit
+    print(runner.runtime_stats())  # {'runner.memory_hits': ..., ...}
+
+or from any experiment CLI / ``python -m repro experiments`` via
+``--workers N``, ``--no-cache`` and ``--cache-dir PATH`` (environment
+equivalents: ``REPRO_WORKERS``, ``REPRO_NO_CACHE``, ``REPRO_CACHE_DIR``).
+Each :func:`prefetch` sweep records a run manifest; with the disk cache
+enabled it is written under ``<cache-dir>/manifests/<label>.json``.
 """
 
 from __future__ import annotations
 
+import argparse
+import os
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.cpu.spec_profiles import BENCHMARK_NAMES, SPEC_PROFILES
 from repro.errors import ConfigurationError
+from repro.experiments.executor import (
+    DEFAULT_CACHE_DIR,
+    DEFAULT_REQUESTS,
+    DEFAULT_SEED,
+    JobSpec,
+    ParallelRunner,
+    ResultCache,
+    RunManifest,
+)
+from repro.sim.statistics import StatRegistry
 from repro.system.config import MachineConfig, ProtectionLevel
-from repro.system.simulator import RunResult, run_benchmark
+from repro.system.simulator import RunResult
 
-DEFAULT_REQUESTS = 4000
-DEFAULT_SEED = 2017
+WORKERS_ENV = "REPRO_WORKERS"
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
-_cache: dict[tuple, RunResult] = {}
+_cache: dict[str, RunResult] = {}
+_stats = StatRegistry()
+
+
+@dataclass
+class RunnerConfig:
+    """Process-wide execution settings for experiment runs."""
+
+    workers: int = 1
+    cache_enabled: bool = True
+    cache_dir: Path = DEFAULT_CACHE_DIR
+
+
+def _config_from_env() -> RunnerConfig:
+    """Build the initial runner config from ``REPRO_*`` environment variables."""
+    try:
+        workers = int(os.environ.get(WORKERS_ENV, "1"))
+    except ValueError:
+        workers = 1
+    return RunnerConfig(
+        workers=max(1, workers),
+        cache_enabled=not os.environ.get(NO_CACHE_ENV),
+        cache_dir=Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)),
+    )
+
+
+_config = _config_from_env()
+
+
+def configure(
+    workers: int | None = None,
+    cache_enabled: bool | None = None,
+    cache_dir: str | Path | None = None,
+) -> RunnerConfig:
+    """Update the process-wide runner config; None leaves a field unchanged."""
+    if workers is not None:
+        _config.workers = max(1, int(workers))
+    if cache_enabled is not None:
+        _config.cache_enabled = bool(cache_enabled)
+    if cache_dir is not None:
+        _config.cache_dir = Path(cache_dir)
+    return _config
+
+
+def get_config() -> RunnerConfig:
+    """The live process-wide runner config (mutable via :func:`configure`)."""
+    return _config
+
+
+def reset_config() -> RunnerConfig:
+    """Re-derive the runner config from the environment (mainly for tests)."""
+    global _config
+    _config = _config_from_env()
+    return _config
+
+
+def _disk_cache() -> ResultCache | None:
+    """The persistent cache per current config, or None when disabled."""
+    if not _config.cache_enabled:
+        return None
+    return ResultCache(_config.cache_dir)
 
 
 def clear_cache() -> None:
-    """Drop all cached simulation results (mainly for tests)."""
+    """Drop the in-memory result cache and counters (the disk cache stays)."""
     _cache.clear()
+    global _stats
+    _stats = StatRegistry()
+
+
+def runtime_stats() -> dict[str, float]:
+    """Process-lifetime cache/simulation counters, flattened to one dict."""
+    return _stats.as_dict()
+
+
+def simulations_performed() -> int:
+    """How many actual simulations this process has executed so far."""
+    return int(
+        sum(v for k, v in _stats.as_dict().items() if k.endswith(".simulations"))
+    )
 
 
 def cached_run(
@@ -34,23 +139,93 @@ def cached_run(
     seed: int = DEFAULT_SEED,
     cores: int = 1,
 ) -> RunResult:
-    """Run (or fetch) one benchmark at one protection level."""
-    if benchmark not in SPEC_PROFILES:
-        raise ConfigurationError(
-            f"unknown benchmark {benchmark!r}; choose from {BENCHMARK_NAMES}"
-        )
-    machine = machine or MachineConfig()
-    key = (benchmark, level, machine, num_requests, seed, cores)
-    if key not in _cache:
-        _cache[key] = run_benchmark(
-            SPEC_PROFILES[benchmark],
-            level,
-            machine=machine,
-            num_requests=num_requests,
-            seed=seed,
-            cores=cores,
-        )
-    return _cache[key]
+    """Run (or fetch) one benchmark at one protection level.
+
+    Resolution order: in-memory cache, then the persistent disk cache (when
+    enabled), then a fresh simulation whose result feeds both layers.
+    """
+    spec = JobSpec(
+        benchmark=benchmark,
+        level=level,
+        machine=machine or MachineConfig(),
+        num_requests=num_requests,
+        seed=seed,
+        cores=cores,
+    )
+    return run_spec(spec)
+
+
+def run_spec(spec: JobSpec) -> RunResult:
+    """Resolve one :class:`JobSpec` through both cache layers."""
+    group = _stats.group("runner")
+    digest = spec.digest()
+    if digest in _cache:
+        group.add("memory_hits")
+        return _cache[digest]
+    disk = _disk_cache()
+    if disk is not None:
+        cached = disk.get(spec)
+        if cached is not None:
+            group.add("disk_hits")
+            _cache[digest] = cached
+            return cached
+    group.add("simulations")
+    result = spec.execute()
+    _cache[digest] = result
+    if disk is not None:
+        disk.put(spec, result)
+    return result
+
+
+def prefetch(specs: list[JobSpec], label: str = "sweep") -> RunManifest:
+    """Resolve a whole sweep up front, fanning cold jobs over workers.
+
+    Populates both cache layers, so subsequent :func:`cached_run` calls for
+    the same specs are pure in-memory hits.  Returns the sweep's manifest;
+    with the disk cache enabled it is also written to
+    ``<cache-dir>/manifests/<label>.json``.
+    """
+    parallel = ParallelRunner(
+        workers=_config.workers,
+        cache=_disk_cache(),
+        memory=_cache,
+        stats=_stats,
+    )
+    parallel.run(list(specs), label=label)
+    manifest = parallel.manifest
+    assert manifest is not None
+    if _config.cache_enabled:
+        manifest.write(_config.cache_dir / "manifests" / f"{label}.json")
+    return manifest
+
+
+def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--workers/--no-cache/--cache-dir`` flags."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for cold simulations (default: current config)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"persistent result cache directory (default {DEFAULT_CACHE_DIR}/)",
+    )
+
+
+def configure_from_args(args: argparse.Namespace) -> RunnerConfig:
+    """Apply parsed :func:`add_runner_arguments` flags to the global config."""
+    return configure(
+        workers=getattr(args, "workers", None),
+        cache_enabled=False if getattr(args, "no_cache", False) else None,
+        cache_dir=getattr(args, "cache_dir", None),
+    )
 
 
 def select_benchmarks(benchmarks: list[str] | None) -> list[str]:
@@ -65,6 +240,8 @@ def select_benchmarks(benchmarks: list[str] | None) -> list[str]:
 
 @dataclass(frozen=True)
 class TableColumn:
+    """One column of a fixed-width text table (header, width, alignment)."""
+
     header: str
     width: int
     align: str = ">"

@@ -7,15 +7,20 @@ unprotected baseline machine and measuring the same three quantities.
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass
 
 from repro.cpu.spec_profiles import SPEC_PROFILES
+from repro.experiments.executor import JobSpec
 from repro.experiments.runner import (
     DEFAULT_REQUESTS,
     DEFAULT_SEED,
     TableColumn,
+    add_runner_arguments,
     cached_run,
+    configure_from_args,
     format_table,
+    prefetch,
     select_benchmarks,
 )
 from repro.system.config import MachineConfig, ProtectionLevel
@@ -33,6 +38,7 @@ class Table1Row:
 
     @property
     def gap_error_pct(self) -> float:
+        """Relative error of the measured gap vs the paper's (percent)."""
         return 100.0 * (self.measured_gap_ns / self.paper_gap_ns - 1.0)
 
 
@@ -44,7 +50,15 @@ def run(
     """Measure Table 1's three characteristics per benchmark."""
     rows = []
     machine = MachineConfig()
-    for name in select_benchmarks(benchmarks):
+    names = select_benchmarks(benchmarks)
+    prefetch(
+        [
+            JobSpec(name, ProtectionLevel.UNPROTECTED, machine, num_requests, seed)
+            for name in names
+        ],
+        label="table1",
+    )
+    for name in names:
         profile = SPEC_PROFILES[name]
         result = cached_run(
             name, ProtectionLevel.UNPROTECTED, machine, num_requests, seed
@@ -93,8 +107,11 @@ def format_results(rows: list[Table1Row]) -> str:
     return format_table(columns, body)
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
     """Print the regenerated table (script entry point)."""
+    parser = argparse.ArgumentParser(prog="repro.experiments.table1")
+    add_runner_arguments(parser)
+    configure_from_args(parser.parse_args(argv))
     print("Table 1 — benchmark characteristics (measured vs paper 'p' columns)")
     print(format_results(run()))
 

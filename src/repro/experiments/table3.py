@@ -8,16 +8,21 @@ ORAM.  Paper averages: ORAM 946.1%, ObfusMem+Auth 10.9%, speedup 9.1x.
 
 from __future__ import annotations
 
+import argparse
 import statistics
 from dataclasses import dataclass
 
 from repro.cpu.spec_profiles import SPEC_PROFILES
+from repro.experiments.executor import sweep_specs
 from repro.experiments.runner import (
     DEFAULT_REQUESTS,
     DEFAULT_SEED,
     TableColumn,
+    add_runner_arguments,
     cached_run,
+    configure_from_args,
     format_table,
+    prefetch,
     select_benchmarks,
 )
 from repro.system.config import MachineConfig, ProtectionLevel
@@ -40,6 +45,7 @@ class Table3Row:
 
     @property
     def paper_speedup(self) -> float:
+        """The paper's speedup column, recomputed from its overheads."""
         return (100.0 + self.paper_oram_pct) / (100.0 + self.paper_obfusmem_pct)
 
 
@@ -49,14 +55,17 @@ class Table3Result:
 
     @property
     def avg_oram_pct(self) -> float:
+        """Mean ORAM overhead across benchmarks (paper: 946.1%)."""
         return statistics.mean(r.oram_overhead_pct for r in self.rows)
 
     @property
     def avg_obfusmem_pct(self) -> float:
+        """Mean ObfusMem+Auth overhead across benchmarks (paper: 10.9%)."""
         return statistics.mean(r.obfusmem_auth_overhead_pct for r in self.rows)
 
     @property
     def avg_speedup(self) -> float:
+        """Mean ObfusMem-over-ORAM speedup across benchmarks (paper: 9.1x)."""
         return statistics.mean(r.speedup for r in self.rows)
 
 
@@ -69,7 +78,22 @@ def run(
     """Measure ORAM and ObfusMem+Auth overheads per benchmark."""
     machine = machine or MachineConfig()
     rows = []
-    for name in select_benchmarks(benchmarks):
+    names = select_benchmarks(benchmarks)
+    prefetch(
+        sweep_specs(
+            names,
+            [
+                ProtectionLevel.UNPROTECTED,
+                ProtectionLevel.ORAM,
+                ProtectionLevel.OBFUSMEM_AUTH,
+            ],
+            machine=machine,
+            num_requests=num_requests,
+            seed=seed,
+        ),
+        label="table3",
+    )
+    for name in names:
         profile = SPEC_PROFILES[name]
         baseline = cached_run(name, ProtectionLevel.UNPROTECTED, machine, num_requests, seed)
         oram = cached_run(name, ProtectionLevel.ORAM, machine, num_requests, seed)
@@ -125,8 +149,11 @@ def format_results(result: Table3Result) -> str:
     return format_table(columns, body)
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
     """Print the regenerated table (script entry point)."""
+    parser = argparse.ArgumentParser(prog="repro.experiments.table3")
+    add_runner_arguments(parser)
+    configure_from_args(parser.parse_args(argv))
     print("Table 3 — ORAM vs ObfusMem+Auth overheads ('p' columns = paper)")
     print(format_results(run()))
 

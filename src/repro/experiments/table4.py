@@ -12,6 +12,7 @@ The qualitative rows of the paper's Table 4 are backed by measurements:
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass
 
 from repro.analysis.leakage import (
@@ -26,7 +27,13 @@ from repro.cpu.spec_profiles import SPEC_PROFILES
 from repro.crypto.rng import DeterministicRng
 from repro.errors import OramDeadlockError
 from repro.experiments import table3
-from repro.experiments.runner import DEFAULT_SEED, TableColumn, format_table
+from repro.experiments.runner import (
+    DEFAULT_SEED,
+    TableColumn,
+    add_runner_arguments,
+    configure_from_args,
+    format_table,
+)
 from repro.mem.bus import BusObserver, MemoryBus
 from repro.oram.path_oram import PathOram
 from repro.system.config import MachineConfig, ProtectionLevel
@@ -193,8 +200,11 @@ def format_results(result: Table4Result) -> str:
     return format_table(columns, rows)
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
     """Print the regenerated table (script entry point)."""
+    parser = argparse.ArgumentParser(prog="repro.experiments.table4")
+    add_runner_arguments(parser)
+    configure_from_args(parser.parse_args(argv))
     print("Table 4 — measured security/overhead comparison")
     print(format_results(run()))
 

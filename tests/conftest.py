@@ -1,0 +1,20 @@
+"""Shared fixtures: keep the experiment runner hermetic under pytest.
+
+The persistent result cache is great for regenerating the paper's tables
+but wrong for tests: stale on-disk entries could mask a physics regression,
+and parallel workers would skew timing-sensitive assertions.  Every test
+therefore starts with the cache disabled and one worker; tests that
+exercise the executor opt back in explicitly (always against a tmp_path
+cache directory).
+"""
+
+import pytest
+
+from repro.experiments import runner
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_runner_config():
+    runner.configure(workers=1, cache_enabled=False)
+    yield
+    runner.configure(workers=1, cache_enabled=False)

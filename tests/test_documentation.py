@@ -30,6 +30,39 @@ def test_module_docstring(module_name):
     assert len(module.__doc__.strip()) > 20
 
 
+EXPERIMENT_MODULES = [name for name in MODULES if name.startswith("repro.experiments")]
+
+
+@pytest.mark.parametrize("module_name", EXPERIMENT_MODULES)
+def test_experiments_properties_and_exports_documented(module_name):
+    """Every public symbol in repro.experiments carries a docstring.
+
+    Stricter than the repo-wide check: properties of public classes count
+    as public symbols, and every ``__all__`` re-export must resolve to a
+    documented object.
+    """
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_") or not inspect.isclass(obj):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue
+        for member_name, member in vars(obj).items():
+            if member_name.startswith("_") or not isinstance(member, property):
+                continue
+            getter = member.fget
+            if not (getter and getter.__doc__ and getter.__doc__.strip()):
+                undocumented.append(f"{name}.{member_name}")
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name, None)
+        assert obj is not None, f"{module_name}.__all__ names missing symbol {name}"
+        doc = inspect.getdoc(obj)
+        if not (doc and doc.strip()):
+            undocumented.append(f"__all__:{name}")
+    assert not undocumented, f"{module_name}: undocumented public items: {undocumented}"
+
+
 @pytest.mark.parametrize("module_name", MODULES)
 def test_public_classes_and_functions_documented(module_name):
     module = importlib.import_module(module_name)

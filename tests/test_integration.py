@@ -148,6 +148,18 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["run", "doom"])
 
+    def test_experiments_runner_flags_parse(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(
+            ["experiments", "table1", "--workers", "2", "--no-cache"]
+        )
+        assert args.workers == 2 and args.no_cache and args.cache_dir is None
+        args = build_parser().parse_args(
+            ["report", "--fast", "--cache-dir", "/tmp/somewhere"]
+        )
+        assert args.cache_dir == "/tmp/somewhere" and args.workers is None
+
     def test_attacks(self, capsys):
         from repro.__main__ import main
 
