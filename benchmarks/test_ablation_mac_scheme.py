@@ -6,7 +6,6 @@ overlaps it, leaving only a small residual.  The bench quantifies the gap
 the paper's design choice avoids.
 """
 
-from dataclasses import replace
 
 from conftest import SEED, run_once
 

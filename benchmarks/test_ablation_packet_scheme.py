@@ -11,7 +11,6 @@ disabled, which charges exactly the always-paired bandwidth the paper
 attributes to it.
 """
 
-from dataclasses import replace
 
 from conftest import SEED, run_once
 

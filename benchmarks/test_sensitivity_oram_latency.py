@@ -6,7 +6,6 @@ shows the headline conclusion — ObfusMem is an order of magnitude faster —
 holds even if ORAM were 2-4x faster than the paper assumed.
 """
 
-from dataclasses import replace
 
 from conftest import SEED, run_once
 
@@ -49,7 +48,7 @@ def test_oram_latency_sensitivity(benchmark):
         print(f"ORAM @ {latency:6.0f} ns: {overhead:8.1f}%  (speedup {speedup:5.1f}x)")
 
     # Overhead scales with the assumed latency.
-    values = [oram_overheads[l] for l in sorted(oram_overheads)]
+    values = [oram_overheads[latency] for latency in sorted(oram_overheads)]
     assert values == sorted(values)
     # Even at 4x-optimistic ORAM (625 ns), ObfusMem wins by a wide margin.
     fastest_oram = oram_overheads[min(LATENCIES_NS)]

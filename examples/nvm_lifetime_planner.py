@@ -11,7 +11,6 @@ paper's FIXED design is the only one that is wear-free.
     python examples/nvm_lifetime_planner.py
 """
 
-from dataclasses import replace
 
 from repro.analysis.energy import analytical_comparison
 from repro.core.config import DummyAddressPolicy

@@ -5,8 +5,13 @@ Commands
 list            benchmarks, protection levels and experiments available
 run             simulate one benchmark at one protection level
 experiments     regenerate one (or all) of the paper's tables/figures
+table1 ...      shortcut: ``repro table1`` == ``repro experiments table1``
 attacks         run the §3.5 active-attack suite against the live stack
 report          full Markdown evaluation report (see experiments.report)
+
+Every experiment command accepts ``--profile``, which wraps the cold
+simulations in cProfile + event accounting and writes hotspot reports next
+to the sweep's run manifest (``<cache-dir>/manifests/<label>.profile.*``).
 """
 
 from __future__ import annotations
@@ -52,14 +57,33 @@ def _cmd_run(args: argparse.Namespace) -> None:
         raise SystemExit(f"unknown level {args.level!r}; try 'list'")
     machine = MachineConfig(channels=args.channels)
     profile = SPEC_PROFILES[args.benchmark]
-    result = run_benchmark(
-        profile,
-        level,
-        machine=machine,
-        num_requests=args.requests,
-        seed=args.seed,
-        cores=args.cores,
-    )
+    if args.profile:
+        from repro.experiments.executor import DEFAULT_CACHE_DIR
+        from repro.sim import profiling
+
+        with profiling.capture() as session:
+            result = run_benchmark(
+                profile,
+                level,
+                machine=machine,
+                num_requests=args.requests,
+                seed=args.seed,
+                cores=args.cores,
+            )
+        label = f"run_{args.benchmark}_{level.value}"
+        json_path, text_path = session.write_reports(
+            DEFAULT_CACHE_DIR / "manifests", label
+        )
+        print(f"profile reports  : {json_path} / {text_path}")
+    else:
+        result = run_benchmark(
+            profile,
+            level,
+            machine=machine,
+            num_requests=args.requests,
+            seed=args.seed,
+            cores=args.cores,
+        )
     print(f"benchmark        : {args.benchmark}")
     print(f"level            : {level.value}")
     print(f"channels / cores : {args.channels} / {args.cores}")
@@ -82,7 +106,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
             print(f"  {key} = {result.stats[key]:.2f}")
 
 
-def _cmd_experiments(args: argparse.Namespace) -> None:
+def _experiment_modules() -> dict:
     from repro.experiments import (
         energy,
         figure4,
@@ -92,10 +116,8 @@ def _cmd_experiments(args: argparse.Namespace) -> None:
         table3,
         table4,
     )
-    from repro.experiments.runner import configure_from_args
 
-    configure_from_args(args)
-    modules = {
+    return {
         "table1": table1,
         "table3": table3,
         "figure4": figure4,
@@ -104,12 +126,27 @@ def _cmd_experiments(args: argparse.Namespace) -> None:
         "energy": energy,
         "related": related,
     }
+
+
+def _cmd_experiments(args: argparse.Namespace) -> None:
+    from repro.experiments.runner import configure_from_args
+
+    configure_from_args(args)
+    modules = _experiment_modules()
     names = _EXPERIMENTS if args.name == "all" else (args.name,)
     for name in names:
         if name not in modules:
             raise SystemExit(f"unknown experiment {name!r}; one of {_EXPERIMENTS}")
         modules[name].main([])
         print()
+
+
+def _cmd_experiment_shortcut(args: argparse.Namespace) -> None:
+    """``repro table1 --profile`` == ``repro experiments table1 --profile``."""
+    from repro.experiments.runner import configure_from_args
+
+    configure_from_args(args)
+    _experiment_modules()[args.command].main([])
 
 
 def _cmd_attacks(args: argparse.Namespace) -> None:
@@ -175,6 +212,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline", action="store_true", help="also run unprotected and show overhead"
     )
     run_parser.add_argument("--stats", action="store_true", help="dump all statistics")
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the simulation (cProfile + event counts) and write "
+        "hotspot reports under the result cache's manifests directory",
+    )
 
     from repro.experiments.runner import add_runner_arguments
 
@@ -183,6 +226,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments_parser.add_argument("name", choices=(*_EXPERIMENTS, "all"))
     add_runner_arguments(experiments_parser)
+
+    for name in _EXPERIMENTS:
+        shortcut = subparsers.add_parser(
+            name, help=f"shortcut for 'experiments {name}'"
+        )
+        add_runner_arguments(shortcut)
 
     subparsers.add_parser("attacks", help="run the active-attack suite")
 
@@ -205,7 +254,8 @@ def main(argv: list[str] | None = None) -> None:
         "attacks": _cmd_attacks,
         "report": _cmd_report,
     }
-    handlers[args.command](args)
+    handler = handlers.get(args.command, _cmd_experiment_shortcut)
+    handler(args)
 
 
 if __name__ == "__main__":

@@ -64,6 +64,33 @@ class ObfusMemController:
         self._dummy_factory = DummyRequestFactory(
             config.dummy_policy, self.mapping, rng.fork("dummy-addresses")
         )
+        # Wire ciphertext only exists for an observer.  Without a bus there
+        # is nothing to observe, so the (measurably hot) random-byte draws
+        # are skipped; the scheduler never reads wire bytes when its bus is
+        # None, and this rng stream feeds nothing else, so timing results
+        # are bit-identical either way.
+        self._observed = memory.bus is not None
+        # Hot-path bindings and precomputed per-request constants: config is
+        # fixed for a run, so the issue/response critical-path delays, the
+        # per-channel pad counter keys and the enqueue keyword values never
+        # change after construction.
+        self._counters = self.stats.counters()
+        self._channels = memory.channels
+        self._issue_delay_ps = self._issue_path_delay_ps()
+        self._resp_delay_ps = self._response_delay_ps()
+        self._command_slots = config.command_slots
+        self._tag_bus_extra_ps = config.tag_bus_extra_ps
+        self._pad_keys = [
+            (f"pads_processor_ch{c}", f"pads_memory_ch{c}")
+            for c in range(self.mapping.channels)
+        ]
+        self._substitute = config.substitute_dummies
+        self._single_channel = self.mapping.channels == 1
+        self._drop_dummies = config.drop_dummies
+        self._inject = (
+            config.channel_injection is not ChannelInjection.NONE
+            and self.mapping.channels > 1
+        )
 
     # ------------------------------------------------------------------
     # Port interface
@@ -73,9 +100,8 @@ class ObfusMemController:
         """Protect and forward one request."""
         if request.is_dummy:
             raise ConfigurationError("dummies are generated inside the controller")
-        delay = self._issue_path_delay_ps()
-        self.stats.add("requests_protected")
-        self.engine.schedule(delay, lambda: self._dispatch(request, callback))
+        self._counters["requests_protected"] += 1
+        self.engine.post(self._issue_delay_ps, lambda: self._dispatch(request, callback))
 
     def flush(self) -> None:
         """End-of-run hook (nothing is held back; kept for API symmetry)."""
@@ -108,16 +134,17 @@ class ObfusMemController:
     # ------------------------------------------------------------------
 
     def _dispatch(self, request: MemoryRequest, callback: CompletionCallback | None) -> None:
-        channel = self.mapping.channel_of(request.address)
+        channel = 0 if self._single_channel else self.mapping.channel_of(request.address)
         # §5.2 accounting: one protected access (real + piggyback half)
         # consumes 10 processor-side + 6 memory-side 128-bit pads.
         self._account_pads(channel)
-        if request.is_read:
+        if request.request_type is RequestType.READ:
             self._send(channel, request, callback)
             self._pair_with_write_half(channel, request)
         else:
             self._handle_write(channel, request, callback)
-        self._inject_other_channels(channel)
+        if self._inject:
+            self._inject_other_channels(channel)
 
     def _pair_with_write_half(self, channel: int, read_request: MemoryRequest) -> None:
         """Every read is piggybacked with a write (§3.3, read-then-write).
@@ -126,10 +153,11 @@ class ObfusMemController:
         this channel stands in for the dummy-write half: the wire still
         shows a read-then-write pattern, but no dummy bandwidth is spent.
         """
+        target = self._channels[channel]
         if (
-            self.config.substitute_dummies
-            and self.memory.channels[channel].pending_real_writes > 0
-            and self.memory.channels[channel].promote_oldest_write()
+            self._substitute
+            and target._pending_real_writes > 0
+            and target.promote_oldest_write()
         ):
             self.stats.add("dummy_writes_substituted")
         else:
@@ -145,8 +173,8 @@ class ObfusMemController:
         immediately either way (its scheduling is never perturbed).
         """
         if (
-            self.config.substitute_dummies
-            and self.memory.channels[channel].pending_real_reads > 0
+            self._substitute
+            and self._channels[channel]._pending_real_reads > 0
         ):
             self.stats.add("dummy_reads_substituted")
         else:
@@ -156,8 +184,6 @@ class ObfusMemController:
     def _inject_other_channels(self, active_channel: int) -> None:
         """Inter-channel obfuscation (§3.4, Observation 3)."""
         mode = self.config.channel_injection
-        if mode is ChannelInjection.NONE or self.mapping.channels == 1:
-            return
         for channel in range(self.mapping.channels):
             if channel == active_channel:
                 continue
@@ -181,60 +207,70 @@ class ObfusMemController:
     # Wire transmission
     # ------------------------------------------------------------------
 
-    def _wire_command(self) -> bytes:
-        """Opaque ciphertext stand-in: unique random bytes per command.
-
-        Counter-mode guarantees ciphertexts never repeat; 16 random bytes
-        have the same observable property at simulation speed.
-        """
-        return self._rng.token_bytes(16)
-
-    def _wire_data(self) -> bytes:
-        return self._rng.token_bytes(64)
+    # Wire bytes: opaque ciphertext stand-ins, drawn inline at the two
+    # enqueue sites.  Counter-mode guarantees ciphertexts never repeat; 16
+    # (command) / 64 (data) random bytes have the same observable property
+    # at simulation speed.  ``None`` when no bus observer exists (the bytes
+    # would never be read).
 
     def _account_pads(self, channel: int) -> None:
-        self.stats.add(f"pads_processor_ch{channel}", PADS_PROCESSOR_SIDE)
-        self.stats.add(f"pads_memory_ch{channel}", PADS_MEMORY_SIDE)
-        self.stats.add("pads_total", PADS_PROCESSOR_SIDE + PADS_MEMORY_SIDE)
+        counters = self._counters
+        processor_key, memory_key = self._pad_keys[channel]
+        counters[processor_key] += PADS_PROCESSOR_SIDE
+        counters[memory_key] += PADS_MEMORY_SIDE
+        counters["pads_total"] += PADS_PROCESSOR_SIDE + PADS_MEMORY_SIDE
 
     def _send(
         self, channel: int, request: MemoryRequest, callback: CompletionCallback | None
     ) -> None:
         wrapped = callback
-        if request.is_read and callback is not None:
-            response_delay = self._response_delay_ps()
+        if callback is not None and request.request_type is RequestType.READ:
+            response_delay = self._resp_delay_ps
+            engine = self.engine
 
             def deliver(completed: MemoryRequest) -> None:
                 def finish() -> None:
-                    completed.complete_time_ps = self.engine.now_ps
+                    completed.complete_time_ps = engine._now_ps
                     callback(completed)
 
-                self.engine.schedule(response_delay, finish)
+                engine.post(response_delay, finish)
 
             wrapped = deliver
-        self.memory.channels[channel].enqueue(
+        if self._observed:
+            wire_command = self._rng.token_bytes(16)
+            wire_data = self._rng.token_bytes(64)
+        else:
+            wire_command = wire_data = None
+        self._channels[channel].enqueue(
             request,
             wrapped,
-            wire_command=self._wire_command(),
-            wire_data=self._wire_data(),
-            command_slots=self.config.command_slots,
-            bus_extra_ps=self.config.tag_bus_extra_ps,
+            wire_command,
+            wire_data,
+            self._command_slots,
+            self._tag_bus_extra_ps,
         )
 
     def _send_dummy(
         self, channel: int, request_type: RequestType, real_address: int | None
     ) -> None:
         dummy = self._dummy_factory.make(channel, request_type, real_address)
-        if not self.config.drop_dummies:
+        if not self._drop_dummies:
             # §6.2 timing-oblivious mode: dummies hit the array so their
             # service timing matches real accesses.
             dummy.droppable = False
-        self.stats.add("dummy_reads" if dummy.is_read else "dummy_writes")
-        self.memory.channels[channel].enqueue(
+        self._counters[
+            "dummy_reads" if request_type is RequestType.READ else "dummy_writes"
+        ] += 1
+        if self._observed:
+            wire_command = self._rng.token_bytes(16)
+            wire_data = self._rng.token_bytes(64)
+        else:
+            wire_command = wire_data = None
+        self._channels[channel].enqueue(
             dummy,
             None,
-            wire_command=self._wire_command(),
-            wire_data=self._wire_data(),
-            command_slots=self.config.command_slots,
-            bus_extra_ps=self.config.tag_bus_extra_ps,
+            wire_command,
+            wire_data,
+            self._command_slots,
+            self._tag_bus_extra_ps,
         )

@@ -15,7 +15,7 @@ every wire message and may tamper with, drop, or replay it; the tests in
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.config import AuthMode
 from repro.core.packets import ChannelCodec, DecodedCommand

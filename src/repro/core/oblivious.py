@@ -91,7 +91,7 @@ class TimingObliviousShaper:
     def _start_channel(self, channel: int) -> None:
         self._ticking[channel] = True
         self._idle_epochs[channel] = 0
-        self.engine.schedule(0, lambda: self._tick(channel))
+        self.engine.post(0, lambda: self._tick(channel))
 
     def _tick(self, channel: int) -> None:
         queue = self._queues[channel]
@@ -108,7 +108,7 @@ class TimingObliviousShaper:
                 return
             self.controller.inject_pair(channel)
             self.stats.add("slots_dummy")
-        self.engine.schedule(self.epoch_ps, lambda: self._tick(channel))
+        self.engine.post(self.epoch_ps, lambda: self._tick(channel))
 
     # ------------------------------------------------------------------
 

@@ -21,7 +21,7 @@ Three bootstrapping approaches from the paper are implemented:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.session import SessionKeyTable
 from repro.crypto.diffie_hellman import DhGroup, DhParty

@@ -43,6 +43,12 @@ class TraceDrivenCore:
         self.port = port
         self.window = window
         self.stats = stats.group(f"core{core_id}")
+        # Hot-path bindings: per-request counters and the latency histogram.
+        self._counters = self.stats.counters()
+        self._latency_hist = self.stats.live_histogram("read_latency_ns")
+        self._records = trace.records
+        # Issue gaps converted to integer picoseconds once, up front.
+        self._gaps_ps = [ns_to_ps(record.gap_ns) for record in trace.records]
         self.core_id = core_id
         self._index = 0
         self._outstanding_reads = 0
@@ -60,8 +66,7 @@ class TraceDrivenCore:
         if self._started:
             raise SimulationError("core already started")
         self._started = True
-        first_gap = self.trace.records[0].gap_ns
-        self.engine.schedule(ns_to_ps(first_gap), self._try_issue)
+        self.engine.post(self._gaps_ps[0], self._try_issue)
 
     @property
     def done(self) -> bool:
@@ -87,11 +92,11 @@ class TraceDrivenCore:
 
     def _try_issue(self) -> None:
         """Issue the current record if the core is not stalled."""
-        if self._index >= len(self.trace.records):
+        if self._index >= len(self._records):
             return
         if self._waiting_for is not None:
             return  # resumed by the dependent read's completion
-        record = self.trace.records[self._index]
+        record = self._records[self._index]
         if not record.is_write and self._outstanding_reads >= self.window:
             self._window_stalled = True
             return  # resumed by any read completion
@@ -104,33 +109,32 @@ class TraceDrivenCore:
             request_type=RequestType.WRITE if record.is_write else RequestType.READ,
             core_id=self.core_id,
         )
-        request.issue_time_ps = self.engine.now_ps
+        request.issue_time_ps = self.engine._now_ps
         if record.is_write:
-            self.stats.add("writes_issued")
+            self._counters["writes_issued"] += 1
             self.port.issue(request, None)
             self._schedule_next()
         else:
-            self.stats.add("reads_issued")
+            self._counters["reads_issued"] += 1
             self._reads_issued += 1
             self._outstanding_reads += 1
             if record.dependent:
                 self._waiting_for = request.request_id
-                self.stats.add("dependent_reads")
+                self._counters["dependent_reads"] += 1
             self.port.issue(request, self._on_read_complete)
             if not record.dependent:
                 self._schedule_next()
 
     def _schedule_next(self) -> None:
-        if self._index >= len(self.trace.records):
+        if self._index >= len(self._records):
             self._maybe_finish()
             return
-        gap_ps = ns_to_ps(self.trace.records[self._index].gap_ns)
-        self.engine.schedule(gap_ps, self._try_issue)
+        self.engine.post(self._gaps_ps[self._index], self._try_issue)
 
     def _on_read_complete(self, request: MemoryRequest) -> None:
         self._outstanding_reads -= 1
         self._reads_completed += 1
-        self.stats.record("read_latency_ns", request.latency_ps / 1000.0)
+        self._latency_hist.record(request.latency_ps / 1000.0)
         if self._waiting_for == request.request_id:
             self._waiting_for = None
             self._schedule_next()

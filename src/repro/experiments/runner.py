@@ -48,6 +48,7 @@ from repro.system.simulator import RunResult
 WORKERS_ENV = "REPRO_WORKERS"
 NO_CACHE_ENV = "REPRO_NO_CACHE"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+PROFILE_ENV = "REPRO_PROFILE"
 
 _cache: dict[str, RunResult] = {}
 _stats = StatRegistry()
@@ -60,6 +61,7 @@ class RunnerConfig:
     workers: int = 1
     cache_enabled: bool = True
     cache_dir: Path = DEFAULT_CACHE_DIR
+    profile: bool = False
 
 
 def _config_from_env() -> RunnerConfig:
@@ -72,6 +74,7 @@ def _config_from_env() -> RunnerConfig:
         workers=max(1, workers),
         cache_enabled=not os.environ.get(NO_CACHE_ENV),
         cache_dir=Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)),
+        profile=bool(os.environ.get(PROFILE_ENV)),
     )
 
 
@@ -82,6 +85,7 @@ def configure(
     workers: int | None = None,
     cache_enabled: bool | None = None,
     cache_dir: str | Path | None = None,
+    profile: bool | None = None,
 ) -> RunnerConfig:
     """Update the process-wide runner config; None leaves a field unchanged."""
     if workers is not None:
@@ -90,6 +94,8 @@ def configure(
         _config.cache_enabled = bool(cache_enabled)
     if cache_dir is not None:
         _config.cache_dir = Path(cache_dir)
+    if profile is not None:
+        _config.profile = bool(profile)
     return _config
 
 
@@ -184,7 +190,14 @@ def prefetch(specs: list[JobSpec], label: str = "sweep") -> RunManifest:
     the same specs are pure in-memory hits.  Returns the sweep's manifest;
     with the disk cache enabled it is also written to
     ``<cache-dir>/manifests/<label>.json``.
+
+    With profiling enabled (``--profile`` / ``REPRO_PROFILE``), the sweep
+    runs serially in-process under cProfile + event accounting, and the
+    hotspot reports are written alongside the manifest as
+    ``<label>.profile.json`` / ``<label>.profile.txt``.
     """
+    if _config.profile:
+        return _prefetch_profiled(specs, label)
     parallel = ParallelRunner(
         workers=_config.workers,
         cache=_disk_cache(),
@@ -196,6 +209,33 @@ def prefetch(specs: list[JobSpec], label: str = "sweep") -> RunManifest:
     assert manifest is not None
     if _config.cache_enabled:
         manifest.write(_config.cache_dir / "manifests" / f"{label}.json")
+    return manifest
+
+
+def _prefetch_profiled(specs: list[JobSpec], label: str) -> RunManifest:
+    """Profiled sweep: serial, in-process, with hotspot reports on disk.
+
+    Fork workers cannot feed a parent-side profiler, so profiling forces
+    ``workers=1``; cold simulations still populate both cache layers.
+    """
+    from repro.sim import profiling
+
+    parallel = ParallelRunner(
+        workers=1,
+        cache=_disk_cache(),
+        memory=_cache,
+        stats=_stats,
+    )
+    with profiling.capture() as session:
+        parallel.run(list(specs), label=label)
+    manifest = parallel.manifest
+    assert manifest is not None
+    manifest_dir = _config.cache_dir / "manifests"
+    if _config.cache_enabled:
+        manifest.write(manifest_dir / f"{label}.json")
+    json_path, text_path = session.write_reports(manifest_dir, label)
+    print(f"[profile] {label}: {session.accountant.events} events in "
+          f"{session.wall_s:.3f} s -> {json_path} / {text_path}")
     return manifest
 
 
@@ -217,6 +257,13 @@ def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help=f"persistent result cache directory (default {DEFAULT_CACHE_DIR}/)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile cold simulations (cProfile + event counts); forces "
+        "serial execution and writes <label>.profile.{json,txt} next to "
+        "the run manifest",
+    )
 
 
 def configure_from_args(args: argparse.Namespace) -> RunnerConfig:
@@ -225,6 +272,7 @@ def configure_from_args(args: argparse.Namespace) -> RunnerConfig:
         workers=getattr(args, "workers", None),
         cache_enabled=False if getattr(args, "no_cache", False) else None,
         cache_dir=getattr(args, "cache_dir", None),
+        profile=True if getattr(args, "profile", False) else None,
     )
 
 

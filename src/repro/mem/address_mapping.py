@@ -76,9 +76,30 @@ class AddressMapping:
             raise ConfigurationError("capacity too small for this organization")
         self.rows_per_bank = 1 << self._row_bits
         self.num_blocks = capacity_bytes // BLOCK_SIZE_BYTES
+        # Decode memo: coordinates are pure functions of the address and
+        # :class:`DecodedAddress` is frozen, so instances are shared.  The
+        # cache is bounded by the number of distinct blocks a run touches.
+        self._decode_cache: dict[int, DecodedAddress] = {}
+        # One reserved dummy block per channel (paper §3.3), precomputed:
+        # the FIXED dummy policy asks for it on every escort pair.
+        self._dummy_blocks = [
+            self.encode(
+                DecodedAddress(
+                    channel=channel,
+                    rank=0,
+                    bank=0,
+                    row=self.rows_per_bank - 1,
+                    column=0,
+                )
+            )
+            for channel in range(channels)
+        ]
 
     def decode(self, address: int) -> DecodedAddress:
         """Split a block-aligned byte address into device coordinates."""
+        cached = self._decode_cache.get(address)
+        if cached is not None:
+            return cached
         if not 0 <= address < self.capacity_bytes:
             raise ConfigurationError(
                 f"address {address:#x} outside capacity {self.capacity_bytes:#x}"
@@ -93,7 +114,10 @@ class AddressMapping:
         rank = bits & ((1 << self._rank_bits) - 1)
         bits >>= self._rank_bits
         row = bits
-        return DecodedAddress(channel=channel, rank=rank, bank=bank, row=row, column=column)
+        decoded = self._decode_cache[address] = DecodedAddress(
+            channel=channel, rank=rank, bank=bank, row=row, column=column
+        )
+        return decoded
 
     def encode(self, decoded: DecodedAddress) -> int:
         """Inverse of :meth:`decode`; used by tests and the dummy reserver."""
@@ -119,12 +143,4 @@ class AddressMapping:
         """
         if not 0 <= channel < self.channels:
             raise ConfigurationError(f"channel {channel} out of range")
-        return self.encode(
-            DecodedAddress(
-                channel=channel,
-                rank=0,
-                bank=0,
-                row=self.rows_per_bank - 1,
-                column=0,
-            )
-        )
+        return self._dummy_blocks[channel]

@@ -10,7 +10,7 @@ design the paper cites.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.sim.engine import ns_to_ps

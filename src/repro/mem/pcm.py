@@ -58,6 +58,9 @@ class PcmDevice:
         self.timing = timing
         self.energy = energy
         self.stats = stats
+        # Hot-path binding: `access` runs per issued request, so counter
+        # updates go through the live dict rather than StatGroup.add.
+        self._counters = stats.counters()
         self._banks: dict[tuple[int, int], _BankState] = {
             (rank, bank): _BankState()
             for rank in range(mapping.ranks_per_channel)
@@ -89,17 +92,23 @@ class PcmDevice:
             return decoded.row
         return self._levelers[(decoded.rank, decoded.bank)].physical_row(decoded.row)
 
-    def access(self, decoded: DecodedAddress, is_write: bool) -> AccessTiming:
+    def access(
+        self, decoded: DecodedAddress, is_write: bool, bank: _BankState | None = None
+    ) -> AccessTiming:
         """Update row-buffer state for one access and return its timing.
 
         The scheduler decides *when* the access happens; this method decides
         *how long* the bank-side part takes and does the bookkeeping.
+        Callers that already hold the bank's state (the scheduler caches it
+        per queued request) pass it as ``bank`` to skip the lookup.
         """
-        bank = self.bank_state(decoded)
+        if bank is None:
+            bank = self.bank_state(decoded)
         row = self._physical_row(decoded)
         row_hit = bank.open_row == row
         preparation = 0
         wrote_cells = False
+        counters = self._counters
         if not row_hit:
             if bank.open_row is not None and bank.dirty:
                 # Dirty row eviction: the whole row is written back to the
@@ -109,14 +118,14 @@ class PcmDevice:
                 self._record_cell_write(decoded.rank, decoded.bank, bank.open_row)
             # Activate the new row: a PCM array read.
             preparation += self.timing.t_rcd_ps
-            self.stats.add("array_reads")
-            self.stats.add("energy_pj", self.energy.array_read_pj)
+            counters["array_reads"] += 1
+            counters["energy_pj"] += self.energy.array_read_pj
             bank.open_row = row
             bank.dirty = False
         else:
-            self.stats.add("row_buffer_hits")
-        self.stats.add("row_buffer_accesses")
-        self.stats.add("energy_pj", self.energy.row_buffer_access_pj)
+            counters["row_buffer_hits"] += 1
+        counters["row_buffer_accesses"] += 1
+        counters["energy_pj"] += self.energy.row_buffer_access_pj
         if is_write:
             bank.dirty = True
         return AccessTiming(

@@ -32,7 +32,7 @@ class RequestType(enum.Enum):
         return RequestType.WRITE if self is RequestType.READ else RequestType.READ
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryRequest:
     """A 64-byte block request.
 
@@ -67,7 +67,7 @@ class MemoryRequest:
     is_dummy: bool = False
     droppable: bool = True
     core_id: int = 0
-    request_id: int = field(default_factory=lambda: next(_request_ids))
+    request_id: int = field(default_factory=_request_ids.__next__)
     issue_time_ps: int | None = None
     complete_time_ps: int | None = None
 

@@ -22,21 +22,21 @@ memory-controller practice and the paper's open-adaptive page policy.
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
-from repro.mem.address_mapping import AddressMapping
+from repro.mem.address_mapping import AddressMapping, DecodedAddress
 from repro.mem.bus import BusTransfer, Direction, MemoryBus, TransferKind
 from repro.mem.dram_timing import PcmEnergy, PcmTiming
 from repro.mem.pcm import PcmDevice
-from repro.mem.request import BLOCK_SIZE_BYTES, MemoryRequest
+from repro.mem.request import BLOCK_SIZE_BYTES, MemoryRequest, RequestType
 from repro.sim.engine import Engine
 from repro.sim.statistics import StatRegistry
 
 CompletionCallback = Callable[[MemoryRequest], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class _QueuedRequest:
     request: MemoryRequest
     callback: CompletionCallback | None
@@ -45,7 +45,13 @@ class _QueuedRequest:
     wire_data: bytes | None = None
     command_slots: int = 1
     bus_extra_ps: int = 0
-    sequence: int = 0
+    # Enqueue-time caches for the FR-FCFS arbitration loops: decoded device
+    # coordinates and the owning bank (non-dummy only — the row-hit scan
+    # skips dummies and droppable dummies never touch a bank), plus the
+    # direction this request's data burst crosses the bus.
+    decoded: DecodedAddress | None = None
+    bank: object | None = None
+    direction: Direction = Direction.TO_MEMORY
 
 
 def _plain_wire_command(request: MemoryRequest) -> bytes:
@@ -78,6 +84,12 @@ class ChannelController:
         self.timing = timing
         self.stats = stats.group(f"channel{channel}")
         self.bus = bus
+        # Hot-path bindings: the live counter dict (plain `dict[k] += 1`
+        # beats a method call per sample) and lazily-bound histograms.
+        self._counters = self.stats.counters()
+        self._queue_delay_hist = None
+        self._read_latency_hist = None
+        self._observed = bus is not None
         self._read_queue: list[_QueuedRequest] = []
         self._write_queue: list[_QueuedRequest] = []
         self._write_queue_high = write_queue_high
@@ -85,8 +97,16 @@ class ChannelController:
         self._draining_writes = False
         self._cmd_free_ps = 0
         self._bus_free_ps = 0
-        self._pump_scheduled = False
-        self._sequence = 0
+        # Wake-on-state-change scheduling: at most one pending wakeup, armed
+        # for the earliest time an issue could possibly succeed.
+        self._wakeup = None
+        self._horizon_ps = self._ISSUE_HORIZON_BURSTS * timing.t_burst_ps
+        # Per-issue timing constants, hoisted out of the issue loop.
+        self._command_ps = timing.command_ps
+        self._t_burst_ps = timing.t_burst_ps
+        self._t_turnaround_ps = timing.t_turnaround_ps
+        self._t_cl_ps = timing.t_cl_ps
+        self._functional = device.is_functional
         self._pending_real_reads = 0
         self._pending_real_writes = 0
         self._last_bus_direction: Direction | None = None
@@ -113,38 +133,45 @@ class ChannelController:
         tag occupies a second slot); ``bus_extra_ps`` charges additional
         data-bus occupancy (e.g. a 128-bit tag riding the burst).
         """
-        if self.mapping.channel_of(request.address) != self.channel and not request.is_dummy:
-            raise ConfigurationError(
-                f"request {request.address:#x} routed to wrong channel {self.channel}"
-            )
+        is_dummy = request.is_dummy
+        is_read = request.request_type is RequestType.READ
+        decoded = None
+        if not is_dummy:
+            decoded = self.mapping.decode(request.address)
+            if decoded.channel != self.channel:
+                raise ConfigurationError(
+                    f"request {request.address:#x} routed to wrong channel {self.channel}"
+                )
         queued = _QueuedRequest(
-            request=request,
-            callback=callback,
-            enqueue_time_ps=self.engine.now_ps,
-            wire_command=wire_command,
-            wire_data=wire_data,
-            command_slots=command_slots,
-            bus_extra_ps=bus_extra_ps,
-            sequence=self._sequence,
+            request,
+            callback,
+            self.engine._now_ps,
+            wire_command,
+            wire_data,
+            command_slots,
+            bus_extra_ps,
+            decoded,
+            self.device.bank_state(decoded) if decoded is not None else None,
+            Direction.TO_PROCESSOR if is_read else Direction.TO_MEMORY,
         )
-        self._sequence += 1
         # Dummies must issue promptly, temporally paired with the access
         # they escort — that adjacency is what hides the request type from
         # a timing observer — so they share the priority (read) queue even
         # when they are writes.  Real writes drain lazily as usual.
-        if request.is_read or request.is_dummy:
+        if is_read or is_dummy:
             self._read_queue.append(queued)
         else:
             self._write_queue.append(queued)
-        if request.is_dummy:
-            self.stats.add("dummy_reads" if request.is_read else "dummy_writes")
-        elif request.is_read:
-            self.stats.add("reads")
+        counters = self._counters
+        if is_dummy:
+            counters["dummy_reads" if is_read else "dummy_writes"] += 1
+        elif is_read:
+            counters["reads"] += 1
             self._pending_real_reads += 1
         else:
-            self.stats.add("writes")
+            counters["writes"] += 1
             self._pending_real_writes += 1
-        self._schedule_pump(0)
+        self._arm_pump()
 
     @property
     def pending(self) -> int:
@@ -188,48 +215,84 @@ class ChannelController:
     # Scheduling
     # ------------------------------------------------------------------
 
-    def _schedule_pump(self, delay_ps: int) -> None:
-        if not self._pump_scheduled:
-            self._pump_scheduled = True
-            self.engine.schedule(delay_ps, self._pump)
+    # Issue horizon, in data bursts: a real controller keeps only a few
+    # transactions in flight; without this bound, the queues would drain
+    # instantly into far-future resource reservations and every
+    # queue-occupancy policy (write drain, FR-FCFS arbitration, §3.3
+    # substitution) would observe empty queues.
+    _ISSUE_HORIZON_BURSTS = 8
+
+    def _earliest_issue_ps(self, now: int) -> int:
+        """Earliest time an issue could succeed given current reservations.
+
+        An issue needs the command slot free and the data bus within the
+        issue horizon; both `_cmd_free_ps` and `_bus_free_ps` only move
+        forward, so this bound is exact — waking any earlier could never
+        issue, waking exactly here always re-evaluates with fresh queues.
+        """
+        at = self._cmd_free_ps
+        gate = self._bus_free_ps - self._horizon_ps
+        if gate > at:
+            at = gate
+        return at if at > now else now
+
+    def _arm_pump(self) -> None:
+        """Arm (at most) one wakeup at the earliest possible issue time.
+
+        Called on every state change that could unblock an issue: a new
+        request arriving, or (from :meth:`_pump` itself) the command slot /
+        data bus becoming free.  A wakeup already armed at or before the
+        target time is left alone; a later one is lazily cancelled.
+        """
+        engine = self.engine
+        now = engine._now_ps
+        at = self._cmd_free_ps
+        gate = self._bus_free_ps - self._horizon_ps
+        if gate > at:
+            at = gate
+        if at < now:
+            at = now
+        wakeup = self._wakeup
+        if wakeup is not None:
+            if wakeup[0] <= at:
+                return
+            engine.cancel_entry(wakeup)
+        self._wakeup = engine.post_entry(at - now, self._pump)
 
     def _pump(self) -> None:
-        self._pump_scheduled = False
-        while True:
-            now = self.engine.now_ps
-            if self._cmd_free_ps > now:
-                self._schedule_pump(self._cmd_free_ps - now)
-                return
-            # Bound the issue horizon: a real controller keeps only a few
-            # transactions in flight; without this, the queues would drain
-            # instantly into far-future resource reservations and every
-            # queue-occupancy policy (write drain, FR-FCFS arbitration,
-            # §3.3 substitution) would observe empty queues.
-            horizon_ps = 8 * self.timing.t_burst_ps
-            if self._bus_free_ps > now + horizon_ps:
-                self._schedule_pump(self._bus_free_ps - now - horizon_ps)
+        self._wakeup = None
+        read_queue = self._read_queue
+        write_queue = self._write_queue
+        engine = self.engine
+        horizon = self._horizon_ps
+        while read_queue or write_queue:
+            now = engine._now_ps
+            at = self._cmd_free_ps
+            gate = self._bus_free_ps - horizon
+            if gate > at:
+                at = gate
+            if at > now:
+                self._wakeup = engine.post_entry(at - now, self._pump)
                 return
             queued = self._pick_next()
             if queued is None:
                 return
             self._issue(queued)
 
-    def _update_drain_mode(self) -> None:
-        if len(self._write_queue) >= self._write_queue_high:
-            self._draining_writes = True
-        elif len(self._write_queue) <= self._write_queue_low:
-            self._draining_writes = False
-
     # FR-FCFS scan depth: real controllers arbitrate over a bounded window
     # of queue entries, not the whole (potentially deep) queue.
     _ROW_HIT_LOOKAHEAD = 16
 
     def _row_hit_index(self, queue: list[_QueuedRequest]) -> int | None:
-        for index, queued in enumerate(queue[: self._ROW_HIT_LOOKAHEAD]):
-            if queued.request.is_dummy:
+        limit = self._ROW_HIT_LOOKAHEAD
+        if len(queue) < limit:
+            limit = len(queue)
+        for index in range(limit):
+            queued = queue[index]
+            decoded = queued.decoded
+            if decoded is None:  # dummy: no bank, no row to hit
                 continue
-            decoded = self.mapping.decode(queued.request.address)
-            if self.device.bank_state(decoded).open_row == decoded.row:
+            if queued.bank.open_row == decoded.row:
                 return index
         return None
 
@@ -246,29 +309,36 @@ class ChannelController:
         read/write turnaround; the small lookahead keeps the reordering
         window realistic (and keeps dummy pairing temporally tight).
         """
-        if self._last_bus_direction is None:
+        last = self._last_bus_direction
+        if last is None:
             return None
-        for index, queued in enumerate(queue[:lookahead]):
-            if self._burst_direction(queued.request) is self._last_bus_direction:
+        if len(queue) < lookahead:
+            lookahead = len(queue)
+        for index in range(lookahead):
+            if queue[index].direction is last:
                 return index
         return None
 
     def _pick_next(self) -> _QueuedRequest | None:
-        self._update_drain_mode()
-        prefer_writes = self._draining_writes or not self._read_queue
-        primary, secondary = (
-            (self._write_queue, self._read_queue)
-            if prefer_writes
-            else (self._read_queue, self._write_queue)
-        )
-        for queue in (primary, secondary):
-            if queue:
-                hit_index = self._row_hit_index(queue)
-                if hit_index is not None:
-                    return queue.pop(hit_index)
-                match_index = self._direction_match_index(queue)
-                return queue.pop(match_index if match_index is not None else 0)
-        return None
+        write_depth = len(self._write_queue)
+        if write_depth >= self._write_queue_high:
+            self._draining_writes = True
+        elif write_depth <= self._write_queue_low:
+            self._draining_writes = False
+        if self._draining_writes or not self._read_queue:
+            queue = self._write_queue or self._read_queue
+        else:
+            queue = self._read_queue
+        if not queue:
+            return None
+        if len(queue) == 1:
+            # Every arbitration rule picks the sole entry.
+            return queue.pop()
+        hit_index = self._row_hit_index(queue)
+        if hit_index is not None:
+            return queue.pop(hit_index)
+        match_index = self._direction_match_index(queue)
+        return queue.pop(match_index if match_index is not None else 0)
 
     def _emit(
         self,
@@ -295,35 +365,44 @@ class ChannelController:
 
     def _issue(self, queued: _QueuedRequest) -> None:
         request = queued.request
-        if not request.is_dummy:
-            if request.is_read:
+        is_dummy = request.is_dummy
+        if not is_dummy:
+            if queued.direction is Direction.TO_PROCESSOR:  # read burst
                 self._pending_real_reads -= 1
             else:
                 self._pending_real_writes -= 1
-        now = self.engine.now_ps
-        cmd_start = max(now, self._cmd_free_ps)
-        cmd_end = cmd_start + queued.command_slots * self.timing.command_ps
+        engine = self.engine
+        now = engine._now_ps
+        cmd_free = self._cmd_free_ps
+        cmd_start = now if now > cmd_free else cmd_free
+        cmd_end = cmd_start + queued.command_slots * self._command_ps
         self._cmd_free_ps = cmd_end
-        wire_command = queued.wire_command or _plain_wire_command(request)
-        self._emit(cmd_start, TransferKind.COMMAND, Direction.TO_MEMORY, wire_command, request)
-        self.stats.record(
-            "queue_delay_ns", (cmd_start - queued.enqueue_time_ps) / 1000.0
-        )
+        if self._observed:
+            wire_command = queued.wire_command or _plain_wire_command(request)
+            self._emit(
+                cmd_start, TransferKind.COMMAND, Direction.TO_MEMORY, wire_command, request
+            )
+        hist = self._queue_delay_hist
+        if hist is None:
+            hist = self._queue_delay_hist = self.stats.live_histogram("queue_delay_ns")
+        hist.record((cmd_start - queued.enqueue_time_ps) / 1000.0)
 
-        if request.is_dummy and request.droppable:
+        if is_dummy and request.droppable:
             complete_ps = self._issue_dummy(queued, cmd_end)
-        elif request.is_read:
+        elif queued.direction is Direction.TO_PROCESSOR:  # read
             complete_ps = self._issue_read(queued, cmd_end)
         else:
             complete_ps = self._issue_write(queued, cmd_end)
 
-        def finish() -> None:
-            request.complete_time_ps = self.engine.now_ps
-            if queued.callback is not None:
-                queued.callback(request)
+        callback = queued.callback
 
-        self.engine.schedule_at(complete_ps, finish)
-        self.stats.add("requests_serviced")
+        def finish() -> None:
+            request.complete_time_ps = engine._now_ps
+            if callback is not None:
+                callback(request)
+
+        engine.post_at(complete_ps, finish)
+        self._counters["requests_serviced"] += 1
 
     def _reserve_bus(
         self, earliest_ps: int, direction: Direction, extra_ps: int = 0
@@ -334,17 +413,15 @@ class ChannelController:
         turnaround penalty (tRTW/tWTR).
         """
         available = self._bus_free_ps
-        if (
-            self._last_bus_direction is not None
-            and self._last_bus_direction is not direction
-        ):
-            available += self.timing.t_turnaround_ps
-            self.stats.add("bus_turnarounds")
-        start = max(earliest_ps, available)
-        end = start + self.timing.t_burst_ps + extra_ps
+        last = self._last_bus_direction
+        if last is not None and last is not direction:
+            available += self._t_turnaround_ps
+            self._counters["bus_turnarounds"] += 1
+        start = earliest_ps if earliest_ps > available else available
+        end = start + self._t_burst_ps + extra_ps
         self._bus_free_ps = end
         self._last_bus_direction = direction
-        self.stats.add("bus_bytes", BLOCK_SIZE_BYTES)
+        self._counters["bus_bytes"] += BLOCK_SIZE_BYTES
         return start, end
 
     def _wire_data(self, queued: _QueuedRequest) -> bytes:
@@ -361,10 +438,75 @@ class ChannelController:
         garbage burst without touching the array.
         """
         request = queued.request
-        if request.is_write:
+        if queued.direction is Direction.TO_MEMORY:  # dummy write
             burst_start, burst_end = self._reserve_bus(
                 cmd_end_ps, Direction.TO_MEMORY, queued.bus_extra_ps
             )
+            if self._observed:
+                self._emit(
+                    burst_start,
+                    TransferKind.DATA,
+                    Direction.TO_MEMORY,
+                    self._wire_data(queued),
+                    request,
+                )
+            self._counters["dummy_writes_dropped"] += 1
+        else:
+            # Response after the command decodes; no bank access needed.
+            burst_start, burst_end = self._reserve_bus(
+                cmd_end_ps + self._t_cl_ps,
+                Direction.TO_PROCESSOR,
+                queued.bus_extra_ps,
+            )
+            if self._observed:
+                self._emit(
+                    burst_start,
+                    TransferKind.DATA,
+                    Direction.TO_PROCESSOR,
+                    self._wire_data(queued),
+                    request,
+                )
+            self._counters["dummy_reads_answered"] += 1
+        return burst_end
+
+    def _issue_read(self, queued: _QueuedRequest, cmd_end_ps: int) -> int:
+        request = queued.request
+        # Non-droppable dummies (ORIGINAL/RANDOM policies) reach the array
+        # too but skip the enqueue-time decode, so decode lazily here.
+        decoded = queued.decoded or self.mapping.decode(request.address)
+        bank = queued.bank or self.device.bank_state(decoded)
+        access = self.device.access(decoded, is_write=False, bank=bank)
+        prep_start = max(cmd_end_ps, bank.busy_until_ps)
+        data_ready = prep_start + access.preparation_ps + self._t_cl_ps
+        burst_start, burst_end = self._reserve_bus(
+            data_ready, Direction.TO_PROCESSOR, queued.bus_extra_ps
+        )
+        bank.busy_until_ps = burst_end
+        if self._functional:
+            request.payload = self.device.read_block(request.address)
+        if self._observed:
+            self._emit(
+                burst_start,
+                TransferKind.DATA,
+                Direction.TO_PROCESSOR,
+                self._wire_data(queued),
+                request,
+            )
+        hist = self._read_latency_hist
+        if hist is None:
+            hist = self._read_latency_hist = self.stats.live_histogram("read_latency_ns")
+        hist.record((burst_end - queued.enqueue_time_ps) / 1000.0)
+        return burst_end
+
+    def _issue_write(self, queued: _QueuedRequest, cmd_end_ps: int) -> int:
+        request = queued.request
+        decoded = queued.decoded or self.mapping.decode(request.address)
+        bank = queued.bank or self.device.bank_state(decoded)
+        access = self.device.access(decoded, is_write=True, bank=bank)
+        burst_start, burst_end = self._reserve_bus(
+            cmd_end_ps, Direction.TO_MEMORY, queued.bus_extra_ps
+        )
+        if self._observed:
             self._emit(
                 burst_start,
                 TransferKind.DATA,
@@ -372,66 +514,10 @@ class ChannelController:
                 self._wire_data(queued),
                 request,
             )
-            self.stats.add("dummy_writes_dropped")
-        else:
-            # Response after the command decodes; no bank access needed.
-            burst_start, burst_end = self._reserve_bus(
-                cmd_end_ps + self.timing.t_cl_ps,
-                Direction.TO_PROCESSOR,
-                queued.bus_extra_ps,
-            )
-            self._emit(
-                burst_start,
-                TransferKind.DATA,
-                Direction.TO_PROCESSOR,
-                self._wire_data(queued),
-                request,
-            )
-            self.stats.add("dummy_reads_answered")
-        return burst_end
-
-    def _issue_read(self, queued: _QueuedRequest, cmd_end_ps: int) -> int:
-        request = queued.request
-        decoded = self.mapping.decode(request.address)
-        bank = self.device.bank_state(decoded)
-        access = self.device.access(decoded, is_write=False)
-        prep_start = max(cmd_end_ps, bank.busy_until_ps)
-        data_ready = prep_start + access.preparation_ps + self.timing.t_cl_ps
-        burst_start, burst_end = self._reserve_bus(
-            data_ready, Direction.TO_PROCESSOR, queued.bus_extra_ps
-        )
-        bank.busy_until_ps = burst_end
-        if self.device.is_functional:
-            request.payload = self.device.read_block(request.address)
-        self._emit(
-            burst_start,
-            TransferKind.DATA,
-            Direction.TO_PROCESSOR,
-            self._wire_data(queued),
-            request,
-        )
-        self.stats.record("read_latency_ns", (burst_end - queued.enqueue_time_ps) / 1000.0)
-        return burst_end
-
-    def _issue_write(self, queued: _QueuedRequest, cmd_end_ps: int) -> int:
-        request = queued.request
-        decoded = self.mapping.decode(request.address)
-        bank = self.device.bank_state(decoded)
-        access = self.device.access(decoded, is_write=True)
-        burst_start, burst_end = self._reserve_bus(
-            cmd_end_ps, Direction.TO_MEMORY, queued.bus_extra_ps
-        )
-        self._emit(
-            burst_start,
-            TransferKind.DATA,
-            Direction.TO_MEMORY,
-            self._wire_data(queued),
-            request,
-        )
         prep_start = max(burst_end, bank.busy_until_ps)
         row_ready = prep_start + access.preparation_ps
         bank.busy_until_ps = row_ready
-        if self.device.is_functional and request.payload is not None:
+        if self._functional and request.payload is not None:
             self.device.write_block(request.address, request.payload)
         return max(burst_end, row_ready)
 

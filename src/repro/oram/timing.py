@@ -70,7 +70,7 @@ class OramMemoryModel:
             if callback is not None:
                 callback(request)
 
-        self.engine.schedule(self.access_latency_ps, finish)
+        self.engine.post(self.access_latency_ps, finish)
 
     # Port-compatibility alias (MemorySystem exposes enqueue).
     enqueue = issue

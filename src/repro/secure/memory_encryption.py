@@ -74,6 +74,10 @@ class SecureMemoryController:
         self.downstream = downstream
         self.engines = engines or EngineTiming()
         self.stats = stats.group("memenc")
+        # Hot-path binding: counter-cache hit/miss accounting runs once per
+        # protected read, so increments go through the live dict.
+        self._counters = self.stats.counters()
+        self._exposed_hist = None
         self.counters = CounterStore()
         self.counter_cache = SetAssociativeCache(
             "counter_cache",
@@ -173,7 +177,7 @@ class SecureMemoryController:
         if line is not None:
             if for_write:
                 self.counter_cache.set_state(page_block, MesiState.MODIFIED)
-            self.stats.add("counter_hits")
+            self._counters["counter_hits"] += 1
             if page_block in self._prefetched_counter_blocks:
                 # First use of a prefetched counter block: keep the stream
                 # running by prefetching the next page (standard stream-
@@ -181,13 +185,13 @@ class SecureMemoryController:
                 self._prefetched_counter_blocks.discard(page_block)
                 self._prefetch_next_page_counters(address)
             return True
-        self.stats.add("counter_misses")
+        self._counters["counter_misses"] += 1
         eviction = self.counter_cache.insert(
             page_block, MesiState.MODIFIED if for_write else MesiState.EXCLUSIVE
         )
         if eviction is not None and eviction.dirty:
             # Write the evicted counter block back to its memory home.
-            self.stats.add("counter_writebacks")
+            self._counters["counter_writebacks"] += 1
             self.downstream.issue(
                 MemoryRequest(eviction.block << 6, RequestType.WRITE), None
             )
@@ -198,7 +202,7 @@ class SecureMemoryController:
         if request.is_dummy:
             self.downstream.issue(request, callback)
             return
-        if request.is_read:
+        if request.request_type is RequestType.READ:
             self._issue_read(request, callback)
         else:
             self._issue_write(request, callback)
@@ -206,10 +210,10 @@ class SecureMemoryController:
     def _issue_read(self, request: MemoryRequest, callback: CompletionCallback | None) -> None:
         pending = _PendingRead(request, callback)
         hit = self._counter_access(request.address, for_write=False)
-        now = self.engine.now_ps
+        now = self.engine._now_ps
 
         def data_done(req: MemoryRequest) -> None:
-            pending.data_done_ps = self.engine.now_ps
+            pending.data_done_ps = self.engine._now_ps
             self._maybe_finish_read(pending)
 
         if hit:
@@ -222,7 +226,7 @@ class SecureMemoryController:
             )
 
             def counter_done(req: MemoryRequest) -> None:
-                pending.pad_ready_ps = self.engine.now_ps + self._aes_exposed_ps
+                pending.pad_ready_ps = self.engine._now_ps + self._aes_exposed_ps
                 self._maybe_finish_read(pending)
 
             # Data first: it is the critical word; the counter fetch rides
@@ -260,7 +264,7 @@ class SecureMemoryController:
         self._prefetched_counter_blocks.add(page_block)
         eviction = self.counter_cache.insert(page_block, MesiState.EXCLUSIVE)
         if eviction is not None and eviction.dirty:
-            self.stats.add("counter_writebacks")
+            self._counters["counter_writebacks"] += 1
             self.downstream.issue(
                 MemoryRequest(eviction.block << 6, RequestType.WRITE), None
             )
@@ -274,16 +278,21 @@ class SecureMemoryController:
     def _maybe_finish_read(self, pending: _PendingRead) -> None:
         if pending.data_done_ps is None or pending.pad_ready_ps is None:
             return
-        finish_ps = max(pending.data_done_ps, pending.pad_ready_ps) + self.engines.xor_ps
-        exposed = finish_ps - pending.data_done_ps
-        self.stats.record("decrypt_exposed_ns", exposed / 1000.0)
+        data_done = pending.data_done_ps
+        pad_ready = pending.pad_ready_ps
+        finish_ps = (data_done if data_done > pad_ready else pad_ready) + self.engines.xor_ps
+        hist = self._exposed_hist
+        if hist is None:
+            hist = self._exposed_hist = self.stats.live_histogram("decrypt_exposed_ns")
+        hist.record((finish_ps - data_done) / 1000.0)
+        engine = self.engine
 
         def deliver() -> None:
-            pending.request.complete_time_ps = self.engine.now_ps
+            pending.request.complete_time_ps = engine._now_ps
             if pending.callback is not None:
                 pending.callback(pending.request)
 
-        self.engine.schedule_at(finish_ps, deliver)
+        engine.post_at(finish_ps, deliver)
 
     def _issue_write(self, request: MemoryRequest, callback: CompletionCallback | None) -> None:
         hit = self._counter_access(request.address, for_write=True)
@@ -299,7 +308,7 @@ class SecureMemoryController:
         offset = (request.address % PAGE_SIZE_BYTES) // BLOCKS_PER_PAGE
         if self.counters.page(page_id).bump_minor(offset):
             self._reencrypt_page_traffic(page_id)
-        self.stats.add("pads_generated", 4)  # four 16B pads per 64B block
+        self._counters["pads_generated"] += 4  # four 16B pads per 64B block
         self.downstream.issue(request, callback)
 
     def _reencrypt_page_traffic(self, page_id: int) -> None:

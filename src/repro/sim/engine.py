@@ -1,10 +1,27 @@
 """Discrete-event simulation engine.
 
 A deliberately small, deterministic event kernel in the style of gem5's
-event queue: events are (time, priority, sequence, callback) tuples ordered
+event queue: events are (time, priority, sequence, callback) entries ordered
 by time, then priority, then insertion order.  The sequence number makes
 simultaneous events deterministic, which every experiment in this repository
 relies on for reproducibility.
+
+The kernel is the hottest code in the repository — every simulated
+nanosecond flows through :meth:`Engine.run` — so its data layout is chosen
+for throughput:
+
+* Heap entries are plain ``[time_ps, priority, sequence, callback]`` lists.
+  ``heapq`` compares them with C-level lexicographic comparison; because the
+  sequence number is unique, the callback element is never compared and no
+  Python ``__lt__`` ever runs.
+* Cancellation is a lazy tombstone: :meth:`EventHandle.cancel` nulls the
+  entry's callback slot in place and the run loop discards tombstones when
+  they surface at the heap top.  Nothing is ever removed from the middle of
+  the heap.
+* A live-event counter makes :meth:`Engine.pending_events` O(1) regardless
+  of how many tombstones are queued.
+* Hot call sites that never cancel use :meth:`Engine.post` /
+  :meth:`Engine.post_at`, which skip allocating an :class:`EventHandle`.
 
 Time is kept in **picoseconds** as integers.  All the DDR/PCM timing
 parameters in the paper are exact multiples of 0.25 ns, so integer
@@ -16,11 +33,25 @@ from __future__ import annotations
 
 import heapq
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from typing import ClassVar
 
 from repro.errors import SimulationError
 
 PS_PER_NS = 1000
+
+#: Sentinel stored in an entry's callback slot once the event has executed,
+#: so handles can distinguish fired events from cancelled ones (``None``).
+_FIRED = object()
+
+# Entry layout indices (entries are plain lists for C-speed comparison).
+_TIME = 0
+_PRIORITY = 1
+_SEQUENCE = 2
+_CALLBACK = 3
+
+# Module-level binding: one global load instead of two attribute loads per
+# scheduling call.
+_heappush = heapq.heappush
 
 
 def ns_to_ps(nanoseconds: float) -> int:
@@ -33,42 +64,71 @@ def ps_to_ns(picoseconds: int) -> float:
     return picoseconds / PS_PER_NS
 
 
-@dataclass(order=True)
-class _ScheduledEvent:
-    time_ps: int
-    priority: int
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-
-
 class EventHandle:
     """Opaque handle returned by :meth:`Engine.schedule`, for cancellation."""
 
-    def __init__(self, event: _ScheduledEvent):
-        self._event = event
+    __slots__ = ("_engine", "_entry")
+
+    def __init__(self, engine: "Engine", entry: list):
+        self._engine = engine
+        self._entry = entry
 
     def cancel(self) -> None:
         """Prevent the event from firing (safe after it has fired: no-op)."""
-        self._event.cancelled = True
+        entry = self._entry
+        callback = entry[_CALLBACK]
+        if callback is not None and callback is not _FIRED:
+            entry[_CALLBACK] = None
+            self._engine._live -= 1
 
     @property
     def time_ps(self) -> int:
-        return self._event.time_ps
+        return self._entry[_TIME]
 
     @property
     def pending(self) -> bool:
-        return not self._event.cancelled
+        """True while the event is queued: not yet fired, not cancelled."""
+        callback = self._entry[_CALLBACK]
+        return callback is not None and callback is not _FIRED
+
+    @property
+    def fired(self) -> bool:
+        """True once the event's callback has executed."""
+        return self._entry[_CALLBACK] is _FIRED
+
+    @property
+    def cancelled(self) -> bool:
+        """True if the event was cancelled before firing."""
+        return self._entry[_CALLBACK] is None
 
 
 class Engine:
     """Deterministic discrete-event simulation kernel."""
 
+    __slots__ = (
+        "_queue",
+        "_now_ps",
+        "_sequence",
+        "_running",
+        "_live",
+        "_instrument",
+        "events_executed",
+    )
+
+    #: Process-wide default instrumentation hook, picked up by every Engine
+    #: at construction.  ``None`` (the default) keeps the run loop on a
+    #: zero-overhead path; :mod:`repro.sim.profiling` installs a counter
+    #: here while a ``--profile`` run is active.  The hook is called as
+    #: ``hook(time_ps, callback)`` after each executed event.
+    default_instrument: ClassVar[Callable[[int, Callable], None] | None] = None
+
     def __init__(self):
-        self._queue: list[_ScheduledEvent] = []
+        self._queue: list[list] = []
         self._now_ps = 0
         self._sequence = 0
         self._running = False
+        self._live = 0
+        self._instrument = type(self).default_instrument
         self.events_executed = 0
 
     @property
@@ -87,18 +147,16 @@ class Engine:
         """Schedule ``callback`` to run ``delay_ps`` picoseconds from now.
 
         Lower ``priority`` values run first among simultaneous events.
+        Returns a handle for cancellation; call sites that never cancel
+        should prefer :meth:`post`, which skips the handle allocation.
         """
         if delay_ps < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay_ps})")
-        event = _ScheduledEvent(
-            time_ps=self._now_ps + delay_ps,
-            priority=priority,
-            sequence=self._sequence,
-            callback=callback,
-        )
+        entry = [self._now_ps + delay_ps, priority, self._sequence, callback]
         self._sequence += 1
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        self._live += 1
+        _heappush(self._queue, entry)
+        return EventHandle(self, entry)
 
     def schedule_at(
         self, time_ps: int, callback: Callable[[], None], priority: int = 0
@@ -109,6 +167,61 @@ class Engine:
                 f"cannot schedule at {time_ps} ps; now is {self._now_ps} ps"
             )
         return self.schedule(time_ps - self._now_ps, callback, priority)
+
+    def post(
+        self, delay_ps: int, callback: Callable[[], None], priority: int = 0
+    ) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`EventHandle`.
+
+        Identical ordering semantics; the only difference is that the event
+        cannot be cancelled.  This is the fast path for the simulation's
+        inner loops, where handles were measured to be pure overhead.
+        """
+        if delay_ps < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay_ps})")
+        _heappush(
+            self._queue, [self._now_ps + delay_ps, priority, self._sequence, callback]
+        )
+        self._sequence += 1
+        self._live += 1
+
+    def post_at(
+        self, time_ps: int, callback: Callable[[], None], priority: int = 0
+    ) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no :class:`EventHandle`."""
+        if time_ps < self._now_ps:
+            raise SimulationError(
+                f"cannot schedule at {time_ps} ps; now is {self._now_ps} ps"
+            )
+        _heappush(self._queue, [time_ps, priority, self._sequence, callback])
+        self._sequence += 1
+        self._live += 1
+
+    def post_entry(
+        self, delay_ps: int, callback: Callable[[], None], priority: int = 0
+    ) -> list:
+        """Schedule and return the *raw* queue entry (advanced fast path).
+
+        The entry is the plain ``[time_ps, priority, sequence, callback]``
+        list the heap holds; ``entry[0]`` is the fire time.  Cancel it with
+        :meth:`cancel_entry`.  This exists for call sites that keep exactly
+        one pending event and re-arm it constantly (the channel scheduler's
+        wakeup), where even the :class:`EventHandle` allocation shows up.
+        """
+        if delay_ps < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay_ps})")
+        entry = [self._now_ps + delay_ps, priority, self._sequence, callback]
+        self._sequence += 1
+        self._live += 1
+        _heappush(self._queue, entry)
+        return entry
+
+    def cancel_entry(self, entry: list) -> None:
+        """Cancel a raw entry from :meth:`post_entry` (no-op once fired)."""
+        callback = entry[_CALLBACK]
+        if callback is not None and callback is not _FIRED:
+            entry[_CALLBACK] = None
+            self._live -= 1
 
     def run(self, until_ps: int | None = None, max_events: int | None = None) -> None:
         """Execute events in order until the queue empties or limits hit.
@@ -123,31 +236,43 @@ class Engine:
         if self._running:
             raise SimulationError("engine is not re-entrant")
         self._running = True
-        executed_this_run = 0
+        # Hot loop: locals beat attribute loads, entries are plain lists,
+        # tombstones (nulled callbacks) are discarded as they surface.
+        queue = self._queue
+        pop = heapq.heappop
+        instrument = self._instrument
+        executed = 0
+        now = self._now_ps
         try:
-            while self._queue:
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
+            while queue:
+                entry = queue[0]
+                callback = entry[_CALLBACK]
+                if callback is None:
+                    pop(queue)
                     continue
-                if until_ps is not None and event.time_ps > until_ps:
+                time_ps = entry[_TIME]
+                if until_ps is not None and time_ps > until_ps:
                     break
-                heapq.heappop(self._queue)
-                if event.time_ps < self._now_ps:
+                pop(queue)
+                if time_ps < now:
                     raise SimulationError("event queue corrupted: time reversal")
-                self._now_ps = event.time_ps
-                event.callback()
-                self.events_executed += 1
-                executed_this_run += 1
-                if max_events is not None and executed_this_run >= max_events:
+                self._now_ps = now = time_ps
+                entry[_CALLBACK] = _FIRED
+                self._live -= 1
+                callback()
+                executed += 1
+                if instrument is not None:
+                    instrument(time_ps, callback)
+                if max_events is not None and executed >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; likely a livelock"
                     )
             if until_ps is not None and until_ps > self._now_ps:
                 self._now_ps = until_ps
         finally:
+            self.events_executed += executed
             self._running = False
 
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._live

@@ -1,0 +1,174 @@
+"""Opt-in profiling harness: cProfile plus event-count accounting.
+
+The simulation kernel is instrumented through
+:attr:`repro.sim.engine.Engine.default_instrument` — a hook that costs one
+``is not None`` check per event when off.  When a profiling session is
+active, every engine constructed inherits an :class:`EventAccountant` that
+counts executed events by callback target, while ``cProfile`` captures the
+Python-level hotspots of the same wall-clock window.
+
+Usage (what ``--profile`` on the experiment CLIs does)::
+
+    from repro.sim import profiling
+
+    with profiling.capture() as session:
+        ...  # build engines, run simulations
+
+    json_path, text_path = session.write_reports(directory, "table1")
+
+The reports land next to the sweep's run manifest:
+``<cache-dir>/manifests/<label>.profile.json`` (machine-readable) and
+``<label>.profile.txt`` (human-readable hotspot listing).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pstats
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.sim.engine import Engine
+
+#: How many cProfile rows the reports keep, sorted by internal time.
+HOTSPOT_LIMIT = 30
+
+
+def _target_name(callback) -> str:
+    """Stable human-readable name for an event callback."""
+    qualname = getattr(callback, "__qualname__", None)
+    if qualname is None:  # functools.partial, callable objects, ...
+        func = getattr(callback, "func", None)
+        if func is not None:
+            return _target_name(func)
+        return type(callback).__name__
+    module = getattr(callback, "__module__", "") or ""
+    short_module = module.rsplit(".", 1)[-1]
+    return f"{short_module}.{qualname}" if short_module else qualname
+
+
+class EventAccountant:
+    """Counts executed events per callback target.
+
+    Instances are engine instrument hooks: the kernel calls them as
+    ``instrument(time_ps, callback)`` after each executed event.
+    """
+
+    __slots__ = ("events", "by_target")
+
+    def __init__(self):
+        self.events = 0
+        self.by_target: dict[str, int] = {}
+
+    def __call__(self, time_ps: int, callback) -> None:
+        self.events += 1
+        target = _target_name(callback)
+        by_target = self.by_target
+        by_target[target] = by_target.get(target, 0) + 1
+
+    def as_dict(self) -> dict[str, int]:
+        """Targets sorted by descending event count."""
+        return dict(
+            sorted(self.by_target.items(), key=lambda item: (-item[1], item[0]))
+        )
+
+
+class ProfileSession:
+    """One completed profiling window: cProfile stats + event accounting."""
+
+    def __init__(self, accountant: EventAccountant, profiler: cProfile.Profile):
+        self.accountant = accountant
+        self.profiler = profiler
+        self.wall_s: float = 0.0
+
+    # -- report generation --------------------------------------------------
+
+    def _stats(self) -> pstats.Stats:
+        return pstats.Stats(self.profiler, stream=io.StringIO())
+
+    def hotspots(self, limit: int = HOTSPOT_LIMIT) -> list[dict]:
+        """Top functions by internal time, as JSON-friendly records."""
+        stats = self._stats()
+        rows = []
+        for func, (cc, ncalls, tottime, cumtime, _callers) in stats.stats.items():
+            filename, line, name = func
+            rows.append(
+                {
+                    "function": name,
+                    "location": f"{filename}:{line}",
+                    "ncalls": ncalls,
+                    "primitive_calls": cc,
+                    "tottime_s": round(tottime, 6),
+                    "cumtime_s": round(cumtime, 6),
+                }
+            )
+        rows.sort(key=lambda row: -row["tottime_s"])
+        return rows[:limit]
+
+    def to_jsonable(self, label: str) -> dict:
+        """The machine-readable report (what the ``.json`` file holds)."""
+        events = self.accountant.events
+        return {
+            "label": label,
+            "wall_s": round(self.wall_s, 6),
+            "events_executed": events,
+            "events_per_sec": round(events / self.wall_s, 1) if self.wall_s else 0.0,
+            "events_by_target": self.accountant.as_dict(),
+            "hotspots": self.hotspots(),
+        }
+
+    def text_report(self, label: str) -> str:
+        """Human-readable hotspot report (what the ``.txt`` file holds)."""
+        out = io.StringIO()
+        events = self.accountant.events
+        out.write(f"profile: {label}\n")
+        out.write(f"wall time          : {self.wall_s:.3f} s\n")
+        out.write(f"events executed    : {events}\n")
+        if self.wall_s:
+            out.write(f"events per second  : {events / self.wall_s:,.0f}\n")
+        out.write("\nevents by callback target:\n")
+        for target, count in self.accountant.as_dict().items():
+            out.write(f"  {count:10d}  {target}\n")
+        out.write("\nhotspots (cProfile, by internal time):\n")
+        stats = pstats.Stats(self.profiler, stream=out)
+        stats.sort_stats("tottime").print_stats(HOTSPOT_LIMIT)
+        return out.getvalue()
+
+    def write_reports(self, directory: str | Path, label: str) -> tuple[Path, Path]:
+        """Write ``<label>.profile.json`` and ``.txt`` under ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        json_path = directory / f"{label}.profile.json"
+        text_path = directory / f"{label}.profile.txt"
+        json_path.write_text(json.dumps(self.to_jsonable(label), indent=1) + "\n")
+        text_path.write_text(self.text_report(label))
+        return json_path, text_path
+
+
+@contextmanager
+def capture():
+    """Profile everything inside the ``with`` block.
+
+    Installs an :class:`EventAccountant` as the default engine instrument
+    (picked up by every :class:`~repro.sim.engine.Engine` constructed inside
+    the block) and runs ``cProfile`` over the same window.  Yields the
+    :class:`ProfileSession`; its reports are complete once the block exits.
+
+    Sessions do not nest: the previous instrument is restored on exit.
+    """
+    accountant = EventAccountant()
+    profiler = cProfile.Profile()
+    session = ProfileSession(accountant, profiler)
+    previous = Engine.default_instrument
+    Engine.default_instrument = accountant
+    start = time.perf_counter()
+    profiler.enable()
+    try:
+        yield session
+    finally:
+        profiler.disable()
+        Engine.default_instrument = previous
+        session.wall_s = time.perf_counter() - start

@@ -19,7 +19,7 @@ from repro.errors import SimulationError
 from repro.mem.bus import MemoryBus
 from repro.sim.engine import Engine
 from repro.sim.statistics import StatRegistry
-from repro.system.builder import BuiltSystem, build_system
+from repro.system.builder import build_system
 from repro.system.config import MachineConfig, ProtectionLevel
 
 DEFAULT_NUM_REQUESTS = 6000

@@ -5,7 +5,6 @@ import pytest
 from repro.core.config import (
     AuthMode,
     ChannelInjection,
-    DummyAddressPolicy,
     ObfusMemConfig,
 )
 from repro.core.controller import ObfusMemController
@@ -62,7 +61,6 @@ class TestPairing:
 
     def test_dummy_targets_reserved_block(self):
         engine, stats, controller = make_stack()
-        mapping = controller.mapping
         issue(engine, controller, MemoryRequest(0, RequestType.READ))
         # Droppable fixed-address dummies never touch the array.
         assert stats.group("pcm0").get("row_buffer_accesses") == 1  # the read only

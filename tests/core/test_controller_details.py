@@ -1,7 +1,6 @@
 """ObfusMem controller details: dummy dropping modes, ETM path, multichannel
 pad accounting, wire data uniqueness."""
 
-import pytest
 
 from repro.core.config import (
     AuthMode,
@@ -12,7 +11,7 @@ from repro.core.config import (
 from repro.core.controller import ObfusMemController
 from repro.crypto.rng import DeterministicRng
 from repro.mem.address_mapping import AddressMapping
-from repro.mem.bus import BusObserver, MemoryBus, TransferKind
+from repro.mem.bus import BusObserver, MemoryBus
 from repro.mem.request import MemoryRequest, RequestType
 from repro.mem.scheduler import MemorySystem
 from repro.sim.engine import Engine

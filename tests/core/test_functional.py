@@ -6,7 +6,7 @@ from repro.core.config import AuthMode
 from repro.core.functional import FunctionalObfusMem
 from repro.crypto.rng import DeterministicRng
 from repro.errors import ConfigurationError
-from repro.mem.bus import BusObserver, MemoryBus, TransferKind
+from repro.mem.bus import BusObserver, MemoryBus
 
 
 def make_stack(auth=AuthMode.ENCRYPT_AND_MAC, bus=None, interceptor=None):

@@ -9,7 +9,6 @@ from repro.core.functional import FunctionalObfusMem
 from repro.crypto.rng import DeterministicRng
 from repro.errors import IntegrityError
 from repro.sim.engine import Engine
-from repro.sim.statistics import StatRegistry
 
 
 def make_stack(auth=AuthMode.ENCRYPT_AND_MAC, interceptor=None, seed=55):

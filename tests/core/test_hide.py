@@ -71,7 +71,6 @@ class TestRequestFlow:
 
     def test_repermutation_after_interval(self):
         engine, stats, controller = make_hide(repermute_interval=8)
-        before = controller.remap(0)
         for i in range(8):
             controller.issue(MemoryRequest(i * 64, RequestType.READ), None)
         engine.run()

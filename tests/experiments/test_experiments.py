@@ -11,7 +11,7 @@ from repro.experiments import clear_cache, figure4, figure5, table1, table3, tab
 from repro.experiments import energy as energy_experiment
 from repro.errors import ConfigurationError
 from repro.experiments.runner import cached_run, select_benchmarks
-from repro.system.config import MachineConfig, ProtectionLevel
+from repro.system.config import ProtectionLevel
 
 FAST = dict(num_requests=500, seed=7)
 SUBSET = ["bwaves", "mcf", "astar"]

@@ -1,7 +1,6 @@
 """Channel-scheduler policies: horizon throttling, direction grouping,
 bounded FR-FCFS lookahead, drain behaviour."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -137,3 +137,163 @@ class TestRunLimits:
         engine.schedule(1, recurse)
         with pytest.raises(SimulationError):
             engine.run()
+
+class TestHandleLifecycle:
+    """EventHandle state across the schedule -> fire/cancel lifecycle."""
+
+    def test_pending_true_before_fire(self):
+        engine = Engine()
+        handle = engine.schedule(10, lambda: None)
+        assert handle.pending
+        assert not handle.fired
+        assert not handle.cancelled
+
+    def test_pending_false_after_fire(self):
+        # Regression: handles used to report pending=True forever after the
+        # event had already executed.
+        engine = Engine()
+        handle = engine.schedule(10, lambda: None)
+        engine.run()
+        assert not handle.pending
+        assert handle.fired
+        assert not handle.cancelled
+
+    def test_cancel_before_fire(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule(10, lambda: fired.append(1))
+        handle.cancel()
+        assert handle.cancelled
+        assert not handle.pending
+        assert not handle.fired
+        engine.run()
+        assert fired == []
+        assert not handle.fired  # cancellation is permanent
+
+    def test_cancel_after_fire_keeps_fired_state(self):
+        engine = Engine()
+        handle = engine.schedule(10, lambda: None)
+        engine.run()
+        handle.cancel()  # no-op
+        assert handle.fired
+        assert not handle.cancelled
+
+    def test_double_cancel_decrements_live_count_once(self):
+        engine = Engine()
+        handle = engine.schedule(10, lambda: None)
+        engine.schedule(20, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert engine.pending_events() == 1
+
+    def test_time_ps_is_absolute_fire_time(self):
+        engine = Engine()
+        engine.schedule(100, lambda: None)
+        engine.run()
+        handle = engine.schedule(50, lambda: None)
+        assert handle.time_ps == 150
+
+
+class TestPendingEventsScaling:
+    def test_pending_events_is_live_count_with_mass_cancellation(self):
+        # O(1) pending_events: cancelled entries are tombstones in the heap
+        # but must never be counted, however many there are.
+        engine = Engine()
+        handles = [engine.schedule(i + 1, lambda: None) for i in range(10_000)]
+        for handle in handles[::2]:
+            handle.cancel()
+        assert engine.pending_events() == 5_000
+        engine.run()
+        assert engine.pending_events() == 0
+        assert engine.events_executed == 5_000
+
+    def test_tombstones_do_not_fire_between_live_events(self):
+        engine = Engine()
+        order = []
+        keep = [engine.schedule(t, lambda t=t: order.append(t)) for t in (10, 30)]
+        drop = [engine.schedule(t, lambda: order.append("BAD")) for t in (5, 20, 25)]
+        for handle in drop:
+            handle.cancel()
+        engine.run()
+        assert order == [10, 30]
+        assert all(h.fired for h in keep)
+
+
+class TestPost:
+    def test_post_orders_like_schedule(self):
+        engine = Engine()
+        order = []
+        engine.post(30, lambda: order.append("b"))
+        engine.schedule(10, lambda: order.append("a"))
+        engine.post(30, lambda: order.append("c"))  # same time: FIFO
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_post_at_absolute(self):
+        engine = Engine()
+        fired = []
+        engine.post_at(42, lambda: fired.append(engine.now_ps))
+        engine.run()
+        assert fired == [42]
+
+    def test_post_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().post(-1, lambda: None)
+
+    def test_post_at_past_rejected(self):
+        engine = Engine()
+        engine.schedule(100, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.post_at(50, lambda: None)
+
+    def test_post_counts_as_pending(self):
+        engine = Engine()
+        engine.post(10, lambda: None)
+        assert engine.pending_events() == 1
+
+
+class TestRawEntries:
+    def test_post_entry_fires_and_cancel_entry_suppresses(self):
+        engine = Engine()
+        fired = []
+        entry = engine.post_entry(10, lambda: fired.append(1))
+        assert entry[0] == 10  # fire time is exposed for re-arm checks
+        other = engine.post_entry(20, lambda: fired.append(2))
+        engine.cancel_entry(other)
+        assert engine.pending_events() == 1
+        engine.run()
+        assert fired == [1]
+
+    def test_cancel_entry_after_fire_is_noop(self):
+        engine = Engine()
+        entry = engine.post_entry(10, lambda: None)
+        engine.run()
+        engine.cancel_entry(entry)  # must not raise or corrupt live count
+        assert engine.pending_events() == 0
+
+
+class TestInstrumentation:
+    def test_default_instrument_counts_events(self):
+        calls = []
+        previous = Engine.default_instrument
+        Engine.default_instrument = lambda time_ps, callback: calls.append(time_ps)
+        try:
+            engine = Engine()
+            engine.schedule(10, lambda: None)
+            engine.schedule(20, lambda: None)
+            engine.run()
+        finally:
+            Engine.default_instrument = previous
+        assert calls == [10, 20]
+
+    def test_instrument_not_inherited_after_reset(self):
+        previous = Engine.default_instrument
+        Engine.default_instrument = lambda time_ps, callback: None
+        try:
+            instrumented = Engine()
+        finally:
+            Engine.default_instrument = previous
+        clean = Engine()
+        assert instrumented._instrument is not None
+        assert clean._instrument is previous

@@ -1,0 +1,68 @@
+"""Golden determinism: the rebuilt kernel reproduces the pre-rewrite physics.
+
+``tests/golden/execution_times.json`` holds ``execution_time_ns`` for every
+benchmark x protection level (plus 4-channel and 4-channel/4-core grids),
+captured on the ordered-dataclass event kernel and polling scheduler before
+the hot-path rewrite.  The rewrite (tuple-keyed heap entries, tombstone
+cancellation, wake-on-state-change scheduling) must be a pure performance
+change: every cell must match bit-for-bit, not approximately.
+
+Any drift here means the event ordering contract — (time, priority,
+sequence), FR-FCFS arbitration over identical queue snapshots — was broken
+somewhere, even if the aggregate overheads still look plausible.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cpu.spec_profiles import SPEC_PROFILES
+from repro.system.config import MachineConfig, ProtectionLevel
+from repro.system.simulator import run_benchmark
+
+GOLDEN_PATH = Path(__file__).parent.parent / "golden" / "execution_times.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+GRIDS = [
+    # (grid key, machine kwargs, cores)
+    ("execution_time_ns", {}, 1),
+    ("execution_time_ns_4ch", {"channels": 4}, 1),
+    ("execution_time_ns_4ch_4core", {"channels": 4}, 4),
+]
+
+
+def _cells():
+    for key, machine_kwargs, cores in GRIDS:
+        for cell, expected in GOLDEN[key].items():
+            benchmark, level = cell.rsplit("/", 1)
+            yield pytest.param(
+                benchmark, level, machine_kwargs, cores, expected, id=f"{key}:{cell}"
+            )
+
+
+@pytest.mark.parametrize(
+    "bench_name, level, machine_kwargs, cores, expected", _cells()
+)
+def test_execution_time_matches_golden(bench_name, level, machine_kwargs, cores, expected):
+    result = run_benchmark(
+        SPEC_PROFILES[bench_name],
+        ProtectionLevel(level),
+        machine=MachineConfig(**machine_kwargs),
+        num_requests=GOLDEN["num_requests"],
+        seed=GOLDEN["seed"],
+        cores=cores,
+    )
+    # Bit-identical, not approximately equal: execution_time_ns is an exact
+    # integer picosecond count divided by 1000, so == is well-defined.
+    assert result.execution_time_ns == expected
+
+
+def test_golden_grid_is_complete():
+    """The golden file covers the full benchmark x level product."""
+    levels = {level.value for level in ProtectionLevel}
+    benchmarks = set(SPEC_PROFILES)
+    covered = {
+        tuple(cell.rsplit("/", 1)) for cell in GOLDEN["execution_time_ns"]
+    }
+    assert covered == {(b, lv) for b in benchmarks for lv in levels}
