@@ -20,6 +20,8 @@ import argparse
 import sys
 
 from repro.cpu.spec_profiles import BENCHMARK_NAMES, SPEC_PROFILES
+from repro.errors import ConfigurationError
+from repro.schemes import add_scheme_arguments, format_scheme_list, get_scheme
 from repro.system.config import MachineConfig, ProtectionLevel
 from repro.system.simulator import run_benchmark
 
@@ -42,9 +44,8 @@ def _cmd_list(args: argparse.Namespace) -> None:
             f"  {name:12s} IPC {profile.ipc:5.2f}  MPKI {profile.llc_mpki:6.2f}  "
             f"gap {profile.avg_gap_ns:8.2f} ns"
         )
-    print("\nprotection levels:")
-    for level in ProtectionLevel:
-        print(f"  {level.value}")
+    print()
+    print(format_scheme_list())
     print("\nexperiments:", ", ".join(_EXPERIMENTS))
 
 
@@ -52,9 +53,11 @@ def _cmd_run(args: argparse.Namespace) -> None:
     if args.benchmark not in SPEC_PROFILES:
         raise SystemExit(f"unknown benchmark {args.benchmark!r}; try 'list'")
     try:
-        level = ProtectionLevel(args.level)
-    except ValueError:
-        raise SystemExit(f"unknown level {args.level!r}; try 'list'")
+        # Any registered scheme works here, hybrids included; unknown
+        # names exit with the registry's close-match hint.
+        level = get_scheme(args.level)
+    except ConfigurationError as error:
+        raise SystemExit(str(error))
     machine = MachineConfig(channels=args.channels)
     profile = SPEC_PROFILES[args.benchmark]
     if args.profile:
@@ -70,7 +73,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
                 seed=args.seed,
                 cores=args.cores,
             )
-        label = f"run_{args.benchmark}_{level.value}"
+        label = f"run_{args.benchmark}_{level.name}"
         json_path, text_path = session.write_reports(
             DEFAULT_CACHE_DIR / "manifests", label
         )
@@ -85,7 +88,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
             cores=args.cores,
         )
     print(f"benchmark        : {args.benchmark}")
-    print(f"level            : {level.value}")
+    print(f"scheme           : {level.name} ({level.stack_summary()})")
     print(f"channels / cores : {args.channels} / {args.cores}")
     print(f"requests         : {result.num_requests}")
     print(f"execution time   : {result.execution_time_ns / 1000:.1f} us")
@@ -197,13 +200,19 @@ def _cmd_report(args: argparse.Namespace) -> None:
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse CLI with all subcommands."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    add_scheme_arguments(parser)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="show benchmarks, levels, experiments")
 
     run_parser = subparsers.add_parser("run", help="simulate one benchmark")
+    add_scheme_arguments(run_parser)
     run_parser.add_argument("benchmark")
-    run_parser.add_argument("--level", default="obfusmem_auth")
+    run_parser.add_argument(
+        "--level",
+        default="obfusmem_auth",
+        help="protection scheme (any registry name; see --list-schemes)",
+    )
     run_parser.add_argument("--channels", type=int, default=1)
     run_parser.add_argument("--cores", type=int, default=1)
     run_parser.add_argument("--requests", type=int, default=4000)

@@ -6,6 +6,11 @@ annotations the simulator carries.  Together they quantify the four aspects
 of the access pattern §3.2 says must be obfuscated (spatial, temporal, type,
 footprint) plus the inter-channel pattern of §3.4, producing the measured
 rows of Table 4.
+
+:func:`expected_leakage` is the model's declarative side: it derives, from
+a protection scheme's stage traits alone, what these metrics *should*
+report — so the leakage suite compares measurement against the scheme
+registry's metadata instead of isinstance checks on live components.
 """
 
 from __future__ import annotations
@@ -15,6 +20,14 @@ from collections import Counter
 from dataclasses import dataclass
 
 from repro.mem.bus import BusTransfer, Direction, TransferKind
+from repro.schemes.registry import ProtectionScheme, resolve_scheme
+from repro.schemes.stages import (
+    TRAIT_CHANNEL_COVER,
+    TRAIT_CIPHERTEXT_WIRE,
+    TRAIT_OPAQUE_BACKEND,
+    TRAIT_PAIRED_TYPES,
+    TRAIT_PERMUTED_ADDRESSES,
+)
 
 # The publicly known unprotected wire format: type byte + 8-byte address.
 _UNPROTECTED_ADDRESS_SLICE = slice(1, 9)
@@ -269,3 +282,73 @@ def channel_coactivity(
         if len(nearby_channels) == num_channels:
             covered += 1
     return covered / len(real)
+
+
+# ---------------------------------------------------------------------------
+# Declarative expectations from scheme traits
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExpectedLeakage:
+    """What the wire metrics should report for a given protection scheme.
+
+    Each field mirrors one measurement above; ``type_accuracy`` is the
+    expected attacker score (1.0 = types plainly visible, 0.5 = reduced to
+    a coin flip by the pairing discipline).
+    """
+
+    wire_observable: bool  # the backend has a physical bus at all
+    spatial_hidden: bool  # block-grain locality invisible on the wire
+    chunk_hidden: bool  # chunk-grain locality invisible too
+    temporal_hidden: bool  # wire bytes never repeat
+    footprint_hidden: bool  # distinct-address count degenerates
+    type_accuracy: float
+    channels_covered: bool  # co-activity driven toward 1 (§3.4)
+
+
+def expected_leakage(
+    scheme: ProtectionScheme | object,
+) -> ExpectedLeakage:
+    """Derive the expected metric outcomes from a scheme's stage traits.
+
+    Accepts anything :func:`repro.schemes.resolve_scheme` accepts.  The
+    derivation reads only the declarative ``TRAIT_*`` flags — no isinstance
+    checks against live components — so a newly registered hybrid gets its
+    leakage expectations for free:
+
+    * an opaque backend (ORAM timing model) has no wire, so every
+      access-pattern aspect is hidden by construction and type inference
+      degenerates to the 0.5 coin flip;
+    * a ciphertext wire hides spatial (both grains), temporal and
+      footprint aspects at once;
+    * plaintext-but-permuted addresses (HIDE) hide only block-grain
+      locality: the chunk-grain pattern and everything else stay visible;
+    * the pairing discipline alone determines the expected type-inference
+      accuracy, and channel cover alone the co-activity expectation.
+
+    ``TRAIT_DATA_ENCRYPTED`` is deliberately absent here: encryption at
+    rest protects content, not the access pattern these metrics score.
+    """
+    traits = resolve_scheme(scheme).traits
+    if TRAIT_OPAQUE_BACKEND in traits:
+        return ExpectedLeakage(
+            wire_observable=False,
+            spatial_hidden=True,
+            chunk_hidden=True,
+            temporal_hidden=True,
+            footprint_hidden=True,
+            type_accuracy=0.5,
+            channels_covered=False,
+        )
+    ciphertext = TRAIT_CIPHERTEXT_WIRE in traits
+    permuted = TRAIT_PERMUTED_ADDRESSES in traits
+    return ExpectedLeakage(
+        wire_observable=True,
+        spatial_hidden=ciphertext or permuted,
+        chunk_hidden=ciphertext,
+        temporal_hidden=ciphertext,
+        footprint_hidden=ciphertext,
+        type_accuracy=0.5 if TRAIT_PAIRED_TYPES in traits else 1.0,
+        channels_covered=TRAIT_CHANNEL_COVER in traits,
+    )

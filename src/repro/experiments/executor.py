@@ -49,6 +49,7 @@ from pathlib import Path
 
 from repro.cpu.spec_profiles import BENCHMARK_NAMES, SPEC_PROFILES
 from repro.errors import ConfigurationError
+from repro.schemes import level_for, resolve_scheme, scheme_name_of
 from repro.sim.statistics import StatRegistry
 from repro.system.config import MachineConfig, ProtectionLevel
 from repro.system.simulator import RunResult, run_benchmark
@@ -92,7 +93,10 @@ class JobSpec:
     """
 
     benchmark: str
-    level: ProtectionLevel
+    #: A :class:`ProtectionLevel` member or a registry scheme name.  Both
+    #: spellings of a built-in scheme share one cache identity (the digest
+    #: serializes the scheme name either way).
+    level: ProtectionLevel | str
     machine: MachineConfig = field(default_factory=MachineConfig)
     num_requests: int = DEFAULT_REQUESTS
     seed: int = DEFAULT_SEED
@@ -103,6 +107,7 @@ class JobSpec:
             raise ConfigurationError(
                 f"unknown benchmark {self.benchmark!r}; choose from {BENCHMARK_NAMES}"
             )
+        resolve_scheme(self.level)  # unknown schemes fail fast, with a hint
 
     def to_jsonable(self) -> dict:
         """The full job spec as a canonical JSON-ready dict."""
@@ -128,7 +133,7 @@ class JobSpec:
 
 def sweep_specs(
     benchmarks: list[str],
-    levels: list[ProtectionLevel],
+    levels: list[ProtectionLevel | str],
     machine: MachineConfig | None = None,
     num_requests: int = DEFAULT_REQUESTS,
     seed: int = DEFAULT_SEED,
@@ -147,7 +152,7 @@ def result_to_jsonable(result: RunResult) -> dict:
     """A ``RunResult`` as a JSON-ready dict (enums become their values)."""
     return {
         "benchmark": result.benchmark,
-        "level": result.level.value,
+        "level": scheme_name_of(result.level),
         "channels": result.channels,
         "execution_time_ns": result.execution_time_ns,
         "num_requests": result.num_requests,
@@ -160,7 +165,7 @@ def result_from_jsonable(payload: dict) -> RunResult:
     """Rebuild a ``RunResult`` from :func:`result_to_jsonable` output."""
     return RunResult(
         benchmark=payload["benchmark"],
-        level=ProtectionLevel(payload["level"]),
+        level=level_for(payload["level"]) or str(payload["level"]),
         channels=int(payload["channels"]),
         execution_time_ns=float(payload["execution_time_ns"]),
         num_requests=int(payload["num_requests"]),
@@ -382,7 +387,7 @@ class ParallelRunner:
                 JobRecord(
                     digest=digests[index],
                     benchmark=spec.benchmark,
-                    level=spec.level.value,
+                    level=scheme_name_of(spec.level),
                     channels=spec.machine.channels,
                     cores=spec.cores,
                     num_requests=spec.num_requests,

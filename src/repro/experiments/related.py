@@ -17,6 +17,7 @@ main memory is its key advantage (resulting in low overheads)".
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass
 
 from repro.analysis.leakage import (
@@ -25,18 +26,16 @@ from repro.analysis.leakage import (
     spatial_locality_score,
     type_inference_accuracy,
 )
-from repro.core.hide import HideController
-from repro.cpu.core import TraceDrivenCore
 from repro.cpu.generator import make_trace
 from repro.cpu.spec_profiles import SPEC_PROFILES
-from repro.crypto.rng import DeterministicRng
-from repro.errors import SimulationError
-from repro.experiments.runner import DEFAULT_SEED, TableColumn, format_table
-from repro.mem.address_mapping import AddressMapping
+from repro.experiments.runner import (
+    DEFAULT_SEED,
+    TableColumn,
+    add_runner_arguments,
+    configure_from_args,
+    format_table,
+)
 from repro.mem.bus import BusObserver, MemoryBus
-from repro.mem.scheduler import MemorySystem
-from repro.sim.engine import Engine
-from repro.sim.statistics import StatRegistry
 from repro.system.config import MachineConfig, ProtectionLevel
 from repro.system.simulator import run_trace
 
@@ -63,24 +62,6 @@ class RelatedResult:
         raise KeyError(system)
 
 
-def _run_hide(trace, window: int, seed: int):
-    """HIDE is not a ProtectionLevel (it has no encryption substrate), so
-    it gets its own small stack here."""
-    engine = Engine()
-    stats = StatRegistry()
-    bus = MemoryBus()
-    observer = BusObserver()
-    bus.attach(observer)
-    memory = MemorySystem(engine, AddressMapping(), stats, bus=bus)
-    controller = HideController(memory, stats, DeterministicRng(seed).fork("hide"))
-    core = TraceDrivenCore(engine, trace, controller, window=window, stats=stats)
-    core.start()
-    engine.run()
-    if not core.done:
-        raise SimulationError("HIDE run did not finish")
-    return core.execution_time_ns, observer.transfers
-
-
 def run(
     benchmark: str = "bwaves",
     num_requests: int = 2000,
@@ -103,7 +84,9 @@ def run(
     base_time, base_transfers = observe(ProtectionLevel.UNPROTECTED)
     obfus_time, obfus_transfers = observe(ProtectionLevel.OBFUSMEM_AUTH)
     oram_time, _ = observe(ProtectionLevel.ORAM)
-    hide_time, hide_transfers = _run_hide(trace, profile.window, seed)
+    # HIDE is a first-class registry scheme now: same builder path as the
+    # others, no hand-assembled stack.
+    hide_time, hide_transfers = observe(ProtectionLevel.HIDE)
 
     def leak_row(system, time_ns, transfers):
         return RelatedRow(
@@ -151,7 +134,10 @@ def format_results(result: RelatedResult) -> str:
 
 
 def main(argv: list[str] | None = None) -> None:
-    """Print the comparison (script entry point; ``argv`` is ignored)."""
+    """Print the comparison (script entry point)."""
+    parser = argparse.ArgumentParser(prog="repro.experiments.related")
+    add_runner_arguments(parser)
+    configure_from_args(parser.parse_args(argv))
     print("Related-work comparison (§7): what each scheme costs and hides")
     print("(leakage columns: lower = better hidden; TypeAcc 0.5 = blind)")
     print(format_results(run()))

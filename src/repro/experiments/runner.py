@@ -41,6 +41,7 @@ from repro.experiments.executor import (
     ResultCache,
     RunManifest,
 )
+from repro.schemes import add_scheme_arguments
 from repro.sim.statistics import StatRegistry
 from repro.system.config import MachineConfig, ProtectionLevel
 from repro.system.simulator import RunResult
@@ -240,7 +241,12 @@ def _prefetch_profiled(specs: list[JobSpec], label: str) -> RunManifest:
 
 
 def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
-    """Attach the shared ``--workers/--no-cache/--cache-dir`` flags."""
+    """Attach the shared ``--workers/--no-cache/--cache-dir`` flags.
+
+    Also attaches ``--list-schemes`` so every experiment CLI can print the
+    protection-scheme registry without running anything.
+    """
+    add_scheme_arguments(parser)
     parser.add_argument(
         "--workers",
         type=int,

@@ -36,6 +36,7 @@ from repro.experiments.runner import (
 )
 from repro.mem.bus import BusObserver, MemoryBus
 from repro.oram.path_oram import PathOram
+from repro.schemes import resolve_scheme
 from repro.system.config import MachineConfig, ProtectionLevel
 from repro.system.simulator import run_trace
 
@@ -140,10 +141,12 @@ def run(
     )
     oram = _measure_oram(seed)
     overheads = table3.run(benchmarks=[benchmark], num_requests=num_requests, seed=seed)
-    cell_writes = int(
-        sum(v for k, v in obfus_stats.items() if k.endswith(".array_writes"))
-    )
-    real_writes = int(sum(v for k, v in obfus_stats.items() if k.endswith(".writes")))
+    # The scheme's declared stat bindings say which groups own these
+    # counters (pcm* for cell writes, channel* for scheduled writes), so
+    # no endswith-guessing over the flattened stat dict.
+    scheme = resolve_scheme(ProtectionLevel.OBFUSMEM_AUTH)
+    cell_writes = int(scheme.stat_sum(obfus_stats, "array_writes"))
+    real_writes = int(scheme.stat_sum(obfus_stats, "writes"))
     return Table4Result(
         unprotected=unprotected,
         obfusmem=obfusmem,

@@ -1,0 +1,60 @@
+"""Composable protection schemes: registry + staged link-layer pipeline.
+
+The package turns the evaluation's hard-wired protection levels into
+declarative data: a :class:`~repro.schemes.registry.ProtectionScheme` is a
+registered name plus a top-down stack of reusable
+:class:`~repro.schemes.stages.BusStage` components (packet codec + channel
+scheduler, memory encryption, ObfusMem obfuscation, HIDE permutation, the
+ORAM backend).  Importing the package registers the built-in schemes; see
+:mod:`repro.schemes.builtin` for the catalogue and
+:mod:`repro.schemes.registry` for how to add your own.
+"""
+
+from repro.schemes import builtin  # noqa: F401  (registers built-in schemes)
+from repro.schemes.cli import (
+    ListSchemesAction,
+    add_scheme_arguments,
+    format_scheme_list,
+)
+from repro.schemes.registry import (
+    ProtectionScheme,
+    available_schemes,
+    get_scheme,
+    level_for,
+    register,
+    resolve_scheme,
+    scheme_name_of,
+    scheme_names,
+    unregister,
+)
+from repro.schemes.stages import (
+    BusStage,
+    EncryptionStage,
+    HideStage,
+    ObfusMemStage,
+    OramBackendStage,
+    PcmChannelStage,
+    StageContext,
+)
+
+__all__ = [
+    "ProtectionScheme",
+    "available_schemes",
+    "get_scheme",
+    "level_for",
+    "register",
+    "resolve_scheme",
+    "scheme_name_of",
+    "scheme_names",
+    "unregister",
+    "BusStage",
+    "EncryptionStage",
+    "HideStage",
+    "ObfusMemStage",
+    "OramBackendStage",
+    "PcmChannelStage",
+    "StageContext",
+    "ListSchemesAction",
+    "add_scheme_arguments",
+    "format_scheme_list",
+]

@@ -1,0 +1,87 @@
+"""Built-in protection schemes: the systems the paper's evaluation compares.
+
+One registration per evaluated system (Figure 4 / Table 3), plus the §7
+HIDE baseline and one hybrid demonstrating that new combinations are plain
+registrations rather than builder branches.  Importing this module (which
+``repro.schemes`` does on package import) populates the registry.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import AuthMode
+from repro.schemes.registry import ProtectionScheme, register
+from repro.schemes.stages import (
+    EncryptionStage,
+    HideStage,
+    ObfusMemStage,
+    OramBackendStage,
+    PcmChannelStage,
+)
+
+UNPROTECTED = register(
+    ProtectionScheme(
+        name="unprotected",
+        description="plaintext bus straight into the PCM channels (baseline)",
+        stages=(PcmChannelStage(),),
+    )
+)
+
+ENCRYPTION_ONLY = register(
+    ProtectionScheme(
+        name="encryption_only",
+        description="counter-mode memory encryption; access pattern visible",
+        stages=(EncryptionStage(), PcmChannelStage()),
+    )
+)
+
+OBFUSMEM = register(
+    ProtectionScheme(
+        name="obfusmem",
+        description="encryption + bus-ciphertext access-pattern obfuscation",
+        stages=(
+            EncryptionStage(),
+            ObfusMemStage(auth=AuthMode.NONE),
+            PcmChannelStage(),
+        ),
+    )
+)
+
+OBFUSMEM_AUTH = register(
+    ProtectionScheme(
+        name="obfusmem_auth",
+        description="ObfusMem + authenticated bus communication (§3.5 MAC)",
+        stages=(
+            EncryptionStage(),
+            ObfusMemStage(auth=AuthMode.ENCRYPT_AND_MAC),
+            PcmChannelStage(),
+        ),
+    )
+)
+
+ORAM = register(
+    ProtectionScheme(
+        name="oram",
+        description="fixed-latency Path ORAM model (paper's §4 baseline)",
+        stages=(OramBackendStage(),),
+    )
+)
+
+HIDE = register(
+    ProtectionScheme(
+        name="hide",
+        description="chunk-level address permutation (HIDE, §7 baseline)",
+        stages=(HideStage(), PcmChannelStage()),
+    )
+)
+
+#: Hybrid: the HIDE permutation running under counter-mode encryption at
+#: rest — content protected, access pattern only chunk-obfuscated.  Exists
+#: to prove hybrids are registrations, and as a measurable ablation point
+#: between ``encryption_only`` and ``obfusmem``.
+HIDE_ENCRYPTED = register(
+    ProtectionScheme(
+        name="hide_encrypted",
+        description="hybrid: chunk permutation under encryption at rest",
+        stages=(EncryptionStage(), HideStage(), PcmChannelStage()),
+    )
+)

@@ -1,0 +1,47 @@
+"""CLI helpers for the scheme registry: the shared ``--list-schemes`` flag.
+
+Every entry point that can run a simulation — ``python -m repro``, its
+subcommands, and each ``repro.experiments.*`` module CLI — exposes
+``--list-schemes`` through :func:`add_scheme_arguments`; the flag prints
+the registry (name, stage stack, description) and exits, exactly like
+``--help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.schemes.registry import available_schemes
+
+
+def format_scheme_list() -> str:
+    """The registry as an aligned ``name  stack  description`` listing."""
+    schemes = available_schemes()
+    name_width = max(len(scheme.name) for scheme in schemes)
+    stack_width = max(len(scheme.stack_summary()) for scheme in schemes)
+    lines = ["protection schemes (stage stacks are top -> bottom):"]
+    for scheme in schemes:
+        lines.append(
+            f"  {scheme.name:<{name_width}}  "
+            f"{scheme.stack_summary():<{stack_width}}  {scheme.description}"
+        )
+    return "\n".join(lines)
+
+
+class ListSchemesAction(argparse.Action):
+    """``--list-schemes``: print the registry and exit (like ``--help``)."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        kwargs.setdefault("nargs", 0)
+        kwargs.setdefault("help", "list registered protection schemes and exit")
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        """Print the scheme listing and terminate argument parsing."""
+        print(format_scheme_list())
+        parser.exit()
+
+
+def add_scheme_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--list-schemes`` flag to a CLI parser."""
+    parser.add_argument("--list-schemes", action=ListSchemesAction)

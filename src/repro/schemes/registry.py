@@ -1,0 +1,181 @@
+"""The protection-scheme registry: name -> declarative stage stack.
+
+Every system the evaluation compares — and every hybrid a future ablation
+might want — is a :class:`ProtectionScheme`: a registered name, a one-line
+description, and a top-down stack of :class:`~repro.schemes.stages.BusStage`
+descriptors.  :func:`repro.system.builder.build_system`, the experiment
+modules and the CLIs all resolve schemes through :func:`get_scheme`, so a
+new variant is a ~20-line registration, not a new branch in the builder::
+
+    from repro.schemes import ProtectionScheme, register
+    from repro.schemes.stages import EncryptionStage, HideStage, PcmChannelStage
+
+    register(ProtectionScheme(
+        name="my_hybrid",
+        description="HIDE permutation under encryption at rest",
+        stages=(EncryptionStage(), HideStage(), PcmChannelStage()),
+    ))
+
+Lookups accept a scheme name, a :class:`~repro.system.config.ProtectionLevel`
+member, or an already-resolved scheme; an unknown name raises
+:class:`~repro.errors.ConfigurationError` with a close-match suggestion.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.schemes.stages import BusStage
+
+if TYPE_CHECKING:  # runtime import is deferred: repro.system imports us
+    from repro.system.config import ProtectionLevel
+
+
+@dataclass(frozen=True)
+class ProtectionScheme:
+    """One registered protection scheme: name, stage stack, metadata."""
+
+    name: str
+    description: str
+    stages: tuple[BusStage, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise ConfigurationError(
+                f"scheme name {self.name!r} must be a non-empty identifier"
+            )
+        if not self.stages:
+            raise ConfigurationError(f"scheme {self.name!r} has no stages")
+        if not self.stages[-1].terminal:
+            raise ConfigurationError(
+                f"scheme {self.name!r} must end in a terminal backend stage"
+            )
+        if any(stage.terminal for stage in self.stages[:-1]):
+            raise ConfigurationError(
+                f"scheme {self.name!r} has a terminal stage above the bottom"
+            )
+
+    @property
+    def traits(self) -> frozenset[str]:
+        """Union of every stage's wire-visibility flags."""
+        combined: set[str] = set()
+        for stage in self.stages:
+            combined |= stage.traits
+        return frozenset(combined)
+
+    @property
+    def stat_groups(self) -> tuple[str, ...]:
+        """Stat-group patterns bound by the stack, top-down, de-duplicated."""
+        seen: list[str] = []
+        for stage in self.stages:
+            for pattern in stage.stat_groups:
+                if pattern not in seen:
+                    seen.append(pattern)
+        return tuple(seen)
+
+    def stack_summary(self) -> str:
+        """The stage stack as a ``top -> bottom`` arrow chain."""
+        return " -> ".join(stage.name for stage in self.stages)
+
+    def stat_sum(self, stats: dict[str, float], key: str) -> float:
+        """Sum the ``<group>.<key>`` counters bound by this scheme's stages.
+
+        ``stats`` is a flattened :meth:`StatRegistry.as_dict` mapping; only
+        groups matching one of the scheme's :attr:`stat_groups` patterns
+        contribute, so e.g. a core-side counter that happens to share a leaf
+        name never pollutes a memory-side total.
+        """
+        total = 0.0
+        for stat_key, value in stats.items():
+            group, _, leaf = stat_key.partition(".")
+            if leaf == key and any(
+                fnmatchcase(group, pattern) for pattern in self.stat_groups
+            ):
+                total += value
+        return total
+
+
+_REGISTRY: dict[str, ProtectionScheme] = {}
+
+
+def register(scheme: ProtectionScheme, replace: bool = False) -> ProtectionScheme:
+    """Add a scheme to the registry; duplicate names raise unless ``replace``."""
+    if not replace and scheme.name in _REGISTRY:
+        raise ConfigurationError(f"scheme {scheme.name!r} is already registered")
+    _REGISTRY[scheme.name] = scheme
+    return scheme
+
+
+def unregister(name: str) -> None:
+    """Remove a scheme by name (no-op when absent; mainly for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def scheme_names() -> list[str]:
+    """Registered scheme names in registration order."""
+    return list(_REGISTRY)
+
+
+def available_schemes() -> list[ProtectionScheme]:
+    """Every registered scheme, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def get_scheme(name: str) -> ProtectionScheme:
+    """Look a scheme up by name; unknown names get a close-match hint."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        suggestion = difflib.get_close_matches(name, _REGISTRY, n=1)
+        hint = f"; did you mean {suggestion[0]!r}?" if suggestion else ""
+        raise ConfigurationError(
+            f"unknown protection scheme {name!r}{hint} "
+            f"(registered: {', '.join(_REGISTRY)})"
+        ) from None
+
+
+def resolve_scheme(
+    scheme: "ProtectionScheme | ProtectionLevel | str",
+) -> ProtectionScheme:
+    """Normalize any scheme designator to a registered scheme.
+
+    Accepts a :class:`ProtectionScheme` (returned as-is), a
+    :class:`ProtectionLevel` member (resolved by its value), or a registry
+    name string.
+    """
+    if isinstance(scheme, ProtectionScheme):
+        return scheme
+    return get_scheme(scheme_name_of(scheme))
+
+
+def scheme_name_of(scheme: "ProtectionScheme | ProtectionLevel | str") -> str:
+    """The registry name of any scheme designator (without resolving it)."""
+    from repro.system.config import ProtectionLevel
+
+    if isinstance(scheme, ProtectionScheme):
+        return scheme.name
+    if isinstance(scheme, ProtectionLevel):
+        return scheme.value
+    if isinstance(scheme, str):
+        return scheme
+    raise ConfigurationError(
+        f"cannot name a scheme from {type(scheme).__name__}"
+    )
+
+
+def level_for(name: str) -> "ProtectionLevel | None":
+    """The :class:`ProtectionLevel` member for a scheme name, if one exists.
+
+    Registry-only schemes (hybrids, test registrations) have no enum
+    member; callers that need one fall back to the raw name.
+    """
+    from repro.system.config import ProtectionLevel
+
+    try:
+        return ProtectionLevel(name)
+    except ValueError:
+        return None

@@ -1,0 +1,309 @@
+"""Reusable link-layer stages: the building blocks of a protection scheme.
+
+ObfusMem's design is literally a stack of bus transformations — packetize,
+counter-mode encrypt, MAC, piggyback dummies, balance channels — so the
+system composer models a protection scheme as exactly that: an ordered
+stack of :class:`BusStage` descriptors, written top-down the way the paper
+draws its figures::
+
+    [EncryptionStage]      counter-mode encryption of data at rest
+    [ObfusMemStage]        bus ciphertext + dummy pairing (+ MAC)
+    [PcmChannelStage]      multi-channel PCM scheduler (terminal)
+
+Each descriptor is a small frozen dataclass — cheap to construct, hashable,
+and serializable by the experiment executor — that knows how to *build* its
+live component on top of the stage below it.  Descriptors also carry the
+declarative metadata the rest of the codebase keys off:
+
+* ``traits`` — what this stage makes the wire look like to a physical bus
+  snooper (:func:`repro.analysis.leakage.expected_leakage` derives the
+  attacker's expected scores from these flags instead of isinstance
+  checks against live components);
+* ``stat_groups`` — which :class:`~repro.sim.statistics.StatRegistry`
+  group patterns the stage's component emits, so experiments can sum a
+  scheme's counters without guessing group names.
+
+Building happens bottom-up (terminal stage first); every stage registers
+its live component under :attr:`BusStage.handle` in the shared
+:class:`StageContext` so :class:`repro.system.builder.BuiltSystem` can
+expose the familiar ``memory`` / ``obfusmem`` / ``encryption`` / ``oram``
+attributes without knowing which scheme was built.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.config import AuthMode
+from repro.core.controller import ObfusMemController
+from repro.core.hide import (
+    DEFAULT_CHUNK_BYTES,
+    DEFAULT_REPERMUTE_INTERVAL,
+    HideController,
+)
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ConfigurationError
+from repro.mem.address_mapping import AddressMapping
+from repro.mem.bus import MemoryBus
+from repro.mem.scheduler import MemorySystem
+from repro.oram.timing import OramMemoryModel
+from repro.secure.memory_encryption import SecureMemoryController
+from repro.sim.engine import Engine
+from repro.sim.statistics import StatRegistry
+
+if TYPE_CHECKING:  # import at type-check time only: repro.system imports us
+    from repro.system.config import MachineConfig
+
+# ---------------------------------------------------------------------------
+# Wire traits: the vocabulary the leakage model reads.
+# ---------------------------------------------------------------------------
+
+#: Commands leave the chip as ciphertext; wire bytes never repeat.
+TRAIT_CIPHERTEXT_WIRE = "ciphertext-wire"
+#: Every real access travels with an opposite-type companion (§3.3).
+TRAIT_PAIRED_TYPES = "paired-types"
+#: Dummies cover the other channels whenever one is active (§3.4).
+TRAIT_CHANNEL_COVER = "channel-cover"
+#: Bus commands and data carry a MAC tag (§3.5).
+TRAIT_AUTHENTICATED = "authenticated"
+#: Addresses leave in plaintext but permuted within a chunk (HIDE, §7).
+TRAIT_PERMUTED_ADDRESSES = "permuted-addresses"
+#: Data at rest is counter-mode encrypted (content, not access pattern).
+TRAIT_DATA_ENCRYPTED = "data-encrypted"
+#: The backend has no wire model at all (the fixed-latency ORAM).
+TRAIT_OPAQUE_BACKEND = "opaque-backend"
+
+
+@dataclass
+class StageContext:
+    """Everything a stage needs to build its component, plus the handles.
+
+    One context is threaded through a whole build; stages read the shared
+    machine/engine/stats/rng and register the components they construct in
+    :attr:`handles` under their :attr:`BusStage.handle` name.
+    """
+
+    engine: Engine
+    stats: StatRegistry
+    machine: MachineConfig
+    rng: DeterministicRng
+    bus: MemoryBus | None = None
+    handles: dict[str, object] = field(default_factory=dict)
+
+
+class BusStage(abc.ABC):
+    """One layer of a protection scheme's link-layer stack.
+
+    Subclasses are declarative descriptors: frozen dataclasses carrying the
+    stage's parameters, built into live components only when a system is
+    composed.  ``downstream`` in :meth:`build` is the component built by the
+    stage below (``None`` for a terminal stage).
+    """
+
+    #: Short stage name used in stack summaries and ``--list-schemes``.
+    name: str = "stage"
+    #: Key under which the built component lands in ``StageContext.handles``.
+    handle: str = "stage"
+    #: One-line description of what the stage does.
+    summary: str = ""
+    #: Wire-visibility flags (the ``TRAIT_*`` constants above).
+    traits: frozenset[str] = frozenset()
+    #: ``fnmatch`` patterns of the stat groups the component emits.
+    stat_groups: tuple[str, ...] = ()
+    #: Terminal stages are backends; exactly one must end every stack.
+    terminal: bool = False
+
+    @abc.abstractmethod
+    def build(self, ctx: StageContext, downstream: object | None) -> object:
+        """Construct this stage's live component on top of ``downstream``."""
+
+    def describe(self) -> str:
+        """Human-readable ``name: summary`` line for CLI listings."""
+        return f"{self.name}: {self.summary}"
+
+    @staticmethod
+    def _require_memory(downstream: object | None, stage: str) -> MemorySystem:
+        """Validate that ``downstream`` is the PCM memory system."""
+        if not isinstance(downstream, MemorySystem):
+            raise ConfigurationError(
+                f"{stage} must sit directly above the PCM channel stage, "
+                f"not {type(downstream).__name__}"
+            )
+        return downstream
+
+
+@dataclass(frozen=True)
+class PcmChannelStage(BusStage):
+    """Terminal stage: the multi-channel PCM memory system.
+
+    Owns the address mapping (RoRaBaChCo decode), the per-channel FR-FCFS
+    schedulers and the wire codec that writes command/data bursts onto the
+    observable bus (:mod:`repro.core.packets` defines the format).
+    """
+
+    name = "pcm-channels"
+    handle = "memory"
+    summary = "multi-channel PCM with FR-FCFS scheduling and wire codec"
+    stat_groups = ("channel*", "pcm*")
+    terminal = True
+
+    def build(self, ctx: StageContext, downstream: object | None) -> object:
+        """Build the address mapping and channel scheduler stack."""
+        machine = ctx.machine
+        mapping = AddressMapping(
+            capacity_bytes=machine.capacity_bytes,
+            channels=machine.channels,
+            ranks_per_channel=machine.ranks_per_channel,
+            banks_per_rank=machine.banks_per_rank,
+            row_buffer_bytes=machine.row_buffer_bytes,
+        )
+        memory = MemorySystem(
+            ctx.engine,
+            mapping,
+            ctx.stats,
+            timing=machine.timing,
+            energy=machine.energy,
+            bus=ctx.bus,
+            wear_leveling=machine.wear_leveling,
+        )
+        ctx.handles[self.handle] = memory
+        return memory
+
+
+@dataclass(frozen=True)
+class OramBackendStage(BusStage):
+    """Terminal stage: the paper's fixed-latency Path ORAM model (§4)."""
+
+    name = "oram-backend"
+    handle = "oram"
+    summary = "fixed-latency Path ORAM model (unlimited bandwidth)"
+    traits = frozenset({TRAIT_OPAQUE_BACKEND})
+    stat_groups = ("oram",)
+    terminal = True
+
+    def build(self, ctx: StageContext, downstream: object | None) -> object:
+        """Build the fixed-latency ORAM memory model."""
+        oram = OramMemoryModel(
+            ctx.engine,
+            ctx.stats,
+            access_latency_ns=ctx.machine.oram_access_latency_ns,
+        )
+        ctx.handles[self.handle] = oram
+        return oram
+
+
+@dataclass(frozen=True)
+class ObfusMemStage(BusStage):
+    """The ObfusMem controller: bus ciphertext, dummy pairing, channels.
+
+    Wraps :class:`repro.core.controller.ObfusMemController`, which combines
+    the packet codec's opaque wire format, the dummy factory of
+    :mod:`repro.core.dummy` and the per-channel injection policy.  With
+    ``auth`` set, bus traffic additionally carries the §3.5 MAC tags
+    (:mod:`repro.crypto.mac` supplies the functional twin's primitives).
+    """
+
+    auth: AuthMode = AuthMode.NONE
+
+    name = "obfusmem"
+    handle = "obfusmem"
+    summary = "bus ciphertext + read/write dummy pairing + channel cover"
+    stat_groups = ("obfusmem",)
+
+    @property
+    def traits(self) -> frozenset[str]:  # type: ignore[override]
+        """Wire flags; authentication adds :data:`TRAIT_AUTHENTICATED`."""
+        base = {TRAIT_CIPHERTEXT_WIRE, TRAIT_PAIRED_TYPES, TRAIT_CHANNEL_COVER}
+        if self.auth is not AuthMode.NONE:
+            base.add(TRAIT_AUTHENTICATED)
+        return frozenset(base)
+
+    def describe(self) -> str:
+        """Stack-summary line, noting the MAC when authentication is on."""
+        if self.auth is AuthMode.NONE:
+            return super().describe()
+        return f"{self.name}: {self.summary} + {self.auth.value} MAC"
+
+    def build(self, ctx: StageContext, downstream: object | None) -> object:
+        """Build the controller on top of the PCM memory system."""
+        memory = self._require_memory(downstream, self.name)
+        controller = ObfusMemController(
+            ctx.engine,
+            memory,
+            ctx.machine.obfusmem_config(self.auth),
+            ctx.stats,
+            ctx.rng.fork("obfusmem"),
+        )
+        ctx.handles[self.handle] = controller
+        return controller
+
+
+@dataclass(frozen=True)
+class EncryptionStage(BusStage):
+    """Counter-mode memory encryption with counter-cache timing.
+
+    Wraps :class:`repro.secure.memory_encryption.SecureMemoryController`;
+    counter-fetch traffic it generates flows *through* whatever stage sits
+    below, so under ObfusMem it is obfuscated and escorted like any other
+    request (exactly what the paper requires).
+    """
+
+    name = "memory-encryption"
+    handle = "encryption"
+    summary = "counter-mode encryption of data at rest (counter cache)"
+    traits = frozenset({TRAIT_DATA_ENCRYPTED})
+    stat_groups = ("memenc", "counter_cache")
+
+    def build(self, ctx: StageContext, downstream: object | None) -> object:
+        """Build the secure memory controller over ``downstream``."""
+        if downstream is None:
+            raise ConfigurationError(
+                "memory-encryption is not a terminal stage; stack it above "
+                "a backend"
+            )
+        controller = SecureMemoryController(
+            ctx.engine,
+            downstream,
+            capacity_bytes=ctx.machine.capacity_bytes,
+            stats=ctx.stats,
+            engines=ctx.machine.engines,
+            counter_cache_bytes=ctx.machine.counter_cache_bytes,
+        )
+        ctx.handles[self.handle] = controller
+        return controller
+
+
+@dataclass(frozen=True)
+class HideStage(BusStage):
+    """HIDE-style chunk-level address permutation (§7 baseline).
+
+    Wraps :class:`repro.core.hide.HideController`: block addresses are
+    remapped through a per-chunk random permutation and the chunk is
+    re-shuffled (paying the block-move traffic) every
+    ``repermute_interval`` accesses.  Addresses still leave the chip in
+    plaintext — only the permutation hides anything.
+    """
+
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    repermute_interval: int = DEFAULT_REPERMUTE_INTERVAL
+
+    name = "hide-permutation"
+    handle = "hide"
+    summary = "chunk-level address permutation with periodic re-shuffle"
+    traits = frozenset({TRAIT_PERMUTED_ADDRESSES})
+    stat_groups = ("hide",)
+
+    def build(self, ctx: StageContext, downstream: object | None) -> object:
+        """Build the permutation layer on top of the PCM memory system."""
+        memory = self._require_memory(downstream, self.name)
+        controller = HideController(
+            memory,
+            ctx.stats,
+            ctx.rng.fork("hide"),
+            chunk_bytes=self.chunk_bytes,
+            repermute_interval=self.repermute_interval,
+        )
+        ctx.handles[self.handle] = controller
+        return controller

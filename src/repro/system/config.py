@@ -12,13 +12,20 @@ from repro.oram.timing import DEFAULT_ACCESS_LATENCY_NS
 
 
 class ProtectionLevel(enum.Enum):
-    """The systems compared in the evaluation (Figure 4 / Table 3)."""
+    """The systems compared in the evaluation (Figure 4 / Table 3 / §7).
+
+    Each member's value is the registry name of a built-in
+    :class:`~repro.schemes.registry.ProtectionScheme`; the enum survives as
+    the stable, typo-proof handle for the paper's named systems, while
+    registry-only schemes (hybrids, ablations) are addressed by name.
+    """
 
     UNPROTECTED = "unprotected"
     ENCRYPTION_ONLY = "encryption_only"  # counter-mode memory encryption
     OBFUSMEM = "obfusmem"  # + access pattern obfuscation
     OBFUSMEM_AUTH = "obfusmem_auth"  # + authenticated communication
     ORAM = "oram"  # Path ORAM baseline (fixed-latency model)
+    HIDE = "hide"  # chunk-permutation baseline (§7, no encryption)
 
 
 @dataclass(frozen=True)

@@ -17,6 +17,7 @@ from repro.cpu.trace import Trace
 from repro.crypto.rng import DeterministicRng
 from repro.errors import SimulationError
 from repro.mem.bus import MemoryBus
+from repro.schemes import ProtectionScheme, level_for, resolve_scheme
 from repro.sim.engine import Engine
 from repro.sim.statistics import StatRegistry
 from repro.system.builder import build_system
@@ -25,13 +26,19 @@ from repro.system.config import MachineConfig, ProtectionLevel
 DEFAULT_NUM_REQUESTS = 6000
 _MAX_EVENTS_PER_REQUEST = 2000  # generous livelock guard
 
+#: A simulation target anywhere in this module: an enum member, a registry
+#: scheme name, or a resolved scheme object.
+SchemeLike = ProtectionLevel | ProtectionScheme | str
+
 
 @dataclass
 class RunResult:
     """Measurements from one (trace, system) simulation."""
 
     benchmark: str
-    level: ProtectionLevel
+    #: The enum member for built-in schemes; registry-only schemes (hybrids)
+    #: carry their registry name string instead.
+    level: ProtectionLevel | str
     channels: int
     execution_time_ns: float
     num_requests: int
@@ -56,7 +63,7 @@ class RunResult:
 
 def run_traces(
     traces: list[Trace],
-    level: ProtectionLevel,
+    level: SchemeLike,
     machine: MachineConfig | None = None,
     window: int | list[int] = 4,
     seed: int = 2017,
@@ -64,9 +71,11 @@ def run_traces(
 ) -> RunResult:
     """Simulate one trace per core on one shared system.
 
-    Execution time is the slowest core's finish time (the paper's 4-core
-    CMP runs one benchmark instance per core).  ``window`` may be a list
-    giving each core its own outstanding-miss budget (heterogeneous mixes).
+    ``level`` accepts a :class:`ProtectionLevel`, a registry scheme name,
+    or a resolved scheme.  Execution time is the slowest core's finish time
+    (the paper's 4-core CMP runs one benchmark instance per core).
+    ``window`` may be a list giving each core its own outstanding-miss
+    budget (heterogeneous mixes).
     """
     if not traces:
         raise SimulationError("need at least one trace")
@@ -76,10 +85,11 @@ def run_traces(
             f"{len(windows)} windows for {len(traces)} traces"
         )
     machine = machine or MachineConfig()
+    scheme = resolve_scheme(level)
     engine = Engine()
     stats = StatRegistry()
-    rng = DeterministicRng(seed).fork(f"run-{traces[0].name}-{level.value}")
-    system = build_system(level, machine, engine, stats, rng, bus=bus)
+    rng = DeterministicRng(seed).fork(f"run-{traces[0].name}-{scheme.name}")
+    system = build_system(scheme, machine, engine, stats, rng, bus=bus)
     cores = [
         TraceDrivenCore(
             engine, trace, system.port, window=core_window, stats=stats, core_id=i
@@ -93,14 +103,14 @@ def run_traces(
     for core in cores:
         if not core.done:
             raise SimulationError(
-                f"{core.trace.name}/{level.value}: core {core.core_id} did not "
+                f"{core.trace.name}/{scheme.name}: core {core.core_id} did not "
                 f"finish ({core._index}/{len(core.trace)} issued)"
             )
     system.flush()
     engine.run(max_events=_MAX_EVENTS_PER_REQUEST * total_requests)
     return RunResult(
         benchmark=traces[0].name,
-        level=level,
+        level=level_for(scheme.name) or scheme.name,
         channels=machine.channels,
         execution_time_ns=max(core.execution_time_ns for core in cores),
         num_requests=total_requests,
@@ -111,7 +121,7 @@ def run_traces(
 
 def run_trace(
     trace: Trace,
-    level: ProtectionLevel,
+    level: SchemeLike,
     machine: MachineConfig | None = None,
     window: int = 4,
     seed: int = 2017,
@@ -123,7 +133,7 @@ def run_trace(
 
 def run_benchmark(
     profile: BenchmarkProfile,
-    level: ProtectionLevel,
+    level: SchemeLike,
     machine: MachineConfig | None = None,
     num_requests: int = DEFAULT_NUM_REQUESTS,
     seed: int = 2017,
@@ -149,7 +159,7 @@ def run_benchmark(
 
 def run_mix(
     profiles: list[BenchmarkProfile],
-    level: ProtectionLevel,
+    level: SchemeLike,
     machine: MachineConfig | None = None,
     num_requests: int = DEFAULT_NUM_REQUESTS,
     seed: int = 2017,
@@ -177,12 +187,12 @@ def run_mix(
 
 def compare_levels(
     profile: BenchmarkProfile,
-    levels: list[ProtectionLevel],
+    levels: list[SchemeLike],
     machine: MachineConfig | None = None,
     num_requests: int = DEFAULT_NUM_REQUESTS,
     seed: int = 2017,
-) -> dict[ProtectionLevel, RunResult]:
-    """Run the *same* trace at several protection levels."""
+) -> dict[SchemeLike, RunResult]:
+    """Run the *same* trace at several protection levels/schemes."""
     trace = make_trace(profile, num_requests, seed=seed)
     return {
         level: run_trace(trace, level, machine=machine, window=profile.window, seed=seed)

@@ -1,0 +1,1 @@
+"""Tests for the protection-scheme registry and stage pipeline."""

@@ -1,0 +1,45 @@
+"""The shared ``--list-schemes`` flag across every entry point."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.schemes import format_scheme_list, scheme_names
+
+
+class TestSchemeListing:
+    def test_listing_covers_every_registered_scheme(self):
+        listing = format_scheme_list()
+        for name in scheme_names():
+            assert name in listing
+        assert "memory-encryption -> obfusmem -> pcm-channels" in listing
+
+    def test_top_level_flag_prints_and_exits(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--list-schemes"])
+        assert excinfo.value.code == 0
+        assert "hide_encrypted" in capsys.readouterr().out
+
+    def test_run_subcommand_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "bwaves", "--list-schemes"])
+        assert excinfo.value.code == 0
+        assert "protection schemes" in capsys.readouterr().out
+
+    def test_experiment_cli_flag(self, capsys):
+        from repro.experiments import related
+
+        with pytest.raises(SystemExit) as excinfo:
+            related.main(["--list-schemes"])
+        assert excinfo.value.code == 0
+        assert "obfusmem_auth" in capsys.readouterr().out
+
+    def test_list_command_includes_schemes(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "protection schemes" in out
+        assert "hide" in out
+
+    def test_run_rejects_unknown_scheme_with_hint(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "bwaves", "--level", "obfusmen"])
+        assert "did you mean" in str(excinfo.value)

@@ -1,0 +1,214 @@
+"""Registry behaviour: lookup, validation, serialization, custom schemes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.executor import (
+    JobSpec,
+    result_from_jsonable,
+    result_to_jsonable,
+)
+from repro.schemes import (
+    ProtectionScheme,
+    available_schemes,
+    get_scheme,
+    register,
+    resolve_scheme,
+    scheme_name_of,
+    scheme_names,
+    unregister,
+)
+from repro.schemes.registry import level_for
+from repro.schemes.stages import (
+    EncryptionStage,
+    HideStage,
+    ObfusMemStage,
+    PcmChannelStage,
+)
+from repro.system.config import ProtectionLevel
+from repro.system.simulator import run_benchmark
+from repro.cpu.spec_profiles import SPEC_PROFILES
+
+
+class TestLookup:
+    def test_every_protection_level_is_registered(self):
+        for level in ProtectionLevel:
+            scheme = get_scheme(level.value)
+            assert scheme.name == level.value
+
+    def test_unknown_scheme_suggests_close_match(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            get_scheme("obfusmen")
+        message = str(excinfo.value)
+        assert "obfusmen" in message
+        assert "did you mean 'obfusmem'" in message
+
+    def test_unknown_scheme_lists_registered_names(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            get_scheme("zzz_not_a_scheme")
+        assert "unprotected" in str(excinfo.value)
+
+    def test_resolve_accepts_all_designators(self):
+        by_enum = resolve_scheme(ProtectionLevel.OBFUSMEM)
+        by_name = resolve_scheme("obfusmem")
+        by_scheme = resolve_scheme(by_enum)
+        assert by_enum is by_name is by_scheme
+
+    def test_scheme_name_of(self):
+        assert scheme_name_of(ProtectionLevel.ORAM) == "oram"
+        assert scheme_name_of("hide") == "hide"
+        assert scheme_name_of(get_scheme("hide")) == "hide"
+        with pytest.raises(ConfigurationError):
+            scheme_name_of(42)
+
+    def test_level_for_round_trip(self):
+        for level in ProtectionLevel:
+            assert level_for(level.value) is level
+        assert level_for("hide_encrypted") is None
+
+    def test_listing_order_is_registration_order(self):
+        names = scheme_names()
+        assert names.index("unprotected") < names.index("obfusmem")
+        assert [s.name for s in available_schemes()] == names
+
+
+class TestValidation:
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register(get_scheme("obfusmem"))
+
+    def test_replace_allows_reregistration(self):
+        original = get_scheme("hide")
+        register(original, replace=True)
+        assert get_scheme("hide") is original
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ConfigurationError, match="no stages"):
+            ProtectionScheme(name="empty", description="", stages=())
+
+    def test_non_terminal_bottom_rejected(self):
+        with pytest.raises(ConfigurationError, match="terminal"):
+            ProtectionScheme(
+                name="floating", description="", stages=(EncryptionStage(),)
+            )
+
+    def test_terminal_above_bottom_rejected(self):
+        with pytest.raises(ConfigurationError, match="above the bottom"):
+            ProtectionScheme(
+                name="sandwich",
+                description="",
+                stages=(PcmChannelStage(), PcmChannelStage()),
+            )
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="identifier"):
+            ProtectionScheme(
+                name="not a name!", description="", stages=(PcmChannelStage(),)
+            )
+
+
+class TestMetadata:
+    def test_stack_summary_reads_top_down(self):
+        assert (
+            get_scheme("obfusmem").stack_summary()
+            == "memory-encryption -> obfusmem -> pcm-channels"
+        )
+
+    def test_traits_union_over_stages(self):
+        scheme = get_scheme("obfusmem_auth")
+        assert "authenticated" in scheme.traits
+        assert "data-encrypted" in scheme.traits
+        assert "authenticated" not in get_scheme("obfusmem").traits
+
+    def test_stat_groups_deduplicated_top_down(self):
+        groups = get_scheme("obfusmem").stat_groups
+        assert groups.index("memenc") < groups.index("channel*")
+        assert len(groups) == len(set(groups))
+
+    def test_stat_sum_respects_group_patterns(self):
+        scheme = get_scheme("unprotected")  # binds channel*/pcm* only
+        stats = {
+            "channel0.writes": 3.0,
+            "channel1.writes": 4.0,
+            "core0.writes": 100.0,  # not a memory-side group: excluded
+            "pcm0.array_writes": 7.0,
+        }
+        assert scheme.stat_sum(stats, "writes") == 7.0
+        assert scheme.stat_sum(stats, "array_writes") == 7.0
+        assert scheme.stat_sum(stats, "missing") == 0.0
+
+
+class TestSerialization:
+    def test_jobspec_digest_matches_for_enum_and_name(self):
+        by_enum = JobSpec(benchmark="bwaves", level=ProtectionLevel.OBFUSMEM)
+        by_name = JobSpec(benchmark="bwaves", level="obfusmem")
+        assert by_enum.digest() == by_name.digest()
+
+    def test_jobspec_rejects_unknown_scheme_early(self):
+        with pytest.raises(ConfigurationError, match="did you mean"):
+            JobSpec(benchmark="bwaves", level="obfusmen")
+
+    def test_result_round_trips_registry_only_scheme(self):
+        result = run_benchmark(
+            SPEC_PROFILES["bwaves"], "hide_encrypted", num_requests=200, seed=3
+        )
+        rebuilt = result_from_jsonable(result_to_jsonable(result))
+        assert rebuilt.level == "hide_encrypted"
+        assert rebuilt.execution_time_ns == result.execution_time_ns
+
+    def test_result_round_trips_enum_level(self):
+        result = run_benchmark(
+            SPEC_PROFILES["bwaves"],
+            ProtectionLevel.UNPROTECTED,
+            num_requests=200,
+            seed=3,
+        )
+        rebuilt = result_from_jsonable(result_to_jsonable(result))
+        assert rebuilt.level is ProtectionLevel.UNPROTECTED
+
+
+class TestCustomScheme:
+    def test_custom_scheme_registers_builds_and_simulates(self):
+        custom = ProtectionScheme(
+            name="test_tiny_hide",
+            description="in-test hybrid: small-chunk HIDE over encryption",
+            stages=(
+                EncryptionStage(),
+                HideStage(chunk_bytes=16 << 10, repermute_interval=500),
+                PcmChannelStage(),
+            ),
+        )
+        register(custom)
+        try:
+            result = run_benchmark(
+                SPEC_PROFILES["mcf"], "test_tiny_hide", num_requests=300, seed=11
+            )
+            repeat = run_benchmark(
+                SPEC_PROFILES["mcf"], custom, num_requests=300, seed=11
+            )
+            assert result.execution_time_ns > 0
+            # Name and scheme-object designators are the same simulation.
+            assert repeat.execution_time_ns == result.execution_time_ns
+        finally:
+            unregister("test_tiny_hide")
+        with pytest.raises(ConfigurationError):
+            get_scheme("test_tiny_hide")
+
+    def test_stage_stack_order_is_validated_at_build(self):
+        # ObfusMem directly over the ORAM backend is a composition error the
+        # stage itself rejects (it needs the PCM wire below it).
+        from repro.schemes.stages import OramBackendStage
+
+        bad = ProtectionScheme(
+            name="test_bad_stack",
+            description="obfusmem over an opaque backend",
+            stages=(ObfusMemStage(), OramBackendStage()),
+        )
+        register(bad)
+        try:
+            with pytest.raises(ConfigurationError, match="PCM channel stage"):
+                run_benchmark(
+                    SPEC_PROFILES["bwaves"], "test_bad_stack", num_requests=50
+                )
+        finally:
+            unregister("test_bad_stack")

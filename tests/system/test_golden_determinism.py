@@ -1,15 +1,18 @@
-"""Golden determinism: the rebuilt kernel reproduces the pre-rewrite physics.
+"""Golden determinism: rebuilt kernel and scheme pipeline keep the physics.
 
 ``tests/golden/execution_times.json`` holds ``execution_time_ns`` for every
 benchmark x protection level (plus 4-channel and 4-channel/4-core grids),
 captured on the ordered-dataclass event kernel and polling scheduler before
-the hot-path rewrite.  The rewrite (tuple-keyed heap entries, tombstone
-cancellation, wake-on-state-change scheduling) must be a pure performance
-change: every cell must match bit-for-bit, not approximately.
+the hot-path rewrite; the ``hide`` cells and the registry-only hybrid grid
+(``execution_time_ns_registry``, schemes addressed by name) were captured
+when the scheme-registry pipeline landed.  Both the kernel rewrite and the
+registry refactor must be pure restructurings: every cell must match
+bit-for-bit, not approximately.
 
 Any drift here means the event ordering contract — (time, priority,
-sequence), FR-FCFS arbitration over identical queue snapshots — was broken
-somewhere, even if the aggregate overheads still look plausible.
+sequence), FR-FCFS arbitration over identical queue snapshots, label-stable
+rng forking — was broken somewhere, even if the aggregate overheads still
+look plausible.
 """
 
 import json
@@ -39,15 +42,23 @@ def _cells():
             yield pytest.param(
                 benchmark, level, machine_kwargs, cores, expected, id=f"{key}:{cell}"
             )
+    # Registry-only schemes (hybrids): addressed by name, no enum member.
+    for cell, expected in GOLDEN["execution_time_ns_registry"].items():
+        benchmark, scheme = cell.rsplit("/", 1)
+        yield pytest.param(
+            benchmark, scheme, {}, 1, expected, id=f"registry:{cell}"
+        )
 
 
 @pytest.mark.parametrize(
     "bench_name, level, machine_kwargs, cores, expected", _cells()
 )
 def test_execution_time_matches_golden(bench_name, level, machine_kwargs, cores, expected):
+    # The scheme is passed as its registry *name*: the enum members resolve
+    # to the same registrations, and hybrids only have a name.
     result = run_benchmark(
         SPEC_PROFILES[bench_name],
-        ProtectionLevel(level),
+        level,
         machine=MachineConfig(**machine_kwargs),
         num_requests=GOLDEN["num_requests"],
         seed=GOLDEN["seed"],

@@ -1,0 +1,61 @@
+"""Registry-built systems are the systems the enum dispatch used to build.
+
+The multi-layer refactor replaced ``build_system``'s per-level branches
+with declarative stage stacks resolved through the scheme registry.  These
+tests pin the equivalence the refactor promised: for every protection
+level, addressing the scheme by enum member, by registry name, or by the
+resolved ``ProtectionScheme`` object yields bit-identical execution times
+and statistics — and registry-only hybrids are just as deterministic.
+"""
+
+import pytest
+
+from repro.cpu.spec_profiles import SPEC_PROFILES
+from repro.schemes import get_scheme
+from repro.system.config import MachineConfig, ProtectionLevel
+from repro.system.simulator import run_benchmark
+
+REQUESTS = 600
+SEED = 2017
+
+
+def _run(scheme, cores=1, channels=1):
+    return run_benchmark(
+        SPEC_PROFILES["mcf"],
+        scheme,
+        machine=MachineConfig(channels=channels),
+        num_requests=REQUESTS,
+        seed=SEED,
+        cores=cores,
+    )
+
+
+@pytest.mark.parametrize("level", list(ProtectionLevel), ids=lambda lv: lv.value)
+def test_enum_name_and_scheme_designators_agree(level):
+    by_enum = _run(level)
+    by_name = _run(level.value)
+    by_scheme = _run(get_scheme(level.value))
+    assert by_name.execution_time_ns == by_enum.execution_time_ns
+    assert by_scheme.execution_time_ns == by_enum.execution_time_ns
+    assert by_name.stats == by_enum.stats
+    assert by_scheme.stats == by_enum.stats
+
+
+def test_multi_channel_multi_core_equivalence():
+    by_enum = _run(ProtectionLevel.OBFUSMEM_AUTH, cores=4, channels=4)
+    by_name = _run("obfusmem_auth", cores=4, channels=4)
+    assert by_name.execution_time_ns == by_enum.execution_time_ns
+    assert by_name.stats == by_enum.stats
+
+
+def test_hybrid_scheme_is_deterministic():
+    first = _run("hide_encrypted")
+    second = _run("hide_encrypted")
+    assert first.execution_time_ns == second.execution_time_ns
+    assert first.stats == second.stats
+
+
+def test_hybrid_actually_stacks_both_layers():
+    stats = _run("hide_encrypted").stats
+    assert any(key.startswith("hide.") for key in stats)
+    assert any(key.startswith("memenc.") for key in stats)
