@@ -1,0 +1,152 @@
+"""Bench: serving-layer latency and throughput over real loopback HTTP.
+
+Measures the three behaviours the serve PR promises, against a live
+:class:`~repro.serve.harness.ServerThread` on an ephemeral port:
+
+* **cache leverage** — the same job submitted twice: the first submission
+  simulates cold, the repeat is served from the result cache.  Acceptance
+  bar: warm mean latency at least ``CACHE_SPEEDUP_FLOOR`` (50x) below the
+  cold submit-to-result latency.
+* **sustained warm throughput** — a closed-loop load generator hammering
+  the cached job from several client threads; requests/sec recorded.
+* **admission control under burst** — a depth-2, single-worker server hit
+  with distinct-seed cold jobs until it answers 429; refusals recorded
+  and every accepted job still reaches a terminal state.
+
+Results land in ``benchmarks/BENCH_serve_throughput.json`` together with
+the service's own /metrics view (kernel events/sec, cache hit ratio).
+"""
+
+import json
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import LoadGenerator, ServerThread, ServiceConfig
+from repro.serve.client import ServerBusy
+
+BENCH_SPEC = {
+    "benchmark": "mcf",
+    "level": "obfusmem_auth",
+    "num_requests": 8000,
+    "seed": 2017,
+}
+WARM_ROUNDS = 15
+LOAD_THREADS = 4
+LOAD_REQUESTS_PER_THREAD = 15
+CACHE_SPEEDUP_FLOOR = 50.0  # acceptance: warm hit >= 50x faster than cold
+
+OUTPUT_PATH = Path(__file__).parent / "BENCH_serve_throughput.json"
+
+_measured: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One cached server shared by the latency and throughput benches."""
+    with tempfile.TemporaryDirectory(prefix="serve-bench-") as cache_dir:
+        config = ServiceConfig(
+            workers=2, queue_depth=16, cache_dir=Path(cache_dir) / "cache"
+        )
+        with ServerThread(config) as running:
+            yield running
+
+
+def _burst_spec(seed: int) -> dict:
+    """A distinct-digest cold spec for the saturation bench."""
+    return dict(BENCH_SPEC, num_requests=4000, seed=seed)
+
+
+def test_cold_vs_warm_cache_latency(server):
+    client = server.client()
+    started = time.perf_counter()
+    cold_result = client.run(BENCH_SPEC)
+    cold_s = time.perf_counter() - started
+
+    warm_latencies = []
+    for _ in range(WARM_ROUNDS):
+        started = time.perf_counter()
+        warm_result = client.run(BENCH_SPEC)
+        warm_latencies.append(time.perf_counter() - started)
+    assert warm_result == cold_result  # the cache serves the same bits
+
+    warm_mean_s = statistics.mean(warm_latencies)
+    speedup = cold_s / warm_mean_s
+    _measured["cache_latency"] = {
+        "cold_s": round(cold_s, 6),
+        "warm_mean_s": round(warm_mean_s, 6),
+        "warm_p50_s": round(statistics.median(warm_latencies), 6),
+        "warm_max_s": round(max(warm_latencies), 6),
+        "speedup": round(speedup, 1),
+    }
+    assert speedup >= CACHE_SPEEDUP_FLOOR, (
+        f"warm hits only {speedup:.1f}x faster than cold "
+        f"(floor {CACHE_SPEEDUP_FLOOR}x): cold={cold_s:.4f}s "
+        f"warm_mean={warm_mean_s:.4f}s"
+    )
+
+
+def test_sustained_warm_throughput(server):
+    report = LoadGenerator(
+        host="127.0.0.1",
+        port=server.port,
+        spec=BENCH_SPEC,
+        threads=LOAD_THREADS,
+        requests_per_thread=LOAD_REQUESTS_PER_THREAD,
+    ).run()
+    assert report.failed == 0
+    assert report.completed == LOAD_THREADS * LOAD_REQUESTS_PER_THREAD
+    _measured["warm_throughput"] = report.to_jsonable()
+    _measured["service_metrics"] = {
+        key: server.service.metrics()[key]
+        for key in (
+            "cache_hits",
+            "cache_hit_ratio",
+            "sim_events_total",
+            "sim_events_per_sec",
+        )
+    }
+
+
+def test_burst_saturation_emits_429s():
+    config = ServiceConfig(
+        workers=1, queue_depth=2, cache_dir=None, retry_after_s=0.25
+    )
+    with ServerThread(config, drain_grace_s=120.0) as tiny:
+        raw = tiny.client(max_retries=0)
+        accepted, refusals = [], 0
+        for seed in range(1, 17):
+            try:
+                accepted.append(raw.submit(_burst_spec(seed)))
+            except ServerBusy:
+                refusals += 1
+        assert refusals > 0, "burst never saturated the depth-2 queue"
+        for job in accepted:
+            raw.cancel(job["id"])
+        finals = [raw.wait(job["id"], deadline_s=120.0) for job in accepted]
+        assert all(final["state"] in ("done", "cancelled") for final in finals)
+        _measured["burst_saturation"] = {
+            "offered": len(accepted) + refusals,
+            "accepted": len(accepted),
+            "rejected_429": refusals,
+            "accepted_terminal": len(finals),
+        }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_bench_json():
+    yield
+    if _measured:
+        payload = {
+            "bench": "serve_throughput",
+            "spec": BENCH_SPEC,
+            "warm_rounds": WARM_ROUNDS,
+            "load_threads": LOAD_THREADS,
+            "load_requests_per_thread": LOAD_REQUESTS_PER_THREAD,
+            "cache_speedup_floor": CACHE_SPEEDUP_FLOOR,
+        }
+        payload.update(_measured)
+        OUTPUT_PATH.write_text(json.dumps(payload, indent=1) + "\n")

@@ -8,6 +8,7 @@ experiments     regenerate one (or all) of the paper's tables/figures
 table1 ...      shortcut: ``repro table1`` == ``repro experiments table1``
 attacks         run the §3.5 active-attack suite against the live stack
 report          full Markdown evaluation report (see experiments.report)
+serve           run the HTTP simulation service (see repro.serve)
 
 Every experiment command accepts ``--profile``, which wraps the cold
 simulations in cProfile + event accounting and writes hotspot reports next
@@ -179,6 +180,12 @@ def _cmd_attacks(args: argparse.Namespace) -> None:
         raise SystemExit(f"{failures} attack scenario(s) behaved unexpectedly")
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    from repro.serve import cli as serve_cli
+
+    serve_cli.run_from_args(args)
+
+
 def _cmd_report(args: argparse.Namespace) -> None:
     from repro.experiments import report
 
@@ -244,6 +251,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("attacks", help="run the active-attack suite")
 
+    from repro.serve.cli import add_serve_arguments
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the HTTP simulation service"
+    )
+    add_serve_arguments(serve_parser)
+
     report_parser = subparsers.add_parser("report", help="full Markdown report")
     report_parser.add_argument("-o", "--output")
     report_parser.add_argument("--requests", type=int, default=4000)
@@ -261,6 +275,7 @@ def main(argv: list[str] | None = None) -> None:
         "run": _cmd_run,
         "experiments": _cmd_experiments,
         "attacks": _cmd_attacks,
+        "serve": _cmd_serve,
         "report": _cmd_report,
     }
     handler = handlers.get(args.command, _cmd_experiment_shortcut)

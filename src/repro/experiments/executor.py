@@ -43,7 +43,9 @@ import hashlib
 import json
 import multiprocessing
 import os
+import threading
 import time
+import typing
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -58,6 +60,11 @@ from repro.system.simulator import RunResult, run_benchmark
 #: way that invalidates previously cached results.  The version participates
 #: in every job digest, so a bump orphans (rather than corrupts) old entries.
 CACHE_SCHEMA_VERSION = 1
+
+#: Version of the run-manifest JSON layout.  :meth:`RunManifest.load` rejects
+#: files written under a different version (or damaged files) by returning
+#: ``None`` — version skew degrades to "no manifest", never to a crash.
+MANIFEST_SCHEMA_VERSION = 1
 
 #: Default location of the persistent result cache, relative to the working
 #: directory.  Override with ``--cache-dir`` or ``REPRO_CACHE_DIR``.
@@ -174,6 +181,89 @@ def result_from_jsonable(payload: dict) -> RunResult:
     )
 
 
+def _value_from_hint(hint, value):
+    """Rebuild one field value from its JSON form, guided by its type hint."""
+    if dataclasses.is_dataclass(hint) and isinstance(hint, type):
+        return _dataclass_from_jsonable(hint, value)
+    if isinstance(hint, type) and issubclass(hint, enum.Enum):
+        try:
+            return hint(value)
+        except ValueError:
+            choices = [member.value for member in hint]
+            raise ConfigurationError(
+                f"invalid {hint.__name__} value {value!r}; choose from {choices}"
+            ) from None
+    return value
+
+
+def _dataclass_from_jsonable(cls, payload):
+    """Rebuild a (possibly nested) config dataclass from :func:`_jsonable` output."""
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"expected an object for {cls.__name__}, got {type(payload).__name__}"
+        )
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - names)
+    if unknown:
+        raise ConfigurationError(f"unknown {cls.__name__} fields: {unknown}")
+    hints = typing.get_type_hints(cls)
+    kwargs = {
+        name: _value_from_hint(hints[name], value) for name, value in payload.items()
+    }
+    return cls(**kwargs)
+
+
+def spec_from_jsonable(payload: dict) -> JobSpec:
+    """Rebuild a :class:`JobSpec` from its :meth:`JobSpec.to_jsonable` form.
+
+    This is the wire decoder for the serving layer: a client POSTs the
+    JSON form of a spec (``level`` as a registry scheme name, the machine
+    config as nested objects with enum values as strings) and the rebuilt
+    spec is *digest-identical* to the one a local caller would construct,
+    so remote submissions share cache entries with local sweeps.  Unknown
+    fields, unknown benchmarks/schemes and invalid enum values all raise
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"expected a job-spec object, got {type(payload).__name__}"
+        )
+    payload = dict(payload)
+    if "benchmark" not in payload or "level" not in payload:
+        raise ConfigurationError("a job spec needs at least 'benchmark' and 'level'")
+    level = payload.pop("level")
+    if not isinstance(level, str):
+        raise ConfigurationError("'level' must be a scheme name string on the wire")
+    machine_payload = payload.pop("machine", None)
+    machine = (
+        MachineConfig()
+        if machine_payload is None
+        else _dataclass_from_jsonable(MachineConfig, machine_payload)
+    )
+    names = {f.name for f in dataclasses.fields(JobSpec)}
+    unknown = sorted(set(payload) - names)
+    if unknown:
+        raise ConfigurationError(f"unknown JobSpec fields: {unknown}")
+    scalars = {}
+    for name, caster in (
+        ("num_requests", int),
+        ("seed", int),
+        ("cores", int),
+        ("benchmark", str),
+    ):
+        if name in payload:
+            try:
+                scalars[name] = caster(payload[name])
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"JobSpec field {name!r} must be {caster.__name__}-like, "
+                    f"got {payload[name]!r}"
+                ) from None
+    # ProtectionLevel members and their registry names share one digest, so
+    # decoding to the bare name keeps wire submissions cache-compatible.
+    return JobSpec(level=level, machine=machine, **scalars)
+
+
 class ResultCache:
     """Content-addressed persistent store of simulation results.
 
@@ -182,10 +272,22 @@ class ResultCache:
     only succeeds when both match — hash collisions, stale schema versions
     and corrupted files all degrade to a cache miss, never to a wrong or
     crashing result.
+
+    With ``max_bytes`` set, the store is bounded: every :meth:`put` evicts
+    least-recently-used entries (by file mtime; :meth:`get` touches the
+    entry it serves) until the directory fits the byte budget again.  A
+    long-lived service can therefore point at one cache directory forever
+    without unbounded growth.  Eviction removes oldest-first, so the entry
+    just written is only ever evicted when it alone exceeds the budget.
     """
 
-    def __init__(self, directory: str | Path = DEFAULT_CACHE_DIR):
+    def __init__(
+        self,
+        directory: str | Path = DEFAULT_CACHE_DIR,
+        max_bytes: int | None = None,
+    ):
         self.directory = Path(directory)
+        self.max_bytes = None if max_bytes is None else max(0, int(max_bytes))
 
     def path_for(self, spec: JobSpec) -> Path:
         """Where this spec's result lives (whether or not it exists yet)."""
@@ -200,9 +302,14 @@ class ResultCache:
                 return None
             if payload.get("spec") != spec.to_jsonable():
                 return None
-            return result_from_jsonable(payload["result"])
+            result = result_from_jsonable(payload["result"])
         except (OSError, ValueError, KeyError, TypeError):
             return None
+        try:
+            os.utime(path)  # a hit is a "use": refresh the LRU clock
+        except OSError:  # pragma: no cover - entry raced away; still a hit
+            pass
+        return result
 
     def put(self, spec: JobSpec, result: RunResult) -> Path:
         """Persist ``result`` for ``spec``; returns the entry's path."""
@@ -218,7 +325,48 @@ class ResultCache:
         scratch = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         scratch.write_text(json.dumps(payload, sort_keys=True, indent=1))
         os.replace(scratch, path)
+        if self.max_bytes is not None:
+            self.evict()
         return path
+
+    def size_bytes(self) -> int:
+        """Total bytes currently held by cache entries."""
+        return sum(size for _path, _mtime, size in self._entries())
+
+    def evict(self, max_bytes: int | None = None) -> int:
+        """Remove least-recently-used entries until the store fits the budget.
+
+        ``max_bytes`` overrides the instance budget for this call; with
+        neither set this is a no-op.  Returns the number of entries removed.
+        Entries that disappear concurrently (another process evicting the
+        same directory) are counted as already gone, not errors.
+        """
+        budget = self.max_bytes if max_bytes is None else max(0, int(max_bytes))
+        if budget is None:
+            return 0
+        entries = self._entries()
+        total = sum(size for _path, _mtime, size in entries)
+        removed = 0
+        # Oldest mtime first: the LRU end of the store.
+        for path, _mtime, size in sorted(entries, key=lambda entry: entry[1]):
+            if total <= budget:
+                break
+            path.unlink(missing_ok=True)
+            total -= size
+            removed += 1
+        return removed
+
+    def _entries(self) -> list[tuple[Path, float, int]]:
+        """Every live entry as ``(path, mtime, size)`` (racing files skipped)."""
+        entries = []
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:  # pragma: no cover - raced with an eviction
+                    continue
+                entries.append((path, stat.st_mtime, stat.st_size))
+        return entries
 
     def clear(self) -> int:
         """Delete every cache entry; returns how many were removed."""
@@ -273,6 +421,7 @@ class RunManifest:
     def to_jsonable(self) -> dict:
         """The manifest as a JSON-ready dict."""
         return {
+            "schema": MANIFEST_SCHEMA_VERSION,
             "label": self.label,
             "workers": self.workers,
             "jobs": self.jobs,
@@ -289,6 +438,34 @@ class RunManifest:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(self.to_jsonable(), indent=1))
         return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunManifest | None":
+        """Read a manifest written by :meth:`write`; ``None`` when unusable.
+
+        Version skew (a manifest written under a different
+        :data:`MANIFEST_SCHEMA_VERSION`), corruption and missing files all
+        return ``None`` so callers re-run the sweep instead of crashing on
+        stale observability data.
+        """
+        try:
+            payload = json.loads(Path(path).read_text())
+            if payload.get("schema") != MANIFEST_SCHEMA_VERSION:
+                return None
+            field_names = {f.name for f in dataclasses.fields(JobRecord)}
+            records = [
+                JobRecord(**{name: record[name] for name in field_names})
+                for record in payload["records"]
+            ]
+            return cls(
+                label=str(payload["label"]),
+                workers=int(payload["workers"]),
+                records=records,
+                wall_clock_s=float(payload["wall_clock_s"]),
+                stats={str(k): float(v) for k, v in payload.get("stats", {}).items()},
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
 
 
 def _execute_job(spec: JobSpec) -> tuple[RunResult, float]:
@@ -332,8 +509,42 @@ class ParallelRunner:
         self.stats = stats or StatRegistry()
         self.manifest: RunManifest | None = None
 
-    def run(self, specs: list[JobSpec], label: str = "sweep") -> list[RunResult]:
-        """Resolve every spec (cache or simulation); ordered like ``specs``."""
+    def lookup(self, spec: JobSpec) -> tuple[RunResult | None, str]:
+        """Probe both cache layers for one spec: ``(result, source)``.
+
+        ``source`` is ``"memory"``, ``"disk"`` or ``"miss"`` (with a
+        ``None`` result).  A disk hit is promoted into the in-memory layer,
+        exactly as :meth:`run` does for sweep jobs.
+        """
+        digest = spec.digest()
+        if digest in self.memory:
+            return self.memory[digest], "memory"
+        if self.cache is not None:
+            cached = self.cache.get(spec)
+            if cached is not None:
+                self.memory[digest] = cached
+                return cached, "disk"
+        return None, "miss"
+
+    def store(self, spec: JobSpec, result: RunResult) -> None:
+        """Feed one freshly simulated result into both cache layers."""
+        self.memory[spec.digest()] = result
+        if self.cache is not None:
+            self.cache.put(spec, result)
+
+    def run(
+        self,
+        specs: list[JobSpec],
+        label: str = "sweep",
+        progress=None,
+    ) -> list[RunResult]:
+        """Resolve every spec (cache or simulation); ordered like ``specs``.
+
+        ``progress``, when given, is called with each job's
+        :class:`JobRecord` as it resolves — cache hits during the probe
+        pass, simulated jobs as each worker outcome lands — so callers can
+        stream sweep progress instead of waiting for the manifest.
+        """
         specs = list(specs)
         started = time.perf_counter()
         sweep_stats = StatRegistry()
@@ -341,72 +552,217 @@ class ParallelRunner:
         lifetime = self.stats.group("executor")
 
         results: list[RunResult | None] = [None] * len(specs)
-        sources = ["simulated"] * len(specs)
-        walls = [0.0] * len(specs)
+        records: list[JobRecord | None] = [None] * len(specs)
         pending: list[int] = []
         digests = [spec.digest() for spec in specs]
+
+        def resolve(index: int, source: str, wall_ms: float) -> None:
+            spec = specs[index]
+            record = JobRecord(
+                digest=digests[index],
+                benchmark=spec.benchmark,
+                level=scheme_name_of(spec.level),
+                channels=spec.machine.channels,
+                cores=spec.cores,
+                num_requests=spec.num_requests,
+                seed=spec.seed,
+                source=source,
+                wall_ms=wall_ms,
+            )
+            records[index] = record
+            if progress is not None:
+                progress(record)
+
         for index, digest in enumerate(digests):
             if digest in self.memory:
                 results[index] = self.memory[digest]
-                sources[index] = "memory"
+                resolve(index, "memory", 0.0)
             elif self.cache is not None:
                 cached = self.cache.get(specs[index])
                 if cached is not None:
                     results[index] = cached
-                    sources[index] = "disk"
                     self.memory[digest] = cached
+                    resolve(index, "disk", 0.0)
                 else:
                     pending.append(index)
             else:
                 pending.append(index)
 
         if pending:
-            outcomes = self._execute([specs[index] for index in pending])
-            for index, (result, wall_ms) in zip(pending, outcomes):
+
+            def on_outcome(position: int, outcome: tuple[RunResult, float]) -> None:
+                index = pending[position]
+                result, wall_ms = outcome
                 results[index] = result
-                walls[index] = wall_ms
                 self.memory[digests[index]] = result
                 if self.cache is not None:
                     self.cache.put(specs[index], result)
+                resolve(index, "simulated", wall_ms)
 
-        for index, spec in enumerate(specs):
+            self._execute([specs[index] for index in pending], on_outcome)
+
+        for record in records:
+            assert record is not None
             counter = (
                 "simulations"
-                if sources[index] == "simulated"
-                else f"{sources[index]}_hits"
+                if record.source == "simulated"
+                else f"{record.source}_hits"
             )
             for target in (group, lifetime):
                 target.add("jobs")
                 target.add(counter)
-            group.record("job_wall_ms", walls[index], bucket_width=100.0)
+            group.record("job_wall_ms", record.wall_ms, bucket_width=100.0)
         wall_clock_s = time.perf_counter() - started
         self.manifest = RunManifest(
             label=label,
             workers=self.workers,
-            records=[
-                JobRecord(
-                    digest=digests[index],
-                    benchmark=spec.benchmark,
-                    level=scheme_name_of(spec.level),
-                    channels=spec.machine.channels,
-                    cores=spec.cores,
-                    num_requests=spec.num_requests,
-                    seed=spec.seed,
-                    source=sources[index],
-                    wall_ms=walls[index],
-                )
-                for index, spec in enumerate(specs)
-            ],
+            records=records,  # type: ignore[arg-type]
             wall_clock_s=wall_clock_s,
             stats=sweep_stats.as_dict(),
         )
         return results  # type: ignore[return-value]
 
-    def _execute(self, specs: list[JobSpec]) -> list[tuple[RunResult, float]]:
-        """Simulate ``specs`` (parallel when possible); ordered outcomes."""
+    def _execute(self, specs: list[JobSpec], on_outcome) -> None:
+        """Simulate ``specs`` (parallel when possible), streaming outcomes.
+
+        ``on_outcome(position, (result, wall_ms))`` is called once per spec
+        in list order, as each outcome becomes available.
+        """
         context = _fork_context()
         workers = min(self.workers, len(specs))
         if workers <= 1 or context is None:
-            return [_execute_job(spec) for spec in specs]
+            for position, spec in enumerate(specs):
+                on_outcome(position, _execute_job(spec))
+            return
         with context.Pool(processes=workers) as pool:
-            return pool.map(_execute_job, specs, chunksize=1)
+            # imap (not map) so outcomes stream back in order as they land.
+            for position, outcome in enumerate(
+                pool.imap(_execute_job, specs, chunksize=1)
+            ):
+                on_outcome(position, outcome)
+
+
+@dataclass(frozen=True)
+class ControlledOutcome:
+    """What one controlled (interruptible) job execution produced.
+
+    ``status`` is ``"ok"`` (``result`` is set), ``"timeout"``,
+    ``"cancelled"`` or ``"error"`` (``error`` holds the reason).
+    ``sim_events`` counts kernel events executed by the simulation — the
+    PR-3 profiling hook, surfaced per job so a service can report live
+    events/sec without a profiler attached.
+    """
+
+    status: str
+    result: RunResult | None
+    wall_ms: float
+    sim_events: int = 0
+    error: str | None = None
+
+
+def _count_events(spec: JobSpec) -> tuple[RunResult, int]:
+    """Run one spec with the engine's instrument hook counting events."""
+    from repro.sim.engine import Engine
+    from repro.sim.profiling import EventAccountant
+
+    accountant = EventAccountant()
+    previous = Engine.default_instrument
+    Engine.default_instrument = accountant
+    try:
+        result = spec.execute()
+    finally:
+        Engine.default_instrument = previous
+    return result, accountant.events
+
+
+def _controlled_child(connection, spec: JobSpec) -> None:
+    """Child-process entry point for :func:`run_spec_controlled`."""
+    try:
+        result, events = _count_events(spec)
+        connection.send(("ok", result_to_jsonable(result), events))
+    except BaseException as exc:  # report, never hang the parent
+        try:
+            connection.send(("error", f"{type(exc).__name__}: {exc}", 0))
+        except OSError:  # pragma: no cover - parent already gone
+            pass
+    finally:
+        connection.close()
+
+
+def run_spec_controlled(
+    spec: JobSpec,
+    timeout_s: float | None = None,
+    cancel: threading.Event | None = None,
+    poll_s: float = 0.02,
+) -> ControlledOutcome:
+    """Simulate one spec in a child process with timeout and cancellation.
+
+    The simulation runs in a forked child; the parent polls a result pipe,
+    the optional ``cancel`` event and the deadline, and terminates the
+    child on either — so a stuck or abandoned job releases its CPU instead
+    of running to completion.  The result travels back in the cache's JSON
+    form, making a controlled run bit-identical to a cached one.  On
+    platforms without ``fork`` the job runs inline (no mid-run
+    interruption; a pre-set ``cancel`` is still honoured).
+    """
+    started = time.perf_counter()
+    if cancel is not None and cancel.is_set():
+        return ControlledOutcome("cancelled", None, 0.0, error="cancelled before start")
+    context = _fork_context()
+    if context is None:  # pragma: no cover - platform-dependent fallback
+        try:
+            result, events = _count_events(spec)
+        except Exception as exc:
+            wall_ms = (time.perf_counter() - started) * 1000.0
+            return ControlledOutcome(
+                "error", None, wall_ms, error=f"{type(exc).__name__}: {exc}"
+            )
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        return ControlledOutcome("ok", result, wall_ms, sim_events=events)
+
+    parent_conn, child_conn = context.Pipe(duplex=False)
+    process = context.Process(
+        target=_controlled_child, args=(child_conn, spec), daemon=True
+    )
+    process.start()
+    child_conn.close()
+    deadline = None if timeout_s is None else started + float(timeout_s)
+    payload = None
+    status = "error"
+    try:
+        while True:
+            if parent_conn.poll(poll_s):
+                try:
+                    payload = parent_conn.recv()
+                except EOFError:
+                    payload = ("error", "worker exited without reporting a result", 0)
+                break
+            if cancel is not None and cancel.is_set():
+                status = "cancelled"
+                break
+            if deadline is not None and time.perf_counter() >= deadline:
+                status = "timeout"
+                break
+            if not process.is_alive() and not parent_conn.poll(0):
+                payload = ("error", "worker died before reporting a result", 0)
+                break
+    finally:
+        if payload is None:
+            process.terminate()
+        process.join(timeout=5.0)
+        if process.is_alive():  # pragma: no cover - terminate() was ignored
+            process.kill()
+            process.join(timeout=5.0)
+        parent_conn.close()
+    wall_ms = (time.perf_counter() - started) * 1000.0
+    if payload is None:
+        reason = "cancelled by request" if status == "cancelled" else (
+            f"timed out after {timeout_s:.3f} s"
+        )
+        return ControlledOutcome(status, None, wall_ms, error=reason)
+    kind, body, events = payload
+    if kind == "ok":
+        return ControlledOutcome(
+            "ok", result_from_jsonable(body), wall_ms, sim_events=int(events)
+        )
+    return ControlledOutcome("error", None, wall_ms, error=str(body))

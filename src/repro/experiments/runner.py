@@ -49,6 +49,7 @@ from repro.system.simulator import RunResult
 WORKERS_ENV = "REPRO_WORKERS"
 NO_CACHE_ENV = "REPRO_NO_CACHE"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+CACHE_BYTES_ENV = "REPRO_CACHE_BYTES"
 PROFILE_ENV = "REPRO_PROFILE"
 
 _cache: dict[str, RunResult] = {}
@@ -62,6 +63,9 @@ class RunnerConfig:
     workers: int = 1
     cache_enabled: bool = True
     cache_dir: Path = DEFAULT_CACHE_DIR
+    #: Byte budget for the persistent cache (LRU eviction on write); None
+    #: leaves the store unbounded, which is fine for one-shot CLI runs.
+    cache_bytes: int | None = None
     profile: bool = False
 
 
@@ -71,10 +75,15 @@ def _config_from_env() -> RunnerConfig:
         workers = int(os.environ.get(WORKERS_ENV, "1"))
     except ValueError:
         workers = 1
+    try:
+        cache_bytes = int(os.environ[CACHE_BYTES_ENV])
+    except (KeyError, ValueError):
+        cache_bytes = None
     return RunnerConfig(
         workers=max(1, workers),
         cache_enabled=not os.environ.get(NO_CACHE_ENV),
         cache_dir=Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)),
+        cache_bytes=cache_bytes,
         profile=bool(os.environ.get(PROFILE_ENV)),
     )
 
@@ -86,15 +95,22 @@ def configure(
     workers: int | None = None,
     cache_enabled: bool | None = None,
     cache_dir: str | Path | None = None,
+    cache_bytes: int | None = None,
     profile: bool | None = None,
 ) -> RunnerConfig:
-    """Update the process-wide runner config; None leaves a field unchanged."""
+    """Update the process-wide runner config; None leaves a field unchanged.
+
+    ``cache_bytes`` accepts a negative value to mean "back to unbounded"
+    (None is the leave-unchanged sentinel shared by every parameter).
+    """
     if workers is not None:
         _config.workers = max(1, int(workers))
     if cache_enabled is not None:
         _config.cache_enabled = bool(cache_enabled)
     if cache_dir is not None:
         _config.cache_dir = Path(cache_dir)
+    if cache_bytes is not None:
+        _config.cache_bytes = None if cache_bytes < 0 else int(cache_bytes)
     if profile is not None:
         _config.profile = bool(profile)
     return _config
@@ -116,7 +132,7 @@ def _disk_cache() -> ResultCache | None:
     """The persistent cache per current config, or None when disabled."""
     if not _config.cache_enabled:
         return None
-    return ResultCache(_config.cache_dir)
+    return ResultCache(_config.cache_dir, max_bytes=_config.cache_bytes)
 
 
 def clear_cache() -> None:
@@ -184,13 +200,15 @@ def run_spec(spec: JobSpec) -> RunResult:
     return result
 
 
-def prefetch(specs: list[JobSpec], label: str = "sweep") -> RunManifest:
+def prefetch(specs: list[JobSpec], label: str = "sweep", progress=None) -> RunManifest:
     """Resolve a whole sweep up front, fanning cold jobs over workers.
 
     Populates both cache layers, so subsequent :func:`cached_run` calls for
     the same specs are pure in-memory hits.  Returns the sweep's manifest;
     with the disk cache enabled it is also written to
-    ``<cache-dir>/manifests/<label>.json``.
+    ``<cache-dir>/manifests/<label>.json``.  ``progress`` (a callable
+    taking one :class:`~repro.experiments.executor.JobRecord`) streams
+    per-job resolution as the sweep advances.
 
     With profiling enabled (``--profile`` / ``REPRO_PROFILE``), the sweep
     runs serially in-process under cProfile + event accounting, and the
@@ -205,7 +223,7 @@ def prefetch(specs: list[JobSpec], label: str = "sweep") -> RunManifest:
         memory=_cache,
         stats=_stats,
     )
-    parallel.run(list(specs), label=label)
+    parallel.run(list(specs), label=label, progress=progress)
     manifest = parallel.manifest
     assert manifest is not None
     if _config.cache_enabled:
@@ -264,6 +282,13 @@ def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         help=f"persistent result cache directory (default {DEFAULT_CACHE_DIR}/)",
     )
     parser.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=None,
+        help="byte budget for the persistent cache; least-recently-used "
+        "entries are evicted on write (default: unbounded)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="profile cold simulations (cProfile + event counts); forces "
@@ -278,6 +303,7 @@ def configure_from_args(args: argparse.Namespace) -> RunnerConfig:
         workers=getattr(args, "workers", None),
         cache_enabled=False if getattr(args, "no_cache", False) else None,
         cache_dir=getattr(args, "cache_dir", None),
+        cache_bytes=getattr(args, "cache_bytes", None),
         profile=True if getattr(args, "profile", False) else None,
     )
 

@@ -81,6 +81,22 @@ class ProtectionScheme:
         """The stage stack as a ``top -> bottom`` arrow chain."""
         return " -> ".join(stage.name for stage in self.stages)
 
+    def to_jsonable(self) -> dict:
+        """The scheme's wire-format description (what ``GET /schemes`` serves).
+
+        Declarative metadata only — name, stage stack, wire traits, stat
+        groups — so a remote client can enumerate valid ``level`` values
+        and reason about what each one leaks without importing the stage
+        classes.
+        """
+        return {
+            "name": self.name,
+            "description": self.description,
+            "stages": [stage.name for stage in self.stages],
+            "traits": sorted(self.traits),
+            "stat_groups": list(self.stat_groups),
+        }
+
     def stat_sum(self, stats: dict[str, float], key: str) -> float:
         """Sum the ``<group>.<key>`` counters bound by this scheme's stages.
 

@@ -1,0 +1,350 @@
+"""A stdlib-only asyncio HTTP/1.1 front end for the simulation service.
+
+No framework: connections are ``asyncio.start_server`` streams, requests
+are parsed with a small strict reader (request line, headers,
+``Content-Length`` body, 1 MiB cap), and every response closes the
+connection — the protocol surface a retrying client actually needs, and
+nothing more.
+
+Routes::
+
+    GET    /healthz           liveness + drain state
+    GET    /metrics           live service metrics (see SimulationService.metrics)
+    GET    /schemes           the protection-scheme registry, wire-format
+    GET    /jobs              every known job (summaries, no result payloads)
+    POST   /jobs              submit a JobSpec-shaped JSON body -> 202 + job
+                              (429 + Retry-After when saturated, 503 draining)
+    GET    /jobs/<id>         one job, result included when done
+                              (?wait_s=N long-polls for completion)
+    GET    /jobs/<id>/events  progress stream: one JSON line per transition
+    DELETE /jobs/<id>         cancel a queued or running job
+
+Error bodies are JSON: ``{"error": "..."}`` with the matching status code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ConfigurationError
+from repro.schemes import available_schemes
+from repro.serve.service import (
+    ServiceDraining,
+    ServiceSaturated,
+    SimulationService,
+    decode_submission,
+)
+
+#: Largest request body the server will read.
+MAX_BODY_BYTES = 1 << 20
+
+#: HTTP reason phrases for the statuses this API emits.
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, list[str]]
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self):
+        """The body decoded as JSON (raises ``ConfigurationError`` politely)."""
+        if not self.body:
+            raise ConfigurationError("request body must be a JSON object")
+        try:
+            return json.loads(self.body)
+        except ValueError:
+            raise ConfigurationError("request body is not valid JSON") from None
+
+    def query_float(self, name: str) -> float | None:
+        """A float query parameter, or None when absent/malformed."""
+        values = self.query.get(name)
+        if not values:
+            return None
+        try:
+            return float(values[0])
+        except ValueError:
+            return None
+
+
+@dataclass
+class Response:
+    """One JSON response: status, payload, extra headers."""
+
+    status: int
+    payload: dict | list
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        """The full HTTP/1.1 wire form of this response."""
+        body = (json.dumps(self.payload, indent=1) + "\n").encode("utf-8")
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        lines += [f"{name}: {value}" for name, value in self.headers.items()]
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+class BadRequest(Exception):
+    """A request the parser refuses to interpret."""
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off the stream; None on a cleanly closed socket."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest("malformed request line")
+    method, target = parts[0].upper(), parts[1]
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, separator, value = line.decode("latin-1").partition(":")
+        if not separator:
+            raise BadRequest("malformed header line")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise BadRequest("malformed Content-Length") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise BadRequest(f"body larger than {MAX_BODY_BYTES} bytes")
+    body = await reader.readexactly(length) if length else b""
+    split = urlsplit(target)
+    return Request(
+        method=method,
+        path=split.path.rstrip("/") or "/",
+        query=parse_qs(split.query),
+        headers=headers,
+        body=body,
+    )
+
+
+class HttpApi:
+    """Routes HTTP requests onto a :class:`SimulationService`."""
+
+    def __init__(self, service: SimulationService):
+        self.service = service
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one connection: one request, one response, close."""
+        try:
+            try:
+                request = await _read_request(reader)
+            except (BadRequest, asyncio.IncompleteReadError) as error:
+                await self._write(writer, Response(400, {"error": str(error)}))
+                return
+            if request is None:
+                return
+            if request.method == "GET" and self._is_events_path(request.path):
+                await self._stream_events(request, writer)
+                return
+            try:
+                response = await self.dispatch(request)
+            except ConfigurationError as error:
+                response = Response(400, {"error": str(error)})
+            except ServiceSaturated as error:
+                response = Response(
+                    429,
+                    {"error": str(error), "retry_after_s": error.retry_after_s},
+                    headers={"Retry-After": f"{error.retry_after_s:g}"},
+                )
+            except ServiceDraining as error:
+                response = Response(503, {"error": str(error)})
+            except Exception as error:  # pragma: no cover - defensive
+                response = Response(500, {"error": f"internal error: {error!r}"})
+            await self._write(writer, response)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _write(self, writer: asyncio.StreamWriter, response: Response) -> None:
+        try:
+            writer.write(response.encode())
+            await writer.drain()
+        except (ConnectionError, OSError):  # pragma: no cover - client gone
+            pass
+
+    # -- routing -------------------------------------------------------------
+
+    @staticmethod
+    def _is_events_path(path: str) -> bool:
+        parts = path.strip("/").split("/")
+        return len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events"
+
+    async def dispatch(self, request: Request) -> Response:
+        """Route one parsed request; exceptions map to error responses."""
+        parts = [part for part in request.path.strip("/").split("/") if part]
+        if request.path == "/healthz":
+            return self._healthz(request)
+        if request.path == "/metrics":
+            return self._metrics(request)
+        if request.path == "/schemes":
+            return self._schemes(request)
+        if parts[:1] == ["jobs"]:
+            if len(parts) == 1:
+                if request.method == "POST":
+                    return self._submit(request)
+                if request.method == "GET":
+                    return self._list_jobs(request)
+                return Response(405, {"error": "use GET or POST on /jobs"})
+            if len(parts) == 2:
+                if request.method == "GET":
+                    return await self._get_job(request, parts[1])
+                if request.method == "DELETE":
+                    return await self._cancel_job(request, parts[1])
+                return Response(405, {"error": "use GET or DELETE on /jobs/<id>"})
+        return Response(404, {"error": f"no route for {request.path}"})
+
+    def _require_get(self, request: Request) -> Response | None:
+        if request.method != "GET":
+            return Response(405, {"error": f"{request.path} only supports GET"})
+        return None
+
+    def _healthz(self, request: Request) -> Response:
+        """Liveness: 200 while serving, 503 once draining."""
+        refusal = self._require_get(request)
+        if refusal is not None:
+            return refusal
+        if self.service.draining:
+            return Response(503, {"status": "draining"})
+        return Response(200, {"status": "ok"})
+
+    def _metrics(self, request: Request) -> Response:
+        refusal = self._require_get(request)
+        if refusal is not None:
+            return refusal
+        return Response(200, self.service.metrics())
+
+    def _schemes(self, request: Request) -> Response:
+        refusal = self._require_get(request)
+        if refusal is not None:
+            return refusal
+        return Response(
+            200, {"schemes": [scheme.to_jsonable() for scheme in available_schemes()]}
+        )
+
+    def _submit(self, request: Request) -> Response:
+        spec, timeout_s = decode_submission(request.json())
+        job = self.service.submit(spec, timeout_s=timeout_s)
+        return Response(202, job.to_jsonable(include_result=False))
+
+    def _list_jobs(self, request: Request) -> Response:
+        jobs = [
+            job.to_jsonable(include_result=False) for job in self.service.board.jobs()
+        ]
+        return Response(200, {"jobs": jobs})
+
+    async def _get_job(self, request: Request, job_id: str) -> Response:
+        job = self.service.board.get(job_id)
+        if job is None:
+            return Response(404, {"error": f"unknown job {job_id!r}"})
+        wait_s = request.query_float("wait_s")
+        if wait_s is not None and not job.state.terminal:
+            await self.service.board.wait(job, timeout_s=min(wait_s, 300.0))
+        return Response(200, job.to_jsonable())
+
+    async def _cancel_job(self, request: Request, job_id: str) -> Response:
+        job = self.service.board.get(job_id)
+        if job is None:
+            return Response(404, {"error": f"unknown job {job_id!r}"})
+        cancelled = await self.service.cancel(job)
+        if not cancelled:
+            return Response(
+                409,
+                {
+                    "error": f"job already {job.state.value}",
+                    "job": job.to_jsonable(include_result=False),
+                },
+            )
+        return Response(202, job.to_jsonable(include_result=False))
+
+    # -- progress streaming ----------------------------------------------------
+
+    async def _stream_events(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> None:
+        """``GET /jobs/<id>/events``: newline-delimited JSON state stream.
+
+        Emits every recorded transition immediately, then one line per new
+        transition until the job is terminal.  The body is close-delimited
+        (``Connection: close``), so any HTTP/1.1 client can consume it
+        line by line.
+        """
+        job_id = request.path.strip("/").split("/")[1]
+        job = self.service.board.get(job_id)
+        if job is None:
+            await self._write(writer, Response(404, {"error": f"unknown job {job_id!r}"}))
+            return
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        try:
+            writer.write(head.encode("ascii"))
+            emitted = 0
+            while True:
+                transitions = list(job.transitions)
+                for when, state in transitions[emitted:]:
+                    line = {"id": job.id, "t": when, "state": state}
+                    if state == job.state.value and job.state.terminal:
+                        line["source"] = job.source
+                        line["error"] = job.error
+                    writer.write((json.dumps(line) + "\n").encode("utf-8"))
+                emitted = len(transitions)
+                await writer.drain()
+                if job.state.terminal:
+                    return
+                await self.service.board.wait(
+                    job, timeout_s=30.0, seen_transitions=emitted
+                )
+        except (ConnectionError, OSError):  # pragma: no cover - client gone
+            pass
+
+
+async def start_http_server(
+    service: SimulationService, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.base_events.Server:
+    """Start serving ``service`` over HTTP; returns the asyncio server.
+
+    ``port=0`` binds an ephemeral port; read the real one off
+    ``server.sockets[0].getsockname()[1]``.
+    """
+    api = HttpApi(service)
+    return await asyncio.start_server(api.handle_connection, host=host, port=port)

@@ -1,0 +1,381 @@
+"""The simulation service: bounded queue, worker pool, metrics, drain.
+
+:class:`SimulationService` is the serving core the HTTP layer fronts.  It
+owns one :class:`~repro.experiments.executor.ParallelRunner` (shared
+in-memory result dict + persistent
+:class:`~repro.experiments.executor.ResultCache`), a bounded
+``asyncio.Queue`` of accepted jobs, and ``workers`` async worker tasks.
+
+Admission control is strict: :meth:`submit` either accepts a job — which
+is then *never* dropped; it always reaches a terminal state — or raises
+:class:`ServiceSaturated` (translated to HTTP 429 + ``Retry-After``) /
+:class:`ServiceDraining` (503) without side effects.
+
+Each worker resolves its job through the runner's cache layers first; a
+miss runs in a forked child via
+:func:`~repro.experiments.executor.run_spec_controlled`, so per-job
+timeouts and mid-run cancellation terminate the simulation process instead
+of abandoning it.  Duplicate in-flight submissions coalesce: the follower
+waits for the leader's result and serves it from cache, so a thundering
+herd of identical specs costs one simulation.
+
+:meth:`drain` implements graceful shutdown (what SIGTERM triggers): stop
+admitting, let queued and running jobs finish — or, past the grace
+deadline, cancel them — and stop the workers.  Nothing accepted is ever
+silently lost; every job ends DONE, FAILED, TIMEOUT or CANCELLED.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.experiments.executor import (
+    DEFAULT_CACHE_DIR,
+    JobSpec,
+    ParallelRunner,
+    ResultCache,
+    run_spec_controlled,
+)
+from repro.sim.statistics import StatRegistry
+from repro.errors import ConfigurationError
+from repro.serve.jobs import Job, JobBoard, JobState
+
+
+class ServeError(Exception):
+    """Base class for serving-layer failures."""
+
+
+class ServiceSaturated(ServeError):
+    """The job queue is full; retry after ``retry_after_s`` seconds."""
+
+    def __init__(self, retry_after_s: float):
+        super().__init__(
+            f"job queue is full; retry after {retry_after_s:.1f} s"
+        )
+        self.retry_after_s = retry_after_s
+
+
+class ServiceDraining(ServeError):
+    """The service is shutting down and no longer admits jobs."""
+
+    def __init__(self):
+        super().__init__("service is draining; submit to another instance")
+
+
+@dataclass
+class ServiceConfig:
+    """Everything a service instance needs to know at start-up."""
+
+    workers: int = 2
+    queue_depth: int = 16
+    cache_dir: Path | None = DEFAULT_CACHE_DIR
+    #: LRU byte budget for the persistent cache (None: unbounded).
+    cache_bytes: int | None = None
+    #: Default per-job timeout when a submission does not carry one.
+    default_timeout_s: float | None = 300.0
+    #: What a 429 tells clients to wait (scaled by queue fullness).
+    retry_after_s: float = 1.0
+    #: How long :meth:`SimulationService.drain` waits before cancelling
+    #: the jobs that are still queued or running.
+    drain_grace_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        self.workers = max(1, int(self.workers))
+        self.queue_depth = max(1, int(self.queue_depth))
+        if self.cache_dir is not None:
+            self.cache_dir = Path(self.cache_dir)
+
+
+class SimulationService:
+    """Accepts JobSpecs, executes them through the cache layers, keeps score.
+
+    Construct, then ``await start()`` on the serving event loop; every
+    other method must be called on that same loop (the HTTP layer does).
+    """
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        cache = None
+        if self.config.cache_dir is not None:
+            cache = ResultCache(
+                self.config.cache_dir, max_bytes=self.config.cache_bytes
+            )
+        self.runner = ParallelRunner(workers=1, cache=cache)
+        self.board: JobBoard | None = None
+        self.stats = StatRegistry()
+        self.started_at: float | None = None
+        self.draining = False
+        self._queue: asyncio.Queue[Job] | None = None
+        self._workers: list[asyncio.Task] = []
+        self._executor: ThreadPoolExecutor | None = None
+        self._inflight: dict[str, Job] = {}
+        self._sim_events_total = 0
+        self._sim_wall_ms_total = 0.0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Create the queue and spawn the worker pool (idempotent)."""
+        if self._queue is not None:
+            return
+        self.board = JobBoard()
+        self._queue = asyncio.Queue(maxsize=self.config.queue_depth)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="repro-serve"
+        )
+        self._workers = [
+            asyncio.create_task(self._worker_loop(), name=f"serve-worker-{i}")
+            for i in range(self.config.workers)
+        ]
+        self.started_at = time.monotonic()
+
+    async def drain(self, grace_s: float | None = None) -> None:
+        """Graceful shutdown: stop admitting, finish (or cancel) every job.
+
+        Waits up to ``grace_s`` (default: the config's ``drain_grace_s``)
+        for the queue and in-flight jobs to finish.  Whatever is still
+        alive past the deadline is cancelled — and therefore recorded as
+        CANCELLED, not lost.  Finally the worker tasks are stopped.
+        """
+        if self._queue is None:
+            return
+        self.draining = True
+        grace = self.config.drain_grace_s if grace_s is None else grace_s
+        try:
+            await asyncio.wait_for(self._queue.join(), timeout=grace)
+        except asyncio.TimeoutError:
+            for job in self.board.jobs():
+                if not job.state.terminal:
+                    await self.cancel(job)
+            try:
+                await asyncio.wait_for(self._queue.join(), timeout=10.0)
+            except asyncio.TimeoutError:  # pragma: no cover - defensive
+                pass
+        for task in self._workers:
+            task.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        self._queue = None
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, spec: JobSpec, timeout_s: float | None = None) -> Job:
+        """Admit one spec as a new job, or refuse without side effects.
+
+        Raises :class:`ServiceDraining` during shutdown and
+        :class:`ServiceSaturated` when the queue is full (backpressure —
+        the caller should retry after ``retry_after_s``).
+        """
+        if self._queue is None or self.board is None:
+            raise ServeError("service is not started")
+        if self.draining:
+            raise ServiceDraining()
+        serve = self.stats.group("serve")
+        if self._queue.full():
+            serve.add("rejected_saturated")
+            raise ServiceSaturated(self._retry_after())
+        if timeout_s is None:
+            timeout_s = self.config.default_timeout_s
+        job = self.board.create(spec, timeout_s=timeout_s)
+        # full() was checked above and admission runs on the event loop, so
+        # put_nowait cannot raise; guard anyway to keep the invariant that
+        # a raised submit() has no side effects.
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:  # pragma: no cover - single-threaded loop
+            serve.add("rejected_saturated")
+            raise ServiceSaturated(self._retry_after()) from None
+        serve.add("submitted")
+        return job
+
+    def _retry_after(self) -> float:
+        """Backpressure hint: one base interval per queued-plus-running job."""
+        waiting = self._queue.qsize() if self._queue is not None else 0
+        return round(
+            self.config.retry_after_s * max(1, waiting + len(self._inflight)), 3
+        )
+
+    async def cancel(self, job: Job) -> bool:
+        """Cancel a queued or running job; False when it already finished.
+
+        Queued jobs flip straight to CANCELLED (the worker skips them on
+        dequeue).  Running jobs get their cancel event set, which makes the
+        executor thread terminate the simulation child; the worker then
+        records the CANCELLED outcome.
+        """
+        if job.state.terminal:
+            return False
+        job.cancel.set()
+        if job.state is JobState.QUEUED:
+            await self.board.advance(
+                job, JobState.CANCELLED, error="cancelled while queued"
+            )
+            self.stats.group("serve").add("cancelled")
+        return True
+
+    # -- execution -----------------------------------------------------------
+
+    async def _worker_loop(self) -> None:
+        """One worker: take jobs off the queue until cancelled at drain."""
+        assert self._queue is not None
+        while True:
+            job = await self._queue.get()
+            try:
+                await self._run_job(job)
+            except Exception as error:  # pragma: no cover - defensive
+                await self.board.advance(
+                    job,
+                    JobState.FAILED,
+                    error=f"internal worker error: {error!r}",
+                )
+                self.stats.group("serve").add("failed")
+            finally:
+                self._queue.task_done()
+
+    async def _run_job(self, job: Job) -> None:
+        """Resolve one job: skip if cancelled, coalesce, else cache/simulate."""
+        serve = self.stats.group("serve")
+        if job.state.terminal:
+            return  # cancelled while queued
+        if job.cancel.is_set():
+            await self.board.advance(
+                job, JobState.CANCELLED, error="cancelled while queued"
+            )
+            serve.add("cancelled")
+            return
+        await self.board.advance(job, JobState.RUNNING)
+
+        leader = self._inflight.get(job.digest)
+        if leader is not None:
+            # Same digest already simulating: wait for it, then read the
+            # cache instead of burning a second worker on the same spec.
+            await self.board.wait(leader)
+            result, source = self.runner.lookup(job.spec)
+            if result is not None:
+                await self.board.advance(
+                    job, JobState.DONE, source="coalesced", result=result
+                )
+                serve.add("completed")
+                serve.add("hits_coalesced")
+                return
+            # Leader failed or was cancelled; fall through and run it here.
+
+        started = time.perf_counter()
+        result, source = self.runner.lookup(job.spec)
+        if result is not None:
+            wall_ms = (time.perf_counter() - started) * 1000.0
+            await self.board.advance(
+                job, JobState.DONE, source=source, result=result, wall_ms=wall_ms
+            )
+            serve.add("completed")
+            serve.add(f"hits_{source}")
+            return
+
+        self._inflight[job.digest] = job
+        try:
+            loop = asyncio.get_running_loop()
+            outcome = await loop.run_in_executor(
+                self._executor,
+                run_spec_controlled,
+                job.spec,
+                job.timeout_s,
+                job.cancel,
+            )
+        finally:
+            self._inflight.pop(job.digest, None)
+
+        if outcome.status == "ok":
+            self.runner.store(job.spec, outcome.result)
+            self._sim_events_total += outcome.sim_events
+            self._sim_wall_ms_total += outcome.wall_ms
+            await self.board.advance(
+                job,
+                JobState.DONE,
+                source="simulated",
+                result=outcome.result,
+                wall_ms=outcome.wall_ms,
+                sim_events=outcome.sim_events,
+            )
+            serve.add("completed")
+            serve.add("simulations")
+        elif outcome.status == "timeout":
+            await self.board.advance(
+                job, JobState.TIMEOUT, error=outcome.error, wall_ms=outcome.wall_ms
+            )
+            serve.add("timeouts")
+        elif outcome.status == "cancelled":
+            await self.board.advance(
+                job, JobState.CANCELLED, error=outcome.error, wall_ms=outcome.wall_ms
+            )
+            serve.add("cancelled")
+        else:
+            await self.board.advance(
+                job, JobState.FAILED, error=outcome.error, wall_ms=outcome.wall_ms
+            )
+            serve.add("failed")
+
+    # -- observability -------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """Live service metrics (what ``GET /metrics`` serves).
+
+        Combines job counters, queue gauges, cache effectiveness and the
+        simulation kernel's events/sec (from the per-job event accounting
+        the profiling layer provides).
+        """
+        counters = self.stats.as_dict()
+        completed = counters.get("serve.completed", 0.0)
+        simulations = counters.get("serve.simulations", 0.0)
+        hits = completed - simulations
+        uptime = (
+            0.0 if self.started_at is None else time.monotonic() - self.started_at
+        )
+        sim_wall_s = self._sim_wall_ms_total / 1000.0
+        return {
+            "state": "draining" if self.draining else "running",
+            "uptime_s": round(uptime, 3),
+            "workers": self.config.workers,
+            "queue_depth": self._queue.qsize() if self._queue is not None else 0,
+            "queue_capacity": self.config.queue_depth,
+            "jobs_in_flight": len(self._inflight),
+            "jobs_known": 0 if self.board is None else len(self.board),
+            "counters": {key: value for key, value in sorted(counters.items())},
+            "cache_hits": hits,
+            "cache_hit_ratio": round(hits / completed, 4) if completed else 0.0,
+            "sim_events_total": self._sim_events_total,
+            "sim_wall_s_total": round(sim_wall_s, 3),
+            "sim_events_per_sec": (
+                round(self._sim_events_total / sim_wall_s, 1) if sim_wall_s else 0.0
+            ),
+        }
+
+
+def decode_submission(payload: dict) -> tuple[JobSpec, float | None]:
+    """Decode a ``POST /jobs`` body into ``(spec, timeout_s)``.
+
+    The body is JobSpec-shaped (``benchmark``, ``level``, optional
+    ``machine``/``num_requests``/``seed``/``cores``) with one service-level
+    extra: ``timeout_s``.  Raises
+    :class:`~repro.errors.ConfigurationError` on anything malformed.
+    """
+    from repro.experiments.executor import spec_from_jsonable
+
+    if not isinstance(payload, dict):
+        raise ConfigurationError("job submission must be a JSON object")
+    payload = dict(payload)
+    timeout_s = payload.pop("timeout_s", None)
+    if timeout_s is not None:
+        try:
+            timeout_s = float(timeout_s)
+        except (TypeError, ValueError):
+            raise ConfigurationError("timeout_s must be a number") from None
+        if timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be positive")
+    return spec_from_jsonable(payload), timeout_s

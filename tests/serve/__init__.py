@@ -1,0 +1,1 @@
+"""Tests for the repro.serve subsystem (service, HTTP API, client)."""

@@ -1,0 +1,23 @@
+"""Shared serve-test fixtures: ready-made server threads."""
+
+import pytest
+
+from repro.serve import ServerThread, ServiceConfig
+
+
+@pytest.fixture
+def cached_server(tmp_path):
+    """A running server with 2 workers and a tmp persistent cache."""
+    config = ServiceConfig(workers=2, queue_depth=8, cache_dir=tmp_path / "cache")
+    with ServerThread(config) as server:
+        yield server
+
+
+@pytest.fixture
+def tiny_server():
+    """A 1-worker, depth-2, cache-less server: saturates with 3 slow jobs."""
+    config = ServiceConfig(
+        workers=1, queue_depth=2, cache_dir=None, retry_after_s=0.25
+    )
+    with ServerThread(config, drain_grace_s=120.0) as server:
+        yield server

@@ -1,0 +1,30 @@
+"""Shared serve-test helpers: canonical fast and slow job specs."""
+
+from repro.experiments.executor import JobSpec
+from repro.system.config import ProtectionLevel
+
+#: Fast spec: resolves in a few ms, so lifecycle tests stay snappy.
+FAST_SPEC = dict(benchmark="astar", level="unprotected", num_requests=300, seed=7)
+
+#: Slow cold spec (~250 ms simulated): long enough to observe QUEUED /
+#: RUNNING states, cancel mid-run, and saturate a depth-limited queue.
+SLOW_SPEC = dict(benchmark="mcf", level="obfusmem_auth", num_requests=4000, seed=11)
+
+
+def fast_jobspec(**overrides) -> JobSpec:
+    """The FAST_SPEC as a JobSpec object (for direct-execution comparisons)."""
+    params = dict(FAST_SPEC)
+    params.update(overrides)
+    params["level"] = (
+        ProtectionLevel(params["level"])
+        if isinstance(params["level"], str)
+        else params["level"]
+    )
+    return JobSpec(**params)
+
+
+def slow_spec(seed: int) -> dict:
+    """A distinct-seeded copy of SLOW_SPEC (distinct digests never coalesce)."""
+    spec = dict(SLOW_SPEC)
+    spec["seed"] = seed
+    return spec

@@ -1,0 +1,215 @@
+"""End-to-end loopback tests: real sockets, real admission control.
+
+The flagship assertions from the acceptance criteria live here: a result
+obtained through the service is bit-identical (up to exact JSON float
+round-tripping) to the same JobSpec executed directly; a saturated server
+answers 429 with Retry-After and never drops an accepted job; SIGTERM-style
+drain leaves every job terminal.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.experiments.executor import result_to_jsonable
+from repro.serve import LoadGenerator, ServerBusy, ServerThread, ServiceConfig
+from repro.serve.jobs import JobState
+
+from tests.serve.helpers import FAST_SPEC, fast_jobspec, slow_spec
+
+
+class TestPlumbing:
+    def test_healthz_and_metrics(self, cached_server):
+        client = cached_server.client()
+        assert client.healthz() == {"status": "ok"}
+        metrics = client.metrics()
+        assert metrics["state"] == "running"
+        assert metrics["queue_capacity"] == 8
+        assert metrics["workers"] == 2
+
+    def test_schemes_lists_the_registry(self, cached_server):
+        client = cached_server.client()
+        schemes = client.schemes()
+        names = {scheme["name"] for scheme in schemes}
+        assert {"unprotected", "obfusmem_auth", "oram", "hide"} <= names
+        auth = next(s for s in schemes if s["name"] == "obfusmem_auth")
+        assert "authenticated" in auth["traits"]
+        assert auth["stages"][-1] == "pcm-channels"
+
+    def test_unknown_routes_and_jobs_are_404(self, cached_server):
+        client = cached_server.client()
+        status, _headers, payload = client.request("GET", "/nope")
+        assert status == 404 and "error" in payload
+        status, _headers, payload = client.request("GET", "/jobs/j999999-deadbeef")
+        assert status == 404
+
+    def test_malformed_submissions_are_400(self, cached_server):
+        client = cached_server.client()
+        status, _headers, payload = client.request("POST", "/jobs", {"level": "oram"})
+        assert status == 400 and "benchmark" in payload["error"]
+        status, _headers, payload = client.request(
+            "POST", "/jobs", dict(FAST_SPEC, level="obfusmen_auth")
+        )
+        assert status == 400 and "obfusmem_auth" in payload["error"]  # hint
+
+    def test_method_misuse_is_405(self, cached_server):
+        client = cached_server.client()
+        status, _headers, _payload = client.request("POST", "/healthz", {})
+        assert status == 405
+        status, _headers, _payload = client.request("DELETE", "/jobs")
+        assert status == 405
+
+
+class TestEndToEnd:
+    def test_served_result_matches_direct_execution(self, cached_server):
+        client = cached_server.client()
+        served = client.run(FAST_SPEC)
+        direct = result_to_jsonable(fast_jobspec().execute())
+        assert served == direct  # bit-identical through the whole stack
+
+    def test_repeat_submission_is_a_cache_hit(self, cached_server):
+        client = cached_server.client()
+        cold = client.run(FAST_SPEC)
+        warm_job = client.submit(FAST_SPEC)
+        final = client.wait(warm_job["id"], deadline_s=60.0)
+        assert final["state"] == "done"
+        assert final["source"] in ("memory", "disk", "coalesced")
+        assert final["result"] == cold
+
+    def test_long_poll_returns_completed_job(self, cached_server):
+        client = cached_server.client()
+        job = client.submit(FAST_SPEC)
+        final = client.job(job["id"], wait_s=30.0)
+        assert final["state"] == "done"
+        assert [state for _t, state in final["transitions"]] == [
+            "queued",
+            "running",
+            "done",
+        ]
+
+    def test_progress_event_stream(self, cached_server):
+        client = cached_server.client()
+        job = client.submit(FAST_SPEC)
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", cached_server.port, timeout=60
+        )
+        try:
+            connection.request("GET", f"/jobs/{job['id']}/events")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type") == "application/x-ndjson"
+            lines = [
+                json.loads(line)
+                for line in response.read().decode().strip().splitlines()
+            ]
+        finally:
+            connection.close()
+        states = [line["state"] for line in lines]
+        assert states[0] == "queued"
+        assert states[-1] == "done"
+        assert lines[-1]["source"] in ("simulated", "memory", "disk", "coalesced")
+
+
+class TestBackpressure:
+    def test_saturated_server_answers_429_with_retry_after(self, tiny_server):
+        raw = tiny_server.client(max_retries=0)
+        accepted = []
+        refusal = None
+        # depth 2 + 1 worker: a burst of cold jobs must hit admission
+        # control.  The low-level exchange exposes the raw status and
+        # headers that the retrying client normally absorbs.
+        for seed in range(101, 109):
+            status, headers, payload = raw._once(
+                "POST", "/jobs", json.dumps(slow_spec(seed)).encode()
+            )
+            if status == 202:
+                accepted.append(payload)
+                continue
+            refusal = (status, headers, payload)
+            break
+        assert refusal is not None, "queue never saturated"
+        status, headers, payload = refusal
+        assert status == 429
+        assert float(headers["Retry-After"]) > 0
+        assert payload["retry_after_s"] > 0
+        # The service itself stays responsive while saturated.
+        assert raw.request("GET", "/metrics")[0] == 200
+        # Accepted jobs are never dropped: every one reaches a terminal state.
+        for job in accepted:
+            raw.cancel(job["id"])
+        for job in accepted:
+            final = raw.wait(job["id"], deadline_s=120.0)
+            assert final["state"] in ("done", "cancelled")
+
+    def test_retrying_clients_ride_out_saturation(self, tiny_server):
+        # Closed-loop load with more concurrency than the queue admits:
+        # the clients' 429 retries must land every single request.
+        generator = LoadGenerator(
+            host="127.0.0.1",
+            port=tiny_server.port,
+            spec=slow_spec(seed=151),
+            threads=3,
+            requests_per_thread=2,
+            deadline_s=300.0,
+        )
+        report = generator.run()
+        assert report.failed == 0
+        assert report.completed == 6
+        assert len(report.latencies_s) == 6
+        assert report.to_jsonable()["latency_p95_s"] >= report.to_jsonable()[
+            "latency_p50_s"
+        ]
+
+    def test_busy_error_when_retry_budget_exhausts(self, tiny_server):
+        raw = tiny_server.client(max_retries=0)
+        with pytest.raises(ServerBusy) as busy:
+            for seed in range(201, 209):
+                raw.submit(slow_spec(seed))
+        assert busy.value.retry_after_s > 0
+
+
+class TestCancellation:
+    def test_delete_cancels_a_running_job(self, tiny_server):
+        client = tiny_server.client()
+        job = client.submit(slow_spec(seed=161))
+        cancelled = client.cancel(job["id"])
+        assert cancelled["state"] in ("queued", "running", "cancelled")
+        final = client.wait(job["id"], deadline_s=60.0)
+        assert final["state"] == "cancelled"
+        assert "result" not in final
+
+    def test_delete_after_completion_is_409(self, cached_server):
+        client = cached_server.client()
+        client.run(FAST_SPEC)
+        jobs = client.request("GET", "/jobs")[2]["jobs"]
+        done = next(job for job in jobs if job["state"] == "done")
+        status, _headers, payload = client.request("DELETE", f"/jobs/{done['id']}")
+        assert status == 409
+        assert payload["job"]["state"] == "done"
+
+
+class TestGracefulShutdown:
+    def test_drain_finishes_inflight_and_refuses_new_work(self):
+        config = ServiceConfig(workers=2, queue_depth=8, cache_dir=None)
+        server = ServerThread(config).start()
+        client = server.client()
+        jobs = [client.submit(slow_spec(seed)) for seed in (171, 172, 173)]
+        server.stop()  # the SIGTERM path: drain, then join
+        board = server.service.board
+        states = {job["id"]: board.get(job["id"]).state for job in jobs}
+        assert all(state is JobState.DONE for state in states.values())
+        # The socket is closed: new submissions cannot reach the service.
+        with pytest.raises((ConnectionError, OSError)):
+            server.client(max_retries=0).submit(FAST_SPEC)
+
+    def test_drain_past_grace_cancels_leftovers(self):
+        config = ServiceConfig(workers=1, queue_depth=8, cache_dir=None)
+        server = ServerThread(config, drain_grace_s=0.05).start()
+        client = server.client()
+        jobs = [client.submit(slow_spec(seed)) for seed in range(181, 186)]
+        server.stop()
+        board = server.service.board
+        finals = [board.get(job["id"]).state for job in jobs]
+        assert all(state.terminal for state in finals)
+        assert JobState.CANCELLED in finals
