@@ -1,0 +1,143 @@
+"""Bench: front-end throughput — kernel accesses/sec through the hierarchy.
+
+Times :func:`repro.cpu.kernels.trace_through_hierarchy` — the front end
+that filters an application kernel's access stream through the L1/L2/L3
+model to produce a memory trace — for all four kernels on the standard
+small hierarchy.  The measured accesses/sec per kernel land in
+``benchmarks/BENCH_frontend_throughput.json``.
+
+``BENCH_frontend_throughput_baseline.json`` pins the pre-rewrite front
+end's numbers (dict-keyed caches, dataclass lines, per-access generator
+resumption — what ``reference=True`` still runs, measured at commit
+c2d8f25 and rounded down ~5 % for cross-machine headroom).  The headline
+assertion is the PR's acceptance bar: the slot-array fast path must
+sustain at least 3x the pinned baseline accesses/sec on aggregate.  The
+fast path is bit-identical to the reference (see
+``tests/cpu/test_frontend_equivalence.py``), so the 3x is earned entirely
+on wall-clock.
+
+Wall-clock on shared CI machines is noisy (+/- 5-8 % observed), so each
+kernel is measured best-of-N and the gates have headroom: post-rewrite
+the fast path measures 3.8-5.0x per kernel on an idle machine.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import run_once
+from repro.cpu import kernels
+from repro.mem.hierarchy import HierarchyConfig
+
+ROUNDS = 3  # best-of, to shave scheduler noise off the wall-clock
+AGGREGATE_SPEEDUP_FLOOR = 3.0  # acceptance: >= 3x baseline accesses/sec
+PER_KERNEL_SPEEDUP_FLOOR = 2.0  # regression floor per kernel, with headroom
+
+HIERARCHY = {"cores": 1, "l1_size": 8 << 10, "l2_size": 32 << 10, "l3_size": 256 << 10}
+
+KERNEL_CASES = {
+    "sequential_scan": lambda: kernels.sequential_scan_chunks(
+        2 << 20, passes=1, stride=8, write_fraction=0.2
+    ),
+    "random_lookup": lambda: kernels.random_lookup_chunks(4 << 20, lookups=20000),
+    "pointer_chase": lambda: kernels.pointer_chase_chunks(2 << 20, hops=100000),
+    "stencil": lambda: kernels.stencil_chunks(1 << 20, sweeps=3),
+}
+
+OUTPUT_PATH = Path(__file__).parent / "BENCH_frontend_throughput.json"
+BASELINE_PATH = Path(__file__).parent / "BENCH_frontend_throughput_baseline.json"
+BASELINE = json.loads(BASELINE_PATH.read_text())
+
+_measured: dict[str, dict] = {}
+
+
+def _filter_once(name: str) -> tuple[float, int]:
+    """One cold front-end run; returns (wall_s, trace_records)."""
+    config = HierarchyConfig(**HIERARCHY)
+    started = time.perf_counter()
+    trace, _hierarchy = kernels.trace_through_hierarchy(
+        KERNEL_CASES[name](), config, name=name
+    )
+    wall = time.perf_counter() - started
+    return wall, len(trace.records)
+
+
+def _measure(name: str) -> dict:
+    accesses = sum(len(chunk) for chunk in KERNEL_CASES[name]())
+    best_wall, records = None, None
+    for _ in range(ROUNDS):
+        wall, produced = _filter_once(name)
+        if best_wall is None or wall < best_wall:
+            best_wall, records = wall, produced
+    per_sec = accesses / best_wall
+    record = {
+        "accesses": accesses,
+        "trace_records": records,
+        "wall_s": round(best_wall, 6),
+        "accesses_per_sec": round(per_sec, 1),
+        "speedup_vs_baseline": round(
+            per_sec / BASELINE["kernels"][name]["accesses_per_sec"], 3
+        ),
+    }
+    _measured[name] = record
+    return record
+
+
+@pytest.mark.parametrize("name", sorted(KERNEL_CASES))
+def test_kernel_throughput(benchmark, name):
+    record = run_once(benchmark, _measure, name)
+    assert record["accesses"] == BASELINE["kernels"][name]["accesses"], (
+        "benchmark parameters drifted from the pinned baseline; re-pin "
+        "BENCH_frontend_throughput_baseline.json"
+    )
+    assert record["speedup_vs_baseline"] >= PER_KERNEL_SPEEDUP_FLOOR, (
+        f"front-end throughput regressed on {name}: "
+        f"{record['accesses_per_sec']:,.0f} acc/s is "
+        f"{record['speedup_vs_baseline']:.2f}x the reference path "
+        f"(floor {PER_KERNEL_SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_aggregate_meets_3x_floor():
+    missing = [name for name in KERNEL_CASES if name not in _measured]
+    for name in missing:
+        _measure(name)
+    total_accesses = sum(r["accesses"] for r in _measured.values())
+    total_wall = sum(r["wall_s"] for r in _measured.values())
+    baseline_wall = sum(
+        BASELINE["kernels"][name]["accesses"]
+        / BASELINE["kernels"][name]["accesses_per_sec"]
+        for name in KERNEL_CASES
+    )
+    speedup = (total_accesses / total_wall) / (total_accesses / baseline_wall)
+    _measured["_aggregate"] = {
+        "accesses": total_accesses,
+        "wall_s": round(total_wall, 6),
+        "accesses_per_sec": round(total_accesses / total_wall, 1),
+        "speedup_vs_baseline": round(speedup, 3),
+    }
+    assert speedup >= AGGREGATE_SPEEDUP_FLOOR, (
+        f"aggregate front-end throughput is {speedup:.2f}x the pinned "
+        f"reference path (floor {AGGREGATE_SPEEDUP_FLOOR}x)"
+    )
+
+
+def _emit():
+    payload = {
+        "bench": "frontend_throughput",
+        "rounds": ROUNDS,
+        "hierarchy": HIERARCHY,
+        "kernels": {k: v for k, v in sorted(_measured.items()) if k != "_aggregate"},
+    }
+    if "_aggregate" in _measured:
+        payload["aggregate"] = _measured["_aggregate"]
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_bench_json():
+    yield
+    if _measured:
+        _emit()

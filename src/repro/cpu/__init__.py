@@ -3,10 +3,16 @@
 from repro.cpu.core import TraceDrivenCore
 from repro.cpu.generator import SyntheticTraceGenerator, make_trace
 from repro.cpu.kernels import (
+    KERNELS,
+    AccessChunks,
     pointer_chase,
+    pointer_chase_chunks,
     random_lookup,
+    random_lookup_chunks,
     sequential_scan,
+    sequential_scan_chunks,
     stencil,
+    stencil_chunks,
     trace_through_hierarchy,
 )
 from repro.cpu.spec_profiles import (
@@ -22,10 +28,16 @@ __all__ = [
     "TraceDrivenCore",
     "SyntheticTraceGenerator",
     "make_trace",
+    "KERNELS",
+    "AccessChunks",
     "pointer_chase",
+    "pointer_chase_chunks",
     "random_lookup",
+    "random_lookup_chunks",
     "sequential_scan",
+    "sequential_scan_chunks",
     "stencil",
+    "stencil_chunks",
     "trace_through_hierarchy",
     "BENCHMARK_NAMES",
     "BASELINE_READ_LATENCY_NS",

@@ -11,11 +11,18 @@ and MPKI reporting match Table 1.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+
 from repro.cpu.spec_profiles import BenchmarkProfile
 from repro.cpu.trace import Trace, TraceRecord
 from repro.crypto.rng import DeterministicRng
 from repro.errors import ConfigurationError
 from repro.mem.request import BLOCK_SIZE_BYTES
+from repro.sim import profiling
+
+#: Default records per chunk yielded by
+#: :meth:`SyntheticTraceGenerator.generate_chunks`.
+CHUNK_RECORDS = 4096
 
 
 class SyntheticTraceGenerator:
@@ -62,30 +69,59 @@ class SyntheticTraceGenerator:
             self._run_remaining = run - 1
         return self._cursor_block
 
-    def generate(self, num_requests: int) -> Trace:
-        """Produce a trace of ``num_requests`` records."""
+    def generate_chunks(
+        self, num_requests: int, chunk_records: int = CHUNK_RECORDS
+    ) -> Iterator[list[TraceRecord]]:
+        """Stream the trace as chunks of records (the batch unit).
+
+        Chunk boundaries never affect record content — only delivery.
+        Consumers that feed records forward batch-at-a-time (the serve
+        layer, :meth:`generate` itself) avoid per-record generator
+        resumption this way.
+        """
         if num_requests < 1:
             raise ConfigurationError("trace needs at least one request")
         profile = self.profile
         mean_gap = profile.compute_gap_ns
+        has_gap = mean_gap > 0
+        inverse_gap = 1.0 / mean_gap if has_gap else 0.0
+        write_fraction = profile.write_fraction
         dependent_fraction = profile.dependent_fraction
-        records = []
+        rng = self._rng
+        expovariate = rng.expovariate
+        random = rng.random
+        next_block = self._next_block
+        chunk: list[TraceRecord] = []
+        append = chunk.append
         for _ in range(num_requests):
-            gap = self._rng.expovariate(1.0 / mean_gap) if mean_gap > 0 else 0.0
-            is_write = self._rng.random() < profile.write_fraction
-            dependent = (not is_write) and self._rng.random() < dependent_fraction
-            records.append(
+            gap = expovariate(inverse_gap) if has_gap else 0.0
+            is_write = random() < write_fraction
+            dependent = (not is_write) and random() < dependent_fraction
+            append(
                 TraceRecord(
                     gap_ns=gap,
-                    address=self._next_block() * BLOCK_SIZE_BYTES,
+                    address=next_block() * BLOCK_SIZE_BYTES,
                     is_write=is_write,
                     dependent=dependent,
                 )
             )
+            if len(chunk) >= chunk_records:
+                yield chunk
+                chunk = []
+                append = chunk.append
+        if chunk:
+            yield chunk
+
+    def generate(self, num_requests: int) -> Trace:
+        """Produce a trace of ``num_requests`` records."""
+        records: list[TraceRecord] = []
+        with profiling.phase("trace_generation"):
+            for chunk in self.generate_chunks(num_requests):
+                records.extend(chunk)
         return Trace(
-            name=profile.name,
+            name=self.profile.name,
             records=records,
-            instructions_per_request=profile.instructions_per_request,
+            instructions_per_request=self.profile.instructions_per_request,
         )
 
 

@@ -7,36 +7,207 @@ archetypes the paper's introduction motivates (sensitive database lookups,
 graph traversal, bulk analytics), and double as workload generators for
 users adopting the library outside the SPEC reproduction.
 
-Each kernel yields ``(address, is_write)`` pairs.  :func:`trace_through_hierarchy`
-runs any kernel through a :class:`~repro.mem.hierarchy.CacheHierarchy` and
-returns the resulting LLC-level :class:`~repro.cpu.trace.Trace`, ready for
-any protection level.
+Kernels are *chunk-native*: each ``*_chunks`` factory returns an
+:class:`AccessChunks` stream whose chunks are plain lists of
+``(address, is_write)`` pairs.  :func:`trace_through_hierarchy` feeds
+whole chunks into :meth:`~repro.mem.hierarchy.CacheHierarchy.access_batch`
+in a tight loop, so the front end pays one generator resumption per a few
+thousand accesses instead of one per access, and builds
+:class:`~repro.cpu.trace.TraceRecord` objects only for the below-LLC
+traffic that survives the hierarchy.  The historical per-access kernels
+(:func:`sequential_scan` et al.) remain as flattening wrappers — same
+signatures, same RNG consumption order, same streams.
+
+``reference=True`` routes :func:`trace_through_hierarchy` through the
+preserved original implementation (:mod:`repro.mem.reference`); the
+equivalence tests assert both paths produce bit-identical traces and
+statistics.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
+from itertools import islice
 
 from repro.cpu.trace import Trace, TraceRecord
 from repro.crypto.rng import DeterministicRng
 from repro.errors import ConfigurationError
 from repro.mem.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.mem.reference import ReferenceCacheHierarchy
+from repro.sim import profiling
 from repro.sim.statistics import StatRegistry
 
 AccessStream = Iterable[tuple[int, bool]]
+
+#: Default accesses per chunk: large enough to amortise generator
+#: resumption and batch dispatch, small enough to keep chunks in cache.
+CHUNK_ACCESSES = 4096
+
+
+class AccessChunks:
+    """A kernel's access stream, delivered as chunks of ``(address, is_write)``.
+
+    Iterating yields lists of pairs (the batch units consumed by
+    :func:`trace_through_hierarchy`); :meth:`flatten` recovers the
+    per-access view for code that wants one pair at a time.  Chunk
+    boundaries are an implementation detail — they never affect the
+    access sequence, only how it is delivered.
+    """
+
+    __slots__ = ("_chunks",)
+
+    def __init__(self, chunks: Iterable[list[tuple[int, bool]]]):
+        self._chunks = chunks
+
+    def __iter__(self) -> Iterator[list[tuple[int, bool]]]:
+        """Yield the chunks in stream order."""
+        return iter(self._chunks)
+
+    def flatten(self) -> Iterator[tuple[int, bool]]:
+        """Yield individual ``(address, is_write)`` pairs in stream order."""
+        for chunk in self._chunks:
+            yield from chunk
+
+
+def sequential_scan_chunks(
+    array_bytes: int,
+    passes: int = 1,
+    stride: int = 8,
+    write_fraction: float = 0.0,
+    rng: DeterministicRng | None = None,
+    chunk_accesses: int = CHUNK_ACCESSES,
+) -> AccessChunks:
+    """Bulk analytics: stream over a large array, optionally updating it."""
+
+    def produce() -> Iterator[list[tuple[int, bool]]]:
+        if array_bytes <= 0 or stride <= 0:
+            raise ConfigurationError("array and stride must be positive")
+        random = (rng or DeterministicRng(0)).random
+        chunk: list[tuple[int, bool]] = []
+        append = chunk.append
+        for _ in range(passes):
+            for address in range(0, array_bytes, stride):
+                append((address, random() < write_fraction))
+                if len(chunk) >= chunk_accesses:
+                    yield chunk
+                    chunk = []
+                    append = chunk.append
+        if chunk:
+            yield chunk
+
+    return AccessChunks(produce())
+
+
+def random_lookup_chunks(
+    table_bytes: int,
+    lookups: int,
+    record_bytes: int = 64,
+    rng: DeterministicRng | None = None,
+    chunk_accesses: int = CHUNK_ACCESSES,
+) -> AccessChunks:
+    """Key-value / database index probes: uniform reads of whole records."""
+
+    def produce() -> Iterator[list[tuple[int, bool]]]:
+        if table_bytes < record_bytes:
+            raise ConfigurationError("table smaller than one record")
+        randrange = (rng or DeterministicRng(1)).randrange
+        records = table_bytes // record_bytes
+        chunk: list[tuple[int, bool]] = []
+        append = chunk.append
+        for _ in range(lookups):
+            base = randrange(records) * record_bytes
+            for offset in range(0, record_bytes, 8):
+                append((base + offset, False))
+            if len(chunk) >= chunk_accesses:
+                yield chunk
+                chunk = []
+                append = chunk.append
+        if chunk:
+            yield chunk
+
+    return AccessChunks(produce())
+
+
+def pointer_chase_chunks(
+    pool_bytes: int,
+    hops: int,
+    node_bytes: int = 64,
+    rng: DeterministicRng | None = None,
+    chunk_accesses: int = CHUNK_ACCESSES,
+) -> AccessChunks:
+    """Graph/linked-structure traversal: each hop depends on the last.
+
+    The chain is a random permutation cycle so every node is visited
+    before any repeats — the worst case for caches and the classic
+    access-pattern-leak workload (the attacker literally sees the pointer
+    graph on an unprotected bus).
+    """
+
+    def produce() -> Iterator[list[tuple[int, bool]]]:
+        if pool_bytes < node_bytes:
+            raise ConfigurationError("pool smaller than one node")
+        shuffle_rng = rng or DeterministicRng(2)
+        nodes = pool_bytes // node_bytes
+        order = list(range(nodes))
+        shuffle_rng.shuffle(order)
+        position = 0
+        chunk: list[tuple[int, bool]] = []
+        append = chunk.append
+        for _ in range(hops):
+            append((order[position] * node_bytes, False))
+            position = (position + 1) % nodes
+            if len(chunk) >= chunk_accesses:
+                yield chunk
+                chunk = []
+                append = chunk.append
+        if chunk:
+            yield chunk
+
+    return AccessChunks(produce())
+
+
+def stencil_chunks(
+    grid_bytes: int,
+    sweeps: int = 1,
+    row_bytes: int = 4096,
+    rng: DeterministicRng | None = None,
+    chunk_accesses: int = CHUNK_ACCESSES,
+) -> AccessChunks:
+    """Scientific stencil: read three neighbouring rows, write the centre."""
+
+    def produce() -> Iterator[list[tuple[int, bool]]]:
+        if grid_bytes < 3 * row_bytes:
+            raise ConfigurationError("grid needs at least three rows")
+        rows = grid_bytes // row_bytes
+        chunk: list[tuple[int, bool]] = []
+        append = chunk.append
+        for _ in range(sweeps):
+            for row in range(1, rows - 1):
+                above = (row - 1) * row_bytes
+                below = (row + 1) * row_bytes
+                centre = row * row_bytes
+                for column in range(0, row_bytes, 64):
+                    append((above + column, False))
+                    append((below + column, False))
+                    append((centre + column, True))
+                if len(chunk) >= chunk_accesses:
+                    yield chunk
+                    chunk = []
+                    append = chunk.append
+        if chunk:
+            yield chunk
+
+    return AccessChunks(produce())
 
 
 def sequential_scan(
     array_bytes: int, passes: int = 1, stride: int = 8, write_fraction: float = 0.0,
     rng: DeterministicRng | None = None,
 ) -> Iterator[tuple[int, bool]]:
-    """Bulk analytics: stream over a large array, optionally updating it."""
-    if array_bytes <= 0 or stride <= 0:
-        raise ConfigurationError("array and stride must be positive")
-    rng = rng or DeterministicRng(0)
-    for _ in range(passes):
-        for address in range(0, array_bytes, stride):
-            yield address, rng.random() < write_fraction
+    """Per-access view of :func:`sequential_scan_chunks` (same stream)."""
+    return sequential_scan_chunks(
+        array_bytes, passes, stride, write_fraction, rng
+    ).flatten()
 
 
 def random_lookup(
@@ -45,15 +216,8 @@ def random_lookup(
     record_bytes: int = 64,
     rng: DeterministicRng | None = None,
 ) -> Iterator[tuple[int, bool]]:
-    """Key-value / database index probes: uniform reads of whole records."""
-    if table_bytes < record_bytes:
-        raise ConfigurationError("table smaller than one record")
-    rng = rng or DeterministicRng(1)
-    records = table_bytes // record_bytes
-    for _ in range(lookups):
-        base = rng.randrange(records) * record_bytes
-        for offset in range(0, record_bytes, 8):
-            yield base + offset, False
+    """Per-access view of :func:`random_lookup_chunks` (same stream)."""
+    return random_lookup_chunks(table_bytes, lookups, record_bytes, rng).flatten()
 
 
 def pointer_chase(
@@ -62,23 +226,8 @@ def pointer_chase(
     node_bytes: int = 64,
     rng: DeterministicRng | None = None,
 ) -> Iterator[tuple[int, bool]]:
-    """Graph/linked-structure traversal: each hop depends on the last.
-
-    The chain is a random permutation cycle so every node is visited
-    before any repeats — the worst case for caches and the classic
-    access-pattern-leak workload (the attacker literally sees the pointer
-    graph on an unprotected bus).
-    """
-    if pool_bytes < node_bytes:
-        raise ConfigurationError("pool smaller than one node")
-    rng = rng or DeterministicRng(2)
-    nodes = pool_bytes // node_bytes
-    order = list(range(nodes))
-    rng.shuffle(order)
-    position = 0
-    for _ in range(hops):
-        yield order[position] * node_bytes, False
-        position = (position + 1) % nodes
+    """Per-access view of :func:`pointer_chase_chunks` (same stream)."""
+    return pointer_chase_chunks(pool_bytes, hops, node_bytes, rng).flatten()
 
 
 def stencil(
@@ -87,42 +236,102 @@ def stencil(
     row_bytes: int = 4096,
     rng: DeterministicRng | None = None,
 ) -> Iterator[tuple[int, bool]]:
-    """Scientific stencil: read three neighbouring rows, write the centre."""
-    if grid_bytes < 3 * row_bytes:
-        raise ConfigurationError("grid needs at least three rows")
-    rows = grid_bytes // row_bytes
-    for _ in range(sweeps):
-        for row in range(1, rows - 1):
-            for column in range(0, row_bytes, 64):
-                yield (row - 1) * row_bytes + column, False
-                yield (row + 1) * row_bytes + column, False
-                yield row * row_bytes + column, True
+    """Per-access view of :func:`stencil_chunks` (same stream)."""
+    return stencil_chunks(grid_bytes, sweeps, row_bytes, rng).flatten()
+
+
+#: Registry of chunk-kernel factories by name.  The persistent trace cache
+#: (:mod:`repro.experiments.trace_cache`) keys cached front-end runs on
+#: these names plus their keyword parameters.
+KERNELS = {
+    "sequential_scan": sequential_scan_chunks,
+    "random_lookup": random_lookup_chunks,
+    "pointer_chase": pointer_chase_chunks,
+    "stencil": stencil_chunks,
+}
 
 
 def trace_through_hierarchy(
-    stream: AccessStream,
+    stream: AccessStream | AccessChunks,
     config: HierarchyConfig | None = None,
     gap_ns: float = 2.0,
     core_id: int = 0,
     name: str = "kernel",
+    reference: bool = False,
+    chunk_accesses: int = CHUNK_ACCESSES,
 ) -> tuple[Trace, CacheHierarchy]:
     """Filter a kernel's accesses through the cache hierarchy.
 
     Returns the LLC-level trace (misses + write-backs, ready for
     :func:`repro.system.run_trace`) and the hierarchy, whose statistics
     report hit rates and MPKI.
+
+    ``stream`` may be an :class:`AccessChunks` (consumed chunk-at-a-time
+    on the batched fast path) or any iterable of ``(address, is_write)``
+    pairs (regrouped into ``chunk_accesses``-sized batches first).  With
+    ``reference=True`` the accesses instead run one-by-one through the
+    preserved original implementation
+    (:class:`repro.mem.reference.ReferenceCacheHierarchy`, returned in
+    place of the fast hierarchy) — slow, but the behavioural oracle the
+    equivalence tests compare against.
     """
+    if reference:
+        return _trace_through_reference(stream, config, gap_ns, core_id, name)
     hierarchy = CacheHierarchy(config or HierarchyConfig(), StatRegistry())
+    traffic: list[tuple[int, bool]] = []
+    accesses = 0
+    with profiling.phase("hierarchy_filtering"):
+        access_batch = hierarchy.access_batch
+        if isinstance(stream, AccessChunks):
+            for chunk in stream:
+                access_batch(core_id, chunk, traffic)
+                accesses += len(chunk)
+        else:
+            iterator = iter(stream)
+            while True:
+                chunk = list(islice(iterator, chunk_accesses))
+                if not chunk:
+                    break
+                access_batch(core_id, chunk, traffic)
+                accesses += len(chunk)
+    hierarchy.instructions = accesses  # one memory instruction per access
+    if not traffic:
+        raise ConfigurationError(
+            f"kernel {name!r} produced no memory traffic (fits in cache); "
+            "enlarge the working set"
+        )
+    records = [
+        TraceRecord(gap_ns=gap_ns, address=address, is_write=is_write)
+        for address, is_write in traffic
+    ]
+    return Trace(name=name, records=records), hierarchy
+
+
+def _trace_through_reference(
+    stream: AccessStream | AccessChunks,
+    config: HierarchyConfig | None,
+    gap_ns: float,
+    core_id: int,
+    name: str,
+) -> tuple[Trace, ReferenceCacheHierarchy]:
+    """The original per-access loop over the reference hierarchy."""
+    hierarchy = ReferenceCacheHierarchy(config or HierarchyConfig(), StatRegistry())
+    pairs = stream.flatten() if isinstance(stream, AccessChunks) else stream
     records = []
     accesses = 0
-    for address, is_write in stream:
-        accesses += 1
-        result = hierarchy.access(core_id, address, is_write)
-        for request in result.memory_requests:
-            records.append(
-                TraceRecord(gap_ns=gap_ns, address=request.address, is_write=request.is_write)
-            )
-    hierarchy.instructions = accesses  # one memory instruction per access
+    with profiling.phase("hierarchy_filtering"):
+        for address, is_write in pairs:
+            accesses += 1
+            result = hierarchy.access(core_id, address, is_write)
+            for request in result.memory_requests:
+                records.append(
+                    TraceRecord(
+                        gap_ns=gap_ns,
+                        address=request.address,
+                        is_write=request.is_write,
+                    )
+                )
+    hierarchy.instructions = accesses
     if not records:
         raise ConfigurationError(
             f"kernel {name!r} produced no memory traffic (fits in cache); "

@@ -70,6 +70,48 @@ class Trace:
     def footprint_blocks(self) -> int:
         return len({record.address for record in self.records})
 
+    def to_jsonable(self) -> dict:
+        """Lossless JSON form: exact float gaps, unlike :meth:`save`.
+
+        The text format of :meth:`save` rounds gaps to 4 decimals for
+        readability; the persistent trace cache needs bit-identical
+        round-trips, so it stores this form instead (floats survive JSON
+        exactly).  Records are compact ``[gap, address, write, dependent]``
+        rows.
+        """
+        return {
+            "name": self.name,
+            "instructions_per_request": self.instructions_per_request,
+            "records": [
+                [record.gap_ns, record.address, int(record.is_write),
+                 int(record.dependent)]
+                for record in self.records
+            ],
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "Trace":
+        """Rebuild a trace from :meth:`to_jsonable` output (exact)."""
+        try:
+            records = [
+                TraceRecord(
+                    gap_ns=float(gap),
+                    address=address,
+                    is_write=bool(write),
+                    dependent=bool(dependent),
+                )
+                for gap, address, write, dependent in payload["records"]
+            ]
+            return cls(
+                name=payload["name"],
+                records=records,
+                instructions_per_request=float(
+                    payload["instructions_per_request"]
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise TraceError(f"malformed trace payload: {error}")
+
     def save(self, path: str | Path) -> None:
         """Write the trace as one line per record (gap addr kind flags)."""
         lines = [f"# trace {self.name} ipr={self.instructions_per_request}"]

@@ -13,6 +13,9 @@
   on-disk result cache + run manifests.
 - :mod:`repro.experiments.runner` — cached-run frontend, process-wide
   worker/cache configuration, table formatting.
+- :mod:`repro.experiments.trace_cache` — persistent content-addressed
+  cache of front-end traces, sharing the result cache's directory and
+  byte budget.
 
 Each experiment module exposes ``run(...)`` returning structured results
 and a ``main()`` that prints the regenerated table; run them as scripts,

@@ -54,7 +54,7 @@ from repro.errors import ConfigurationError
 from repro.schemes import level_for, resolve_scheme, scheme_name_of
 from repro.sim.statistics import StatRegistry
 from repro.system.config import MachineConfig, ProtectionLevel
-from repro.system.simulator import RunResult, run_benchmark
+from repro.system.simulator import RunResult, run_traces
 
 #: Bumped whenever the simulation physics or the result format changes in a
 #: way that invalidates previously cached results.  The version participates
@@ -69,6 +69,13 @@ MANIFEST_SCHEMA_VERSION = 1
 #: Default location of the persistent result cache, relative to the working
 #: directory.  Override with ``--cache-dir`` or ``REPRO_CACHE_DIR``.
 DEFAULT_CACHE_DIR = Path(".repro-cache")
+
+#: Environment variables controlling the persistent caches.  Read by
+#: :mod:`repro.experiments.runner` (which re-exports the names) and by the
+#: trace cache's standalone defaults (:mod:`repro.experiments.trace_cache`).
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+CACHE_BYTES_ENV = "REPRO_CACHE_BYTES"
 
 DEFAULT_REQUESTS = 4000
 DEFAULT_SEED = 2017
@@ -127,14 +134,27 @@ class JobSpec:
         return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
     def execute(self) -> RunResult:
-        """Run the simulation this spec describes (no caching)."""
-        return run_benchmark(
-            SPEC_PROFILES[self.benchmark],
+        """Run the simulation this spec describes (the result is not cached).
+
+        The front-end traces come through the process-wide persistent trace
+        cache (:mod:`repro.experiments.trace_cache`): warm runs skip trace
+        generation entirely, cold runs generate and persist.  Cached traces
+        round-trip through JSON exactly, so the result is bit-identical to
+        a direct :func:`repro.system.run_benchmark` either way.
+        """
+        # Imported lazily: trace_cache builds on this module's cache base.
+        from repro.experiments.trace_cache import traces_for_benchmark
+
+        profile = SPEC_PROFILES[self.benchmark]
+        traces = traces_for_benchmark(
+            self.benchmark, self.num_requests, self.seed, cores=self.cores
+        )
+        return run_traces(
+            traces,
             self.level,
             machine=self.machine,
-            num_requests=self.num_requests,
+            window=profile.window,
             seed=self.seed,
-            cores=self.cores,
         )
 
 
@@ -264,18 +284,21 @@ def spec_from_jsonable(payload: dict) -> JobSpec:
     return JobSpec(level=level, machine=machine, **scalars)
 
 
-class ResultCache:
-    """Content-addressed persistent store of simulation results.
+class JsonFileCache:
+    """Shared machinery for content-addressed JSON stores under one directory.
 
-    One JSON file per job digest under ``directory``.  Every entry embeds
-    the schema version and the full spec it was computed from, so a load
-    only succeeds when both match — hash collisions, stale schema versions
-    and corrupted files all degrade to a cache miss, never to a wrong or
-    crashing result.
+    Concrete caches — :class:`ResultCache` for simulation results, and
+    :class:`repro.experiments.trace_cache.TraceCache` for front-end traces
+    — provide the entry naming and payload validation; this base owns the
+    durable parts: tolerant reads (damage degrades to a miss), atomic
+    write-then-rename persistence, mtime-as-LRU-clock touching on hits,
+    and byte-budget eviction over every ``*.json`` entry in the directory.
+    Different entry kinds sharing one directory therefore also share one
+    LRU byte budget: a burst of trace writes can evict cold results and
+    vice versa, keeping the *directory* bounded, not each kind separately.
 
-    With ``max_bytes`` set, the store is bounded: every :meth:`put` evicts
-    least-recently-used entries (by file mtime; :meth:`get` touches the
-    entry it serves) until the directory fits the byte budget again.  A
+    With ``max_bytes`` set, every write evicts least-recently-used entries
+    (by file mtime) until the directory fits the byte budget again.  A
     long-lived service can therefore point at one cache directory forever
     without unbounded growth.  Eviction removes oldest-first, so the entry
     just written is only ever evicted when it alone exceeds the budget.
@@ -289,36 +312,16 @@ class ResultCache:
         self.directory = Path(directory)
         self.max_bytes = None if max_bytes is None else max(0, int(max_bytes))
 
-    def path_for(self, spec: JobSpec) -> Path:
-        """Where this spec's result lives (whether or not it exists yet)."""
-        return self.directory / f"{spec.digest()}.json"
-
-    def get(self, spec: JobSpec) -> RunResult | None:
-        """The cached result for ``spec``, or None on any miss or damage."""
-        path = self.path_for(spec)
+    def read_json(self, path: Path) -> dict | None:
+        """Parse one entry; None on absence, damage or a non-object root."""
         try:
             payload = json.loads(path.read_text())
-            if payload.get("schema") != CACHE_SCHEMA_VERSION:
-                return None
-            if payload.get("spec") != spec.to_jsonable():
-                return None
-            result = result_from_jsonable(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (OSError, ValueError):
             return None
-        try:
-            os.utime(path)  # a hit is a "use": refresh the LRU clock
-        except OSError:  # pragma: no cover - entry raced away; still a hit
-            pass
-        return result
+        return payload if isinstance(payload, dict) else None
 
-    def put(self, spec: JobSpec, result: RunResult) -> Path:
-        """Persist ``result`` for ``spec``; returns the entry's path."""
-        path = self.path_for(spec)
-        payload = {
-            "schema": CACHE_SCHEMA_VERSION,
-            "spec": spec.to_jsonable(),
-            "result": result_to_jsonable(result),
-        }
+    def write_json(self, path: Path, payload: dict) -> Path:
+        """Atomically persist one entry, then enforce the byte budget."""
         self.directory.mkdir(parents=True, exist_ok=True)
         # Write-then-rename so concurrent writers (or a crash) can never
         # leave a half-written entry under the final name.
@@ -328,6 +331,13 @@ class ResultCache:
         if self.max_bytes is not None:
             self.evict()
         return path
+
+    def touch(self, path: Path) -> None:
+        """Refresh an entry's LRU clock (a cache hit is a "use")."""
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - entry raced away; still a hit
+            pass
 
     def size_bytes(self) -> int:
         """Total bytes currently held by cache entries."""
@@ -376,6 +386,46 @@ class ResultCache:
                 path.unlink(missing_ok=True)
                 removed += 1
         return removed
+
+
+class ResultCache(JsonFileCache):
+    """Content-addressed persistent store of simulation results.
+
+    One JSON file per job digest under ``directory``.  Every entry embeds
+    the schema version and the full spec it was computed from, so a load
+    only succeeds when both match — hash collisions, stale schema versions
+    and corrupted files all degrade to a cache miss, never to a wrong or
+    crashing result.  Durability and LRU byte-budget eviction come from
+    :class:`JsonFileCache`.
+    """
+
+    def path_for(self, spec: JobSpec) -> Path:
+        """Where this spec's result lives (whether or not it exists yet)."""
+        return self.directory / f"{spec.digest()}.json"
+
+    def get(self, spec: JobSpec) -> RunResult | None:
+        """The cached result for ``spec``, or None on any miss or damage."""
+        path = self.path_for(spec)
+        payload = self.read_json(path)
+        if payload is None or payload.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        if payload.get("spec") != spec.to_jsonable():
+            return None
+        try:
+            result = result_from_jsonable(payload["result"])
+        except (ValueError, KeyError, TypeError):
+            return None
+        self.touch(path)
+        return result
+
+    def put(self, spec: JobSpec, result: RunResult) -> Path:
+        """Persist ``result`` for ``spec``; returns the entry's path."""
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "spec": spec.to_jsonable(),
+            "result": result_to_jsonable(result),
+        }
+        return self.write_json(self.path_for(spec), payload)
 
 
 @dataclass(frozen=True)
@@ -650,7 +700,10 @@ class ControlledOutcome:
     ``"cancelled"`` or ``"error"`` (``error`` holds the reason).
     ``sim_events`` counts kernel events executed by the simulation — the
     PR-3 profiling hook, surfaced per job so a service can report live
-    events/sec without a profiler attached.
+    events/sec without a profiler attached.  ``trace_cache_hits`` /
+    ``trace_cache_misses`` are the job's persistent trace-cache deltas
+    (how many front-end traces were reused vs generated), surfaced the
+    same way for the serving layer's ``/metrics``.
     """
 
     status: str
@@ -658,31 +711,43 @@ class ControlledOutcome:
     wall_ms: float
     sim_events: int = 0
     error: str | None = None
+    trace_cache_hits: int = 0
+    trace_cache_misses: int = 0
 
 
-def _count_events(spec: JobSpec) -> tuple[RunResult, int]:
-    """Run one spec with the engine's instrument hook counting events."""
+def _count_events(spec: JobSpec) -> tuple[RunResult, int, int, int]:
+    """Run one spec counting engine events and trace-cache hits/misses."""
+    from repro.experiments import trace_cache
     from repro.sim.engine import Engine
     from repro.sim.profiling import EventAccountant
 
     accountant = EventAccountant()
     previous = Engine.default_instrument
     Engine.default_instrument = accountant
+    hits_before, misses_before = trace_cache.counters()
     try:
         result = spec.execute()
     finally:
         Engine.default_instrument = previous
-    return result, accountant.events
+    hits_after, misses_after = trace_cache.counters()
+    return (
+        result,
+        accountant.events,
+        hits_after - hits_before,
+        misses_after - misses_before,
+    )
 
 
 def _controlled_child(connection, spec: JobSpec) -> None:
     """Child-process entry point for :func:`run_spec_controlled`."""
     try:
-        result, events = _count_events(spec)
-        connection.send(("ok", result_to_jsonable(result), events))
+        result, events, trace_hits, trace_misses = _count_events(spec)
+        connection.send(
+            ("ok", result_to_jsonable(result), events, trace_hits, trace_misses)
+        )
     except BaseException as exc:  # report, never hang the parent
         try:
-            connection.send(("error", f"{type(exc).__name__}: {exc}", 0))
+            connection.send(("error", f"{type(exc).__name__}: {exc}", 0, 0, 0))
         except OSError:  # pragma: no cover - parent already gone
             pass
     finally:
@@ -711,14 +776,21 @@ def run_spec_controlled(
     context = _fork_context()
     if context is None:  # pragma: no cover - platform-dependent fallback
         try:
-            result, events = _count_events(spec)
+            result, events, trace_hits, trace_misses = _count_events(spec)
         except Exception as exc:
             wall_ms = (time.perf_counter() - started) * 1000.0
             return ControlledOutcome(
                 "error", None, wall_ms, error=f"{type(exc).__name__}: {exc}"
             )
         wall_ms = (time.perf_counter() - started) * 1000.0
-        return ControlledOutcome("ok", result, wall_ms, sim_events=events)
+        return ControlledOutcome(
+            "ok",
+            result,
+            wall_ms,
+            sim_events=events,
+            trace_cache_hits=trace_hits,
+            trace_cache_misses=trace_misses,
+        )
 
     parent_conn, child_conn = context.Pipe(duplex=False)
     process = context.Process(
@@ -735,7 +807,13 @@ def run_spec_controlled(
                 try:
                     payload = parent_conn.recv()
                 except EOFError:
-                    payload = ("error", "worker exited without reporting a result", 0)
+                    payload = (
+                        "error",
+                        "worker exited without reporting a result",
+                        0,
+                        0,
+                        0,
+                    )
                 break
             if cancel is not None and cancel.is_set():
                 status = "cancelled"
@@ -744,7 +822,7 @@ def run_spec_controlled(
                 status = "timeout"
                 break
             if not process.is_alive() and not parent_conn.poll(0):
-                payload = ("error", "worker died before reporting a result", 0)
+                payload = ("error", "worker died before reporting a result", 0, 0, 0)
                 break
     finally:
         if payload is None:
@@ -760,9 +838,14 @@ def run_spec_controlled(
             f"timed out after {timeout_s:.3f} s"
         )
         return ControlledOutcome(status, None, wall_ms, error=reason)
-    kind, body, events = payload
+    kind, body, events, trace_hits, trace_misses = payload
     if kind == "ok":
         return ControlledOutcome(
-            "ok", result_from_jsonable(body), wall_ms, sim_events=int(events)
+            "ok",
+            result_from_jsonable(body),
+            wall_ms,
+            sim_events=int(events),
+            trace_cache_hits=int(trace_hits),
+            trace_cache_misses=int(trace_misses),
         )
     return ControlledOutcome("error", None, wall_ms, error=str(body))

@@ -32,10 +32,14 @@ from pathlib import Path
 
 from repro.cpu.spec_profiles import BENCHMARK_NAMES, SPEC_PROFILES
 from repro.errors import ConfigurationError
+from repro.experiments import trace_cache
 from repro.experiments.executor import (
+    CACHE_BYTES_ENV,
+    CACHE_DIR_ENV,
     DEFAULT_CACHE_DIR,
     DEFAULT_REQUESTS,
     DEFAULT_SEED,
+    NO_CACHE_ENV,
     JobSpec,
     ParallelRunner,
     ResultCache,
@@ -47,9 +51,6 @@ from repro.system.config import MachineConfig, ProtectionLevel
 from repro.system.simulator import RunResult
 
 WORKERS_ENV = "REPRO_WORKERS"
-NO_CACHE_ENV = "REPRO_NO_CACHE"
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
-CACHE_BYTES_ENV = "REPRO_CACHE_BYTES"
 PROFILE_ENV = "REPRO_PROFILE"
 
 _cache: dict[str, RunResult] = {}
@@ -91,6 +92,19 @@ def _config_from_env() -> RunnerConfig:
 _config = _config_from_env()
 
 
+def _sync_trace_cache() -> None:
+    """Push the runner's cache settings onto the front-end trace cache.
+
+    Result and trace entries live in one directory under one byte budget,
+    so a single set of flags (``--no-cache``/``--cache-dir``/
+    ``--cache-bytes``) must govern both stores.
+    """
+    trace_cache.sync(_config.cache_enabled, _config.cache_dir, _config.cache_bytes)
+
+
+_sync_trace_cache()
+
+
 def configure(
     workers: int | None = None,
     cache_enabled: bool | None = None,
@@ -113,6 +127,7 @@ def configure(
         _config.cache_bytes = None if cache_bytes < 0 else int(cache_bytes)
     if profile is not None:
         _config.profile = bool(profile)
+    _sync_trace_cache()
     return _config
 
 
@@ -125,6 +140,7 @@ def reset_config() -> RunnerConfig:
     """Re-derive the runner config from the environment (mainly for tests)."""
     global _config
     _config = _config_from_env()
+    _sync_trace_cache()
     return _config
 
 

@@ -1,0 +1,382 @@
+"""Persistent, content-addressed cache of front-end traces.
+
+Producing a trace is the front end of every full-stack run: synthetic
+generation (:func:`repro.cpu.generator.make_trace`) for the SPEC
+reproduction, or a kernel filtered through the cache hierarchy
+(:func:`repro.cpu.kernels.trace_through_hierarchy`) for the application
+kernels.  Both are pure functions of a small spec — so repeated jobs (the
+common case for the serve layer, which replays the same benchmarks at many
+protection levels) can skip the front end entirely.
+
+This module stores those traces next to the simulation results, reusing
+the :class:`~repro.experiments.executor.JsonFileCache` machinery:
+
+* entries are ``trace-<digest>.json`` files, content-addressed by a
+  schema-versioned digest of the full trace spec (benchmark/seed or
+  kernel/params/hierarchy config), and validated on load by echoing the
+  spec — corruption, hash collisions and schema skew degrade to a miss;
+* traces are stored in the lossless JSON form of
+  :meth:`repro.cpu.trace.Trace.to_jsonable`, so a cached trace is
+  bit-identical to a freshly generated one (floats round-trip exactly);
+* entries share the result cache's directory and therefore its LRU byte
+  budget — ``--cache-dir``/``--cache-bytes`` govern both kinds, and
+  ``--no-cache`` disables both (:func:`repro.experiments.runner.configure`
+  keeps this module's process-wide config in sync).
+
+Hit/miss counters are process-wide (:func:`counters`); the serving layer
+ships them back from its forked simulation children and reports the hit
+ratio in ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import ClassVar
+
+from repro.cpu.generator import make_trace
+from repro.cpu.kernels import KERNELS, trace_through_hierarchy
+from repro.cpu.spec_profiles import BENCHMARK_NAMES, SPEC_PROFILES
+from repro.cpu.trace import Trace
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ConfigurationError, TraceError
+from repro.experiments.executor import (
+    CACHE_BYTES_ENV,
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    NO_CACHE_ENV,
+    JsonFileCache,
+    _jsonable,
+)
+from repro.mem.hierarchy import HierarchyConfig
+
+#: Bumped whenever trace generation or the entry format changes in a way
+#: that invalidates previously cached traces.  Participates in every trace
+#: digest, so a bump orphans (rather than corrupts) old entries.
+TRACE_SCHEMA_VERSION = 1
+
+
+def _digest(kind: str, spec_jsonable: dict) -> str:
+    """Content hash of one trace spec plus the trace schema version."""
+    payload = {"schema": TRACE_SCHEMA_VERSION, "kind": kind, "spec": spec_jsonable}
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SyntheticTraceSpec:
+    """One synthetic benchmark trace, as :func:`repro.system.run_benchmark`
+    builds it: a profile name, a request count and the generator seed."""
+
+    benchmark: str
+    num_requests: int
+    seed: int
+
+    #: Spec kind tag, part of the digest and the stored entry.
+    kind: ClassVar[str] = "synthetic"
+
+    def __post_init__(self) -> None:
+        if self.benchmark not in SPEC_PROFILES:
+            raise ConfigurationError(
+                f"unknown benchmark {self.benchmark!r}; choose from {BENCHMARK_NAMES}"
+            )
+        if self.num_requests < 1:
+            raise ConfigurationError("trace needs at least one request")
+
+    def to_jsonable(self) -> dict:
+        """The spec as a canonical JSON-ready dict (the digest input)."""
+        return {
+            "benchmark": self.benchmark,
+            "num_requests": self.num_requests,
+            "seed": self.seed,
+        }
+
+    def digest(self) -> str:
+        """Content hash identifying this spec's cache entry."""
+        return _digest(self.kind, self.to_jsonable())
+
+    def build(self) -> Trace:
+        """Generate the trace (the cache-miss path)."""
+        return make_trace(
+            SPEC_PROFILES[self.benchmark], self.num_requests, seed=self.seed
+        )
+
+
+@dataclass(frozen=True)
+class KernelTraceSpec:
+    """One application-kernel trace: a registered kernel filtered through a
+    cache hierarchy, as :func:`repro.cpu.kernels.trace_through_hierarchy`
+    produces it.
+
+    ``params`` holds the kernel's keyword arguments as a sorted tuple of
+    ``(name, value)`` pairs so the spec stays hashable; use :meth:`create`
+    to pass them as plain keywords.  ``seed``, when set, seeds the kernel's
+    :class:`~repro.crypto.rng.DeterministicRng`; None keeps each kernel's
+    built-in default seed.
+    """
+
+    kernel: str
+    params: tuple[tuple[str, int | float], ...] = ()
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    gap_ns: float = 2.0
+    core_id: int = 0
+    seed: int | None = None
+
+    #: Spec kind tag, part of the digest and the stored entry.
+    kind: ClassVar[str] = "kernel"
+
+    def __post_init__(self) -> None:
+        if self.kernel not in KERNELS:
+            raise ConfigurationError(
+                f"unknown kernel {self.kernel!r}; choose from {sorted(KERNELS)}"
+            )
+        for pair in self.params:
+            if (
+                not isinstance(pair, tuple)
+                or len(pair) != 2
+                or not isinstance(pair[0], str)
+                or not isinstance(pair[1], (int, float))
+            ):
+                raise ConfigurationError(
+                    f"kernel params must be (name, number) pairs, got {pair!r}"
+                )
+
+    @classmethod
+    def create(
+        cls,
+        kernel: str,
+        hierarchy: HierarchyConfig | None = None,
+        gap_ns: float = 2.0,
+        core_id: int = 0,
+        seed: int | None = None,
+        **params: int | float,
+    ) -> "KernelTraceSpec":
+        """Convenience constructor taking kernel parameters as keywords."""
+        return cls(
+            kernel=kernel,
+            params=tuple(sorted(params.items())),
+            hierarchy=hierarchy or HierarchyConfig(),
+            gap_ns=gap_ns,
+            core_id=core_id,
+            seed=seed,
+        )
+
+    def to_jsonable(self) -> dict:
+        """The spec as a canonical JSON-ready dict (the digest input)."""
+        return {
+            "kernel": self.kernel,
+            "params": dict(self.params),
+            "hierarchy": _jsonable(self.hierarchy),
+            "gap_ns": self.gap_ns,
+            "core_id": self.core_id,
+            "seed": self.seed,
+        }
+
+    def digest(self) -> str:
+        """Content hash identifying this spec's cache entry."""
+        return _digest(self.kind, self.to_jsonable())
+
+    def build(self) -> Trace:
+        """Run the kernel through the hierarchy (the cache-miss path)."""
+        kwargs: dict = dict(self.params)
+        if self.seed is not None:
+            kwargs["rng"] = DeterministicRng(self.seed)
+        stream = KERNELS[self.kernel](**kwargs)
+        trace, _hierarchy = trace_through_hierarchy(
+            stream,
+            self.hierarchy,
+            gap_ns=self.gap_ns,
+            core_id=self.core_id,
+            name=self.kernel,
+        )
+        return trace
+
+
+#: Either trace spec kind (they share the digest/build/to_jsonable shape).
+TraceSpec = SyntheticTraceSpec | KernelTraceSpec
+
+
+class TraceCache(JsonFileCache):
+    """Content-addressed persistent store of front-end traces.
+
+    Entries are ``trace-<digest>.json`` files holding the schema version,
+    the spec echo and the lossless JSON trace.  The cache is designed to
+    share its directory with a :class:`~repro.experiments.executor.ResultCache`
+    — the inherited eviction machinery walks every ``*.json`` entry, so
+    results and traces compete inside one LRU byte budget.
+    """
+
+    def path_for(self, spec: TraceSpec) -> Path:
+        """Where this spec's trace lives (whether or not it exists yet)."""
+        return self.directory / f"trace-{spec.digest()}.json"
+
+    def get(self, spec: TraceSpec) -> Trace | None:
+        """The cached trace for ``spec``, or None on any miss or damage."""
+        path = self.path_for(spec)
+        payload = self.read_json(path)
+        if payload is None or payload.get("schema") != TRACE_SCHEMA_VERSION:
+            return None
+        if payload.get("kind") != spec.kind:
+            return None
+        if payload.get("spec") != spec.to_jsonable():
+            return None
+        try:
+            trace = Trace.from_jsonable(payload["trace"])
+        except (TraceError, KeyError, TypeError, ValueError):
+            return None
+        self.touch(path)
+        return trace
+
+    def put(self, spec: TraceSpec, trace: Trace) -> Path:
+        """Persist ``trace`` for ``spec``; returns the entry's path."""
+        payload = {
+            "schema": TRACE_SCHEMA_VERSION,
+            "kind": spec.kind,
+            "spec": spec.to_jsonable(),
+            "trace": trace.to_jsonable(),
+        }
+        return self.write_json(self.path_for(spec), payload)
+
+
+@dataclass
+class TraceCacheConfig:
+    """Process-wide trace-cache settings (mirrors the runner's cache flags)."""
+
+    enabled: bool = True
+    directory: Path = DEFAULT_CACHE_DIR
+    #: LRU byte budget shared with co-located result entries; None unbounded.
+    max_bytes: int | None = None
+
+
+def _config_from_env() -> TraceCacheConfig:
+    """Initial config from the ``REPRO_*`` cache environment variables.
+
+    The same variables govern the result cache
+    (:mod:`repro.experiments.runner` reads them for its own config), so a
+    bare process — a forked serve child, a cross-process CI check — agrees
+    with a configured one about where traces live and whether to cache.
+    """
+    try:
+        max_bytes = int(os.environ[CACHE_BYTES_ENV])
+    except (KeyError, ValueError):
+        max_bytes = None
+    return TraceCacheConfig(
+        enabled=not os.environ.get(NO_CACHE_ENV),
+        directory=Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)),
+        max_bytes=max_bytes,
+    )
+
+
+_config = _config_from_env()
+_lock = threading.Lock()
+_hits = 0
+_misses = 0
+
+
+def configure(
+    enabled: bool | None = None,
+    directory: str | Path | None = None,
+    max_bytes: int | None = None,
+) -> TraceCacheConfig:
+    """Update the process-wide trace-cache config; None leaves a field as is.
+
+    ``max_bytes`` accepts a negative value to mean "back to unbounded"
+    (None is the leave-unchanged sentinel, as in
+    :func:`repro.experiments.runner.configure`).
+    """
+    if enabled is not None:
+        _config.enabled = bool(enabled)
+    if directory is not None:
+        _config.directory = Path(directory)
+    if max_bytes is not None:
+        _config.max_bytes = None if max_bytes < 0 else int(max_bytes)
+    return _config
+
+
+def sync(enabled: bool, directory: str | Path, max_bytes: int | None) -> None:
+    """Overwrite every setting at once (the runner pushes its config here)."""
+    _config.enabled = bool(enabled)
+    _config.directory = Path(directory)
+    _config.max_bytes = max_bytes if max_bytes is None else max(0, int(max_bytes))
+
+
+def get_config() -> TraceCacheConfig:
+    """The live process-wide trace-cache config."""
+    return _config
+
+
+def reset_config() -> TraceCacheConfig:
+    """Re-derive the config from the environment (mainly for tests)."""
+    global _config
+    _config = _config_from_env()
+    return _config
+
+
+def active_cache() -> TraceCache | None:
+    """The trace cache per current config, or None when caching is off."""
+    if not _config.enabled:
+        return None
+    return TraceCache(_config.directory, max_bytes=_config.max_bytes)
+
+
+def counters() -> tuple[int, int]:
+    """Process-lifetime ``(hits, misses)`` of :func:`cached_trace`."""
+    with _lock:
+        return _hits, _misses
+
+
+def reset_counters() -> None:
+    """Zero the process-lifetime hit/miss counters (mainly for tests)."""
+    global _hits, _misses
+    with _lock:
+        _hits = 0
+        _misses = 0
+
+
+def _count(hit: bool) -> None:
+    global _hits, _misses
+    with _lock:
+        if hit:
+            _hits += 1
+        else:
+            _misses += 1
+
+
+def cached_trace(spec: TraceSpec) -> Trace:
+    """Resolve one trace spec through the cache; build-and-store on a miss.
+
+    With caching disabled every call is a (counted) miss that builds
+    without persisting — so hit-ratio metrics stay meaningful under
+    ``--no-cache``.
+    """
+    cache = active_cache()
+    if cache is not None:
+        trace = cache.get(spec)
+        if trace is not None:
+            _count(hit=True)
+            return trace
+    _count(hit=False)
+    trace = spec.build()
+    if cache is not None:
+        cache.put(spec, trace)
+    return trace
+
+
+def traces_for_benchmark(
+    benchmark: str, num_requests: int, seed: int, cores: int = 1
+) -> list[Trace]:
+    """The per-core traces :func:`repro.system.run_benchmark` would build.
+
+    Seeds follow the simulator's convention (``seed + 1000 * core``), so a
+    warm cache hands back traces bit-identical to fresh generation and
+    :meth:`repro.experiments.executor.JobSpec.execute` can feed them
+    straight to :func:`repro.system.run_traces`.
+    """
+    return [
+        cached_trace(SyntheticTraceSpec(benchmark, num_requests, seed + 1000 * core))
+        for core in range(cores)
+    ]

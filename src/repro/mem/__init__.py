@@ -19,6 +19,7 @@ from repro.mem.dram_timing import (
 )
 from repro.mem.hierarchy import AccessResult, CacheHierarchy, HierarchyConfig
 from repro.mem.pcm import PcmDevice
+from repro.mem.reference import ReferenceCacheHierarchy, ReferenceSetAssociativeCache
 from repro.mem.request import (
     BLOCK_OFFSET_BITS,
     BLOCK_SIZE_BYTES,
@@ -51,6 +52,8 @@ __all__ = [
     "CacheHierarchy",
     "HierarchyConfig",
     "PcmDevice",
+    "ReferenceCacheHierarchy",
+    "ReferenceSetAssociativeCache",
     "BLOCK_OFFSET_BITS",
     "BLOCK_SIZE_BYTES",
     "MemoryRequest",

@@ -6,6 +6,28 @@ functional model with per-access latency accounting: the experiments drive
 the memory system with LLC-miss traces directly, while the full-stack
 examples and integration tests run CPU-level address streams through this
 hierarchy to produce those misses.
+
+Because the front end performs 10-100 cache accesses per simulated memory
+event, this module is organised around *flat slot arrays* rather than
+per-line objects:
+
+* each set is a pair of parallel ``list``s (``block`` numbers and
+  integer-coded MESI states), indexed arithmetically by ``block & mask`` —
+  no per-line dataclass, no per-set dict;
+* LRU is the *order* of those lists (index 0 is the victim, the tail is
+  most recently used), so a touch is a C-level ``pop``/``append`` and
+  eviction never scans for a minimum;
+* MESI states are the integers :data:`ST_MODIFIED` / :data:`ST_EXCLUSIVE`
+  / :data:`ST_SHARED`; the :class:`MesiState` enum remains the public
+  vocabulary and is translated only at the API boundary;
+* eviction statistics accumulate in plain integer fields and are flushed
+  into the :class:`~repro.sim.statistics.StatGroup` at checkpoint
+  boundaries (every public call; end of batch on the hierarchy's batched
+  path), keeping the stats API the observable interface.
+
+The original dict-and-dataclass implementation survives as
+:mod:`repro.mem.reference`; the front-end equivalence tests prove the two
+produce bit-identical traces and statistics.
 """
 
 from __future__ import annotations
@@ -17,6 +39,13 @@ from repro.errors import ConfigurationError
 from repro.mem.request import BLOCK_OFFSET_BITS
 from repro.sim.statistics import StatGroup
 
+#: Integer-coded MESI states used on the hot path (INVALID lines are simply
+#: absent from the slot arrays).  :data:`ST_MODIFIED` is the only state that
+#: makes an eviction or invalidation dirty.
+ST_MODIFIED = 1
+ST_EXCLUSIVE = 2
+ST_SHARED = 3
+
 
 class MesiState(enum.Enum):
     """MESI coherence states; INVALID lines are absent from the cache."""
@@ -26,11 +55,29 @@ class MesiState(enum.Enum):
     SHARED = "S"
 
 
+#: Enum -> hot-path integer code.
+STATE_CODE = {
+    MesiState.MODIFIED: ST_MODIFIED,
+    MesiState.EXCLUSIVE: ST_EXCLUSIVE,
+    MesiState.SHARED: ST_SHARED,
+}
+#: Hot-path integer code -> enum (the API-boundary translation).
+STATE_ENUM = {code: state for state, code in STATE_CODE.items()}
+
+
 @dataclass
 class CacheLine:
+    """A point-in-time view of one resident line (API-boundary object).
+
+    The slot arrays do not store these; :meth:`SetAssociativeCache.lookup`
+    materialises one per call.  Treat it as a snapshot — mutating it does
+    not write back into the cache (use :meth:`SetAssociativeCache.set_state`
+    to change a resident line's state).
+    """
+
     block: int
     state: MesiState
-    last_use: int
+    last_use: int = 0
 
 
 @dataclass(frozen=True)
@@ -42,7 +89,29 @@ class Eviction:
 
 
 class SetAssociativeCache:
-    """One cache level: lookup / insert / invalidate with LRU replacement."""
+    """One cache level: lookup / insert / invalidate with LRU replacement.
+
+    The public methods translate to and from :class:`MesiState` and flush
+    statistics eagerly, preserving the original per-call interface.  The
+    underscore-prefixed slot operations work on integer states and pending
+    counters; :class:`~repro.mem.hierarchy.CacheHierarchy` drives those
+    directly on its batched fast path and flushes at batch boundaries.
+    """
+
+    __slots__ = (
+        "name",
+        "size_bytes",
+        "associativity",
+        "latency_cycles",
+        "block_bytes",
+        "num_sets",
+        "stats",
+        "_set_mask",
+        "_set_blocks",
+        "_set_states",
+        "_pend_evictions",
+        "_pend_dirty_evictions",
+    )
 
     def __init__(
         self,
@@ -67,22 +136,115 @@ class SetAssociativeCache:
         if self.num_sets & (self.num_sets - 1):
             raise ConfigurationError(f"{name}: set count must be a power of two")
         self.stats = stats
-        self._sets: list[dict[int, CacheLine]] = [{} for _ in range(self.num_sets)]
-        self._use_clock = 0
+        self._set_mask = self.num_sets - 1
+        # Parallel per-set slot arrays in LRU order: index 0 is the next
+        # victim, the tail is the most recently used way.
+        self._set_blocks: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self._set_states: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self._pend_evictions = 0
+        self._pend_dirty_evictions = 0
 
-    def _set_index(self, block: int) -> int:
-        return block & (self.num_sets - 1)
+    # -- slot operations (integer states, deferred stats) -------------------
 
-    def _touch(self, line: CacheLine) -> None:
-        self._use_clock += 1
-        line.last_use = self._use_clock
+    def _peek(self, block: int) -> int | None:
+        """State code of a resident block without touching LRU, else None."""
+        slot = self._set_blocks[block & self._set_mask]
+        if block in slot:
+            return self._set_states[block & self._set_mask][slot.index(block)]
+        return None
+
+    def _lookup_touch(self, block: int) -> int | None:
+        """State code of a resident block, moving it to MRU; None on miss."""
+        index = block & self._set_mask
+        slot = self._set_blocks[index]
+        if block not in slot:
+            return None
+        states = self._set_states[index]
+        i = slot.index(block)
+        state = states[i]
+        if i != len(slot) - 1:
+            slot.append(slot.pop(i))
+            states.append(states.pop(i))
+        return state
+
+    def _insert_slot(self, block: int, state: int) -> tuple[int, int] | None:
+        """Insert/update a block as MRU; returns ``(victim, state)`` or None.
+
+        Evicting counts into the pending eviction counters — callers flush
+        them into the stat group at their checkpoint boundary.
+        """
+        index = block & self._set_mask
+        slot = self._set_blocks[index]
+        states = self._set_states[index]
+        if block in slot:
+            i = slot.index(block)
+            del slot[i]
+            del states[i]
+            slot.append(block)
+            states.append(state)
+            return None
+        victim = None
+        if len(slot) >= self.associativity:
+            victim_block = slot.pop(0)
+            victim_state = states.pop(0)
+            victim = (victim_block, victim_state)
+            self._pend_evictions += 1
+            if victim_state == ST_MODIFIED:
+                self._pend_dirty_evictions += 1
+        slot.append(block)
+        states.append(state)
+        return victim
+
+    def _invalidate_slot(self, block: int) -> bool:
+        """Drop a block if resident; returns True when it was dirty."""
+        index = block & self._set_mask
+        slot = self._set_blocks[index]
+        if block not in slot:
+            return False
+        i = slot.index(block)
+        states = self._set_states[index]
+        state = states[i]
+        del slot[i]
+        del states[i]
+        return state == ST_MODIFIED
+
+    def _downgrade_slot(self, block: int) -> bool:
+        """M/E -> S without touching LRU; returns True if data was dirty."""
+        index = block & self._set_mask
+        slot = self._set_blocks[index]
+        if block not in slot:
+            return False
+        states = self._set_states[index]
+        i = slot.index(block)
+        was_dirty = states[i] == ST_MODIFIED
+        states[i] = ST_SHARED
+        return was_dirty
+
+    def _set_state_slot(self, block: int, state: int) -> None:
+        """Overwrite a resident block's state code without touching LRU."""
+        index = block & self._set_mask
+        slot = self._set_blocks[index]
+        if block not in slot:
+            raise ConfigurationError(f"{self.name}: block {block:#x} not resident")
+        self._set_states[index][slot.index(block)] = state
+
+    def flush_stats(self) -> None:
+        """Fold pending eviction counts into the stat group (checkpoint)."""
+        if self._pend_evictions:
+            self.stats.add("evictions", self._pend_evictions)
+            self._pend_evictions = 0
+        if self._pend_dirty_evictions:
+            self.stats.add("dirty_evictions", self._pend_dirty_evictions)
+            self._pend_dirty_evictions = 0
+
+    # -- public per-call interface (MesiState vocabulary, eager stats) -------
 
     def lookup(self, block: int, update_lru: bool = True) -> CacheLine | None:
-        """Find a block; returns the line (any MESI state) or None."""
-        line = self._sets[self._set_index(block)].get(block)
-        if line is not None and update_lru:
-            self._touch(line)
-        return line
+        """Find a block; returns a :class:`CacheLine` snapshot or None."""
+        state = self._lookup_touch(block) if update_lru else self._peek(block)
+        if state is None:
+            return None
+        return CacheLine(block=block, state=STATE_ENUM[state])
 
     def insert(self, block: int, state: MesiState) -> Eviction | None:
         """Insert a block, evicting LRU if the set is full.
@@ -90,57 +252,34 @@ class SetAssociativeCache:
         Returns the eviction (with dirtiness) so callers can generate the
         write-back request; None when no victim was displaced.
         """
-        cache_set = self._sets[self._set_index(block)]
-        existing = cache_set.get(block)
-        if existing is not None:
-            existing.state = state
-            self._touch(existing)
+        victim = self._insert_slot(block, STATE_CODE[state])
+        self.flush_stats()
+        if victim is None:
             return None
-        eviction = None
-        if len(cache_set) >= self.associativity:
-            victim_block = min(cache_set, key=lambda b: cache_set[b].last_use)
-            victim = cache_set.pop(victim_block)
-            eviction = Eviction(
-                block=victim_block, dirty=victim.state is MesiState.MODIFIED
-            )
-            self.stats.add("evictions")
-            if eviction.dirty:
-                self.stats.add("dirty_evictions")
-        self._use_clock += 1
-        cache_set[block] = CacheLine(block=block, state=state, last_use=self._use_clock)
-        return eviction
+        return Eviction(block=victim[0], dirty=victim[1] == ST_MODIFIED)
 
     def invalidate(self, block: int) -> bool:
         """Drop a block (coherence invalidation); returns True if present
         and dirty (caller must write back)."""
-        cache_set = self._sets[self._set_index(block)]
-        line = cache_set.pop(block, None)
-        return line is not None and line.state is MesiState.MODIFIED
+        return self._invalidate_slot(block)
 
     def downgrade(self, block: int) -> bool:
         """M/E -> S on a remote read; returns True if data was dirty."""
-        line = self.lookup(block, update_lru=False)
-        if line is None:
-            return False
-        was_dirty = line.state is MesiState.MODIFIED
-        line.state = MesiState.SHARED
-        return was_dirty
+        return self._downgrade_slot(block)
 
     def set_state(self, block: int, state: MesiState) -> None:
         """Overwrite the MESI state of a resident block."""
-        line = self.lookup(block, update_lru=False)
-        if line is None:
-            raise ConfigurationError(f"{self.name}: block {block:#x} not resident")
-        line.state = state
+        self._set_state_slot(block, STATE_CODE[state])
 
     def contains(self, block: int) -> bool:
         """Residency check without touching LRU state."""
-        return self.lookup(block, update_lru=False) is not None
+        return self._peek(block) is not None
 
     def resident_blocks(self) -> list[int]:
         """All blocks currently resident (any state)."""
-        return [block for cache_set in self._sets for block in cache_set]
+        return [block for slot in self._set_blocks for block in slot]
 
     @staticmethod
     def block_of(address: int) -> int:
+        """The block number covering a byte address."""
         return address >> BLOCK_OFFSET_BITS

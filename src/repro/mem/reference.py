@@ -1,0 +1,281 @@
+"""Reference cache hierarchy: the original dict-and-dataclass front end.
+
+This module preserves, verbatim, the pre-slot-array implementation of
+:class:`~repro.mem.cache.SetAssociativeCache` and
+:class:`~repro.mem.hierarchy.CacheHierarchy` — per-set ``dict`` lines,
+per-line ``CacheLine`` dataclasses, :class:`~repro.mem.cache.MesiState`
+enum comparisons and eager per-access stat updates.  It is the *semantic
+oracle* for the rebuilt fast path:
+
+* :func:`repro.cpu.kernels.trace_through_hierarchy` runs it when called
+  with ``reference=True``;
+* the front-end equivalence suite (``tests/cpu/test_frontend_equivalence``)
+  asserts record-for-record identical traces and identical stat snapshots
+  between this implementation and the slot-array one;
+* ``benchmarks/test_frontend_throughput.py`` measures it as the speedup
+  baseline.
+
+It is deliberately *slow but obvious*; do not optimise it.  Behavioural
+changes to the memory model must land in both implementations, with the
+equivalence suite proving they still agree.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import ConfigurationError
+from repro.mem.cache import CacheLine, Eviction, MesiState
+from repro.mem.hierarchy import AccessResult, HierarchyConfig
+from repro.mem.request import BLOCK_OFFSET_BITS, MemoryRequest, RequestType
+from repro.sim.statistics import StatGroup, StatRegistry
+
+
+class ReferenceSetAssociativeCache:
+    """One cache level, dict-of-dataclass edition (the original code)."""
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        associativity: int,
+        latency_cycles: int,
+        stats: StatGroup,
+        block_bytes: int = 64,
+    ):
+        if size_bytes % (associativity * block_bytes):
+            raise ConfigurationError(
+                f"{name}: size {size_bytes} not divisible into "
+                f"{associativity}-way sets of {block_bytes}B blocks"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.latency_cycles = latency_cycles
+        self.block_bytes = block_bytes
+        self.num_sets = size_bytes // (associativity * block_bytes)
+        if self.num_sets & (self.num_sets - 1):
+            raise ConfigurationError(f"{name}: set count must be a power of two")
+        self.stats = stats
+        self._sets: list[dict[int, CacheLine]] = [{} for _ in range(self.num_sets)]
+        self._use_clock = 0
+
+    def _set_index(self, block: int) -> int:
+        return block & (self.num_sets - 1)
+
+    def _touch(self, line: CacheLine) -> None:
+        self._use_clock += 1
+        line.last_use = self._use_clock
+
+    def lookup(self, block: int, update_lru: bool = True) -> CacheLine | None:
+        """Find a block; returns the line (any MESI state) or None."""
+        line = self._sets[self._set_index(block)].get(block)
+        if line is not None and update_lru:
+            self._touch(line)
+        return line
+
+    def insert(self, block: int, state: MesiState) -> Eviction | None:
+        """Insert a block, evicting the LRU line if the set is full."""
+        cache_set = self._sets[self._set_index(block)]
+        existing = cache_set.get(block)
+        if existing is not None:
+            existing.state = state
+            self._touch(existing)
+            return None
+        eviction = None
+        if len(cache_set) >= self.associativity:
+            victim_block = min(cache_set, key=lambda b: cache_set[b].last_use)
+            victim = cache_set.pop(victim_block)
+            eviction = Eviction(
+                block=victim_block, dirty=victim.state is MesiState.MODIFIED
+            )
+            self.stats.add("evictions")
+            if eviction.dirty:
+                self.stats.add("dirty_evictions")
+        self._use_clock += 1
+        cache_set[block] = CacheLine(block=block, state=state, last_use=self._use_clock)
+        return eviction
+
+    def invalidate(self, block: int) -> bool:
+        """Drop a block; returns True if it was present and dirty."""
+        cache_set = self._sets[self._set_index(block)]
+        line = cache_set.pop(block, None)
+        return line is not None and line.state is MesiState.MODIFIED
+
+    def downgrade(self, block: int) -> bool:
+        """M/E -> S on a remote read; returns True if data was dirty."""
+        line = self.lookup(block, update_lru=False)
+        if line is None:
+            return False
+        was_dirty = line.state is MesiState.MODIFIED
+        line.state = MesiState.SHARED
+        return was_dirty
+
+    def set_state(self, block: int, state: MesiState) -> None:
+        """Overwrite the MESI state of a resident block."""
+        line = self.lookup(block, update_lru=False)
+        if line is None:
+            raise ConfigurationError(f"{self.name}: block {block:#x} not resident")
+        line.state = state
+
+    def contains(self, block: int) -> bool:
+        """Residency check without touching LRU state."""
+        return self.lookup(block, update_lru=False) is not None
+
+
+class ReferenceCacheHierarchy:
+    """Private L1/L2 per core + shared inclusive L3 (the original code)."""
+
+    def __init__(self, config: HierarchyConfig, stats: StatRegistry):
+        self.config = config
+        self.stats = stats.group("hierarchy")
+        self.l1 = [
+            ReferenceSetAssociativeCache(
+                f"l1.{core}",
+                config.l1_size,
+                config.l1_assoc,
+                config.l1_latency,
+                stats.group(f"l1.{core}"),
+            )
+            for core in range(config.cores)
+        ]
+        self.l2 = [
+            ReferenceSetAssociativeCache(
+                f"l2.{core}",
+                config.l2_size,
+                config.l2_assoc,
+                config.l2_latency,
+                stats.group(f"l2.{core}"),
+            )
+            for core in range(config.cores)
+        ]
+        self.l3 = ReferenceSetAssociativeCache(
+            "l3", config.l3_size, config.l3_assoc, config.l3_latency, stats.group("l3")
+        )
+        self._sharers: dict[int, set[int]] = defaultdict(set)
+        self.instructions: int = 0
+
+    def access(self, core_id: int, address: int, is_write: bool) -> AccessResult:
+        """Perform one load/store; returns hit level, latency and traffic."""
+        if not 0 <= core_id < self.config.cores:
+            raise ConfigurationError(f"core {core_id} out of range")
+        block = address >> BLOCK_OFFSET_BITS
+        block_address = block << BLOCK_OFFSET_BITS
+        latency = self.config.l1_latency
+        self.stats.add("accesses")
+
+        line = self.l1[core_id].lookup(block)
+        if line is not None:
+            if is_write:
+                self._upgrade_for_write(core_id, block, line.state)
+                self.l1[core_id].set_state(block, MesiState.MODIFIED)
+            self.stats.add("l1_hits")
+            return AccessResult("L1", latency)
+
+        latency += self.config.l2_latency
+        line = self.l2[core_id].lookup(block)
+        if line is not None:
+            self.stats.add("l2_hits")
+            state = line.state
+            if is_write:
+                self._upgrade_for_write(core_id, block, state)
+                state = MesiState.MODIFIED
+                self.l2[core_id].set_state(block, state)
+            requests = self._fill_l1(core_id, block, state)
+            return AccessResult("L2", latency, requests)
+
+        latency += self.config.l3_latency
+        requests: list[MemoryRequest] = []
+        l3_line = self.l3.lookup(block)
+        if l3_line is not None:
+            self.stats.add("l3_hits")
+            requests += self._snoop_other_cores(core_id, block, is_write)
+            state = MesiState.MODIFIED if is_write else self._fill_state(core_id, block)
+            requests += self._fill_private(core_id, block, state)
+            return AccessResult("L3", latency, requests)
+
+        self.stats.add("llc_misses")
+        requests.append(MemoryRequest(block_address, RequestType.READ, core_id=core_id))
+        requests += self._insert_l3(block)
+        state = MesiState.MODIFIED if is_write else MesiState.EXCLUSIVE
+        requests += self._fill_private(core_id, block, state)
+        return AccessResult("memory", latency, requests)
+
+    def _fill_state(self, core_id: int, block: int) -> MesiState:
+        others = self._sharers[block] - {core_id}
+        return MesiState.SHARED if others else MesiState.EXCLUSIVE
+
+    def _upgrade_for_write(self, core_id: int, block: int, state: MesiState) -> None:
+        if state is not MesiState.MODIFIED:
+            for other in list(self._sharers[block] - {core_id}):
+                self.l1[other].invalidate(block)
+                self.l2[other].invalidate(block)
+                self._sharers[block].discard(other)
+                self.stats.add("coherence_invalidations")
+
+    def _snoop_other_cores(
+        self, core_id: int, block: int, is_write: bool
+    ) -> list[MemoryRequest]:
+        requests: list[MemoryRequest] = []
+        for other in list(self._sharers[block] - {core_id}):
+            if is_write:
+                dirty = self.l1[other].invalidate(block)
+                dirty |= self.l2[other].invalidate(block)
+                self._sharers[block].discard(other)
+                self.stats.add("coherence_invalidations")
+            else:
+                dirty = self.l1[other].downgrade(block)
+                dirty |= self.l2[other].downgrade(block)
+            if dirty:
+                if self.l3.contains(block):
+                    self.l3.set_state(block, MesiState.MODIFIED)
+                self.stats.add("dirty_forwards")
+        return requests
+
+    def _fill_l1(
+        self, core_id: int, block: int, state: MesiState
+    ) -> list[MemoryRequest]:
+        eviction = self.l1[core_id].insert(block, state)
+        requests: list[MemoryRequest] = []
+        if eviction is not None and eviction.dirty:
+            self.l2[core_id].insert(eviction.block, MesiState.MODIFIED)
+        self._sharers[block].add(core_id)
+        return requests
+
+    def _fill_private(
+        self, core_id: int, block: int, state: MesiState
+    ) -> list[MemoryRequest]:
+        requests: list[MemoryRequest] = []
+        eviction = self.l2[core_id].insert(block, state)
+        if eviction is not None:
+            self.l1[core_id].invalidate(eviction.block)
+            self._sharers[eviction.block].discard(core_id)
+            if eviction.dirty and self.l3.contains(eviction.block):
+                self.l3.set_state(eviction.block, MesiState.MODIFIED)
+        requests += self._fill_l1(core_id, block, state)
+        return requests
+
+    def _insert_l3(self, block: int) -> list[MemoryRequest]:
+        requests: list[MemoryRequest] = []
+        eviction = self.l3.insert(block, MesiState.EXCLUSIVE)
+        if eviction is not None:
+            dirty = eviction.dirty
+            for core in list(self._sharers[eviction.block]):
+                dirty |= self.l1[core].invalidate(eviction.block)
+                dirty |= self.l2[core].invalidate(eviction.block)
+                self._sharers[eviction.block].discard(core)
+                self.stats.add("back_invalidations")
+            if dirty:
+                requests.append(
+                    MemoryRequest(
+                        eviction.block << BLOCK_OFFSET_BITS, RequestType.WRITE
+                    )
+                )
+                self.stats.add("writebacks")
+        return requests
+
+    def mpki(self) -> float:
+        """LLC misses per kilo-instruction over the instructions recorded."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.stats.get("llc_misses") / self.instructions

@@ -33,6 +33,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.experiments import trace_cache
 from repro.experiments.executor import (
     DEFAULT_CACHE_DIR,
     JobSpec,
@@ -104,6 +105,14 @@ class SimulationService:
             cache = ResultCache(
                 self.config.cache_dir, max_bytes=self.config.cache_bytes
             )
+        # The front-end trace cache shares the result cache's directory and
+        # byte budget; forked simulation children inherit this config, so
+        # repeated jobs skip trace generation entirely.
+        trace_cache.sync(
+            enabled=self.config.cache_dir is not None,
+            directory=self.config.cache_dir or DEFAULT_CACHE_DIR,
+            max_bytes=self.config.cache_bytes,
+        )
         self.runner = ParallelRunner(workers=1, cache=cache)
         self.board: JobBoard | None = None
         self.stats = StatRegistry()
@@ -115,6 +124,8 @@ class SimulationService:
         self._inflight: dict[str, Job] = {}
         self._sim_events_total = 0
         self._sim_wall_ms_total = 0.0
+        self._trace_cache_hits_total = 0
+        self._trace_cache_misses_total = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -295,6 +306,8 @@ class SimulationService:
             self.runner.store(job.spec, outcome.result)
             self._sim_events_total += outcome.sim_events
             self._sim_wall_ms_total += outcome.wall_ms
+            self._trace_cache_hits_total += outcome.trace_cache_hits
+            self._trace_cache_misses_total += outcome.trace_cache_misses
             await self.board.advance(
                 job,
                 JobState.DONE,
@@ -338,6 +351,7 @@ class SimulationService:
             0.0 if self.started_at is None else time.monotonic() - self.started_at
         )
         sim_wall_s = self._sim_wall_ms_total / 1000.0
+        trace_lookups = self._trace_cache_hits_total + self._trace_cache_misses_total
         return {
             "state": "draining" if self.draining else "running",
             "uptime_s": round(uptime, 3),
@@ -353,6 +367,13 @@ class SimulationService:
             "sim_wall_s_total": round(sim_wall_s, 3),
             "sim_events_per_sec": (
                 round(self._sim_events_total / sim_wall_s, 1) if sim_wall_s else 0.0
+            ),
+            "trace_cache_hits": self._trace_cache_hits_total,
+            "trace_cache_misses": self._trace_cache_misses_total,
+            "trace_cache_hit_ratio": (
+                round(self._trace_cache_hits_total / trace_lookups, 4)
+                if trace_lookups
+                else 0.0
             ),
         }
 

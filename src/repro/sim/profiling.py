@@ -1,4 +1,4 @@
-"""Opt-in profiling harness: cProfile plus event-count accounting.
+"""Opt-in profiling harness: cProfile, event counts and phase attribution.
 
 The simulation kernel is instrumented through
 :attr:`repro.sim.engine.Engine.default_instrument` — a hook that costs one
@@ -6,6 +6,14 @@ The simulation kernel is instrumented through
 active, every engine constructed inherits an :class:`EventAccountant` that
 counts executed events by callback target, while ``cProfile`` captures the
 Python-level hotspots of the same wall-clock window.
+
+Engine event counts only explain the *memory-side* of a run.  The second
+instrument is :func:`phase`: front-end and simulator code wraps its
+non-engine stages (synthetic trace generation, kernel-to-trace hierarchy
+filtering, the engine drive loop itself) in ``with profiling.phase(name)``
+blocks, which cost nothing measurable when no session is active and
+accumulate per-phase wall-clock when one is.  ``--profile`` reports
+therefore show the front-end vs memory-side split, not just event counts.
 
 Usage (what ``--profile`` on the experiment CLIs does)::
 
@@ -35,6 +43,32 @@ from repro.sim.engine import Engine
 
 #: How many cProfile rows the reports keep, sorted by internal time.
 HOTSPOT_LIMIT = 30
+
+#: The session currently collecting phase timings, or None.  Set by
+#: :func:`capture`; read by :func:`phase` on every enclosed block.
+_active_session = None
+
+
+@contextmanager
+def phase(name: str):
+    """Attribute the wall-clock of the enclosed block to a named phase.
+
+    When no profiling session is active this is a no-op beyond one module
+    attribute read, so hot paths can wrap themselves unconditionally.
+    Phases may repeat (each ``with`` adds to the phase's total) and may
+    nest distinct names; nested time is attributed to *both* phases, so
+    reports should treat top-level phases (``trace_generation``,
+    ``hierarchy_filtering``, ``engine``) as the primary split.
+    """
+    session = _active_session
+    if session is None:
+        yield
+        return
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        session.add_phase(name, time.perf_counter() - started)
 
 
 def _target_name(callback) -> str:
@@ -83,6 +117,16 @@ class ProfileSession:
         self.accountant = accountant
         self.profiler = profiler
         self.wall_s: float = 0.0
+        #: Per-phase accumulated wall-clock: name -> {"wall_s", "calls"}.
+        self.phases: dict[str, dict[str, float]] = {}
+
+    def add_phase(self, name: str, wall_s: float) -> None:
+        """Fold one :func:`phase` block's wall-clock into the session."""
+        entry = self.phases.get(name)
+        if entry is None:
+            entry = self.phases[name] = {"wall_s": 0.0, "calls": 0}
+        entry["wall_s"] += wall_s
+        entry["calls"] += 1
 
     # -- report generation --------------------------------------------------
 
@@ -117,6 +161,12 @@ class ProfileSession:
             "events_executed": events,
             "events_per_sec": round(events / self.wall_s, 1) if self.wall_s else 0.0,
             "events_by_target": self.accountant.as_dict(),
+            "phases": {
+                name: {"wall_s": round(entry["wall_s"], 6), "calls": entry["calls"]}
+                for name, entry in sorted(
+                    self.phases.items(), key=lambda item: -item[1]["wall_s"]
+                )
+            },
             "hotspots": self.hotspots(),
         }
 
@@ -132,6 +182,16 @@ class ProfileSession:
         out.write("\nevents by callback target:\n")
         for target, count in self.accountant.as_dict().items():
             out.write(f"  {count:10d}  {target}\n")
+        if self.phases:
+            out.write("\nwall time by phase:\n")
+            for name, entry in sorted(
+                self.phases.items(), key=lambda item: -item[1]["wall_s"]
+            ):
+                share = entry["wall_s"] / self.wall_s if self.wall_s else 0.0
+                out.write(
+                    f"  {entry['wall_s']:10.3f} s  {share:6.1%}  "
+                    f"({entry['calls']} calls)  {name}\n"
+                )
         out.write("\nhotspots (cProfile, by internal time):\n")
         stats = pstats.Stats(self.profiler, stream=out)
         stats.sort_stats("tottime").print_stats(HOTSPOT_LIMIT)
@@ -159,11 +219,14 @@ def capture():
 
     Sessions do not nest: the previous instrument is restored on exit.
     """
+    global _active_session
     accountant = EventAccountant()
     profiler = cProfile.Profile()
     session = ProfileSession(accountant, profiler)
     previous = Engine.default_instrument
+    previous_session = _active_session
     Engine.default_instrument = accountant
+    _active_session = session
     start = time.perf_counter()
     profiler.enable()
     try:
@@ -171,4 +234,5 @@ def capture():
     finally:
         profiler.disable()
         Engine.default_instrument = previous
+        _active_session = previous_session
         session.wall_s = time.perf_counter() - start

@@ -18,6 +18,7 @@ from repro.crypto.rng import DeterministicRng
 from repro.errors import SimulationError
 from repro.mem.bus import MemoryBus
 from repro.schemes import ProtectionScheme, level_for, resolve_scheme
+from repro.sim import profiling
 from repro.sim.engine import Engine
 from repro.sim.statistics import StatRegistry
 from repro.system.builder import build_system
@@ -97,17 +98,18 @@ def run_traces(
         for i, (trace, core_window) in enumerate(zip(traces, windows))
     ]
     total_requests = sum(len(trace) for trace in traces)
-    for core in cores:
-        core.start()
-    engine.run(max_events=_MAX_EVENTS_PER_REQUEST * total_requests)
-    for core in cores:
-        if not core.done:
-            raise SimulationError(
-                f"{core.trace.name}/{scheme.name}: core {core.core_id} did not "
-                f"finish ({core._index}/{len(core.trace)} issued)"
-            )
-    system.flush()
-    engine.run(max_events=_MAX_EVENTS_PER_REQUEST * total_requests)
+    with profiling.phase("engine"):
+        for core in cores:
+            core.start()
+        engine.run(max_events=_MAX_EVENTS_PER_REQUEST * total_requests)
+        for core in cores:
+            if not core.done:
+                raise SimulationError(
+                    f"{core.trace.name}/{scheme.name}: core {core.core_id} did not "
+                    f"finish ({core._index}/{len(core.trace)} issued)"
+                )
+        system.flush()
+        engine.run(max_events=_MAX_EVENTS_PER_REQUEST * total_requests)
     return RunResult(
         benchmark=traces[0].name,
         level=level_for(scheme.name) or scheme.name,

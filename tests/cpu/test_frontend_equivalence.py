@@ -1,0 +1,156 @@
+"""Front-end equivalence: the fast path must be bit-identical to the oracle.
+
+The slot-array hierarchy + batched kernel streaming rewrite is a pure
+performance change; :mod:`repro.mem.reference` preserves the original
+dict/dataclass implementation verbatim as the behavioural oracle, reachable
+via ``trace_through_hierarchy(..., reference=True)``.  These tests pin the
+equivalence the whole PR rests on: for every kernel and across hierarchy
+shapes, the fast path's trace is record-for-record identical and every
+statistics counter matches — so cached traces, experiment results and the
+paper's numbers are unchanged by the optimisation.
+"""
+
+import pytest
+
+from repro.cpu import kernels
+from repro.errors import ConfigurationError
+from repro.mem.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.mem.reference import ReferenceCacheHierarchy
+from repro.sim.statistics import StatRegistry
+
+#: Small-but-thrashing shapes so every kernel exercises all miss levels.
+CONFIGS = {
+    "single-core": HierarchyConfig(
+        cores=1, l1_size=4 << 10, l2_size=16 << 10, l3_size=64 << 10
+    ),
+    "dual-core-narrow-l3": HierarchyConfig(
+        cores=2, l1_size=8 << 10, l2_size=32 << 10, l3_size=128 << 10, l3_assoc=4
+    ),
+}
+
+#: Every registered kernel, sized to overflow the configs above.
+KERNEL_CASES = {
+    "sequential_scan": lambda: kernels.sequential_scan_chunks(
+        256 << 10, passes=2, stride=16, write_fraction=0.3
+    ),
+    "random_lookup": lambda: kernels.random_lookup_chunks(512 << 10, lookups=3000),
+    "pointer_chase": lambda: kernels.pointer_chase_chunks(256 << 10, hops=20000),
+    "stencil": lambda: kernels.stencil_chunks(128 << 10, sweeps=2, row_bytes=1024),
+}
+
+
+def stat_snapshot(hierarchy) -> dict[str, dict[str, float]]:
+    """Every counter of every stat group a hierarchy owns, by group name."""
+    snapshot = {
+        "hierarchy": hierarchy.stats.counters(),
+        "l3": hierarchy.l3.stats.counters(),
+    }
+    for core, (l1, l2) in enumerate(zip(hierarchy.l1, hierarchy.l2)):
+        snapshot[f"l1.{core}"] = l1.stats.counters()
+        snapshot[f"l2.{core}"] = l2.stats.counters()
+    return snapshot
+
+
+class TestTraceEquivalence:
+    @pytest.mark.parametrize("config_name", sorted(CONFIGS))
+    @pytest.mark.parametrize("kernel_name", sorted(KERNEL_CASES))
+    def test_fast_path_matches_reference(self, kernel_name, config_name):
+        config = CONFIGS[config_name]
+        make = KERNEL_CASES[kernel_name]
+        fast_trace, fast = kernels.trace_through_hierarchy(
+            make(), config, name=kernel_name
+        )
+        ref_trace, ref = kernels.trace_through_hierarchy(
+            make(), config, name=kernel_name, reference=True
+        )
+        assert isinstance(fast, CacheHierarchy)
+        assert isinstance(ref, ReferenceCacheHierarchy)
+        assert fast_trace.name == ref_trace.name
+        assert fast_trace.records == ref_trace.records  # record-for-record
+        assert fast.instructions == ref.instructions
+        assert stat_snapshot(fast) == stat_snapshot(ref)
+
+    def test_chunk_size_never_changes_the_trace(self):
+        config = CONFIGS["single-core"]
+        make = KERNEL_CASES["random_lookup"]
+        baseline, _ = kernels.trace_through_hierarchy(make(), config)
+        for chunk_accesses in (1, 7, 4096):
+            stream = kernels.random_lookup_chunks(
+                512 << 10, lookups=3000, chunk_accesses=chunk_accesses
+            )
+            trace, _ = kernels.trace_through_hierarchy(stream, config)
+            assert trace.records == baseline.records
+
+    def test_plain_iterable_stream_matches_chunked(self):
+        config = CONFIGS["single-core"]
+        pairs = list(KERNEL_CASES["stencil"]().flatten())
+        from_chunks, _ = kernels.trace_through_hierarchy(
+            KERNEL_CASES["stencil"](), config
+        )
+        from_pairs, _ = kernels.trace_through_hierarchy(iter(pairs), config)
+        assert from_pairs.records == from_chunks.records
+
+
+class TestMulticoreEquivalence:
+    def test_interleaved_batches_match_per_access_oracle(self):
+        """Round-robin batches across cores == the same interleave one-by-one."""
+        config = CONFIGS["dual-core-narrow-l3"]
+        streams = [
+            list(
+                kernels.sequential_scan_chunks(
+                    192 << 10, passes=2, stride=32, write_fraction=0.4
+                ).flatten()
+            ),
+            list(kernels.random_lookup_chunks(384 << 10, lookups=4000).flatten()),
+        ]
+        fast = CacheHierarchy(config, StatRegistry())
+        ref = ReferenceCacheHierarchy(config, StatRegistry())
+        fast_traffic: list[tuple[int, bool]] = []
+        ref_records: list[tuple[int, bool]] = []
+        batch = 257  # deliberately unaligned with any set or chunk size
+        for start in range(0, max(map(len, streams)), batch):
+            for core, stream in enumerate(streams):
+                window = stream[start : start + batch]
+                fast.access_batch(core, window, fast_traffic)
+                for address, is_write in window:
+                    result = ref.access(core, address, is_write)
+                    ref_records.extend(
+                        (request.address, request.is_write)
+                        for request in result.memory_requests
+                    )
+        assert fast_traffic == ref_records
+        assert stat_snapshot(fast) == stat_snapshot(ref)
+
+    def test_per_access_interface_matches_reference(self):
+        """The retained access() API agrees with the oracle call-for-call."""
+        config = CONFIGS["single-core"]
+        fast = CacheHierarchy(config, StatRegistry())
+        ref = ReferenceCacheHierarchy(config, StatRegistry())
+        for address, is_write in KERNEL_CASES["pointer_chase"]().flatten():
+            fast_result = fast.access(0, address, is_write)
+            ref_result = ref.access(0, address, is_write)
+            assert fast_result.hit_level == ref_result.hit_level
+            assert fast_result.latency_cycles == ref_result.latency_cycles
+            # request_id is a process-global ticket, so compare the payload
+            # fields the trace actually consumes.
+            assert [
+                (request.address, request.request_type, request.core_id)
+                for request in fast_result.memory_requests
+            ] == [
+                (request.address, request.request_type, request.core_id)
+                for request in ref_result.memory_requests
+            ]
+        fast.flush_stats()
+        assert stat_snapshot(fast) == stat_snapshot(ref)
+
+
+class TestFrontEndErrors:
+    def test_trafficless_kernel_raises_on_both_paths(self):
+        config = HierarchyConfig(cores=1)
+        for reference in (False, True):
+            with pytest.raises(ConfigurationError, match="no memory traffic"):
+                kernels.trace_through_hierarchy(
+                    kernels.sequential_scan_chunks(4 << 10, passes=0),
+                    config,
+                    reference=reference,
+                )

@@ -1,0 +1,73 @@
+"""Phase attribution: ``--profile`` must split front end from engine time.
+
+Engine event counts only explain the memory side of a run; the front end
+(synthetic trace generation, kernel-to-hierarchy filtering) used to vanish
+from ``--profile`` reports.  These tests pin the :func:`~repro.sim.profiling.phase`
+instrument: a no-op without a session, an accumulator with one, and wired
+into the generator, the kernel front end and the engine drive loop so a
+captured run reports all three phases.
+"""
+
+import json
+
+from repro.cpu.generator import make_trace
+from repro.cpu.kernels import random_lookup_chunks, trace_through_hierarchy
+from repro.cpu.spec_profiles import SPEC_PROFILES
+from repro.mem.hierarchy import HierarchyConfig
+from repro.sim import profiling
+from repro.system.config import ProtectionLevel
+from repro.system.simulator import run_trace
+
+
+class TestPhaseInstrument:
+    def test_noop_without_a_session(self):
+        with profiling.phase("anything"):
+            pass  # must not raise, must not record anywhere
+
+    def test_accumulates_per_phase_within_a_session(self):
+        with profiling.capture() as session:
+            for _ in range(3):
+                with profiling.phase("alpha"):
+                    pass
+            with profiling.phase("beta"):
+                pass
+        assert session.phases["alpha"]["calls"] == 3
+        assert session.phases["beta"]["calls"] == 1
+        assert session.phases["alpha"]["wall_s"] >= 0.0
+
+    def test_session_restored_after_capture(self):
+        with profiling.capture():
+            pass
+        with profiling.phase("after"):
+            pass  # the module-level session is cleared again
+
+
+class TestPhaseWiring:
+    def test_front_end_and_engine_phases_are_attributed(self):
+        with profiling.capture() as session:
+            trace = make_trace(SPEC_PROFILES["astar"], 150, seed=4)
+            kernel_trace, _ = trace_through_hierarchy(
+                random_lookup_chunks(256 << 10, lookups=1500),
+                HierarchyConfig(cores=1, l1_size=4 << 10, l3_size=64 << 10),
+            )
+            run_trace(trace, ProtectionLevel.UNPROTECTED)
+        assert set(session.phases) >= {
+            "trace_generation",
+            "hierarchy_filtering",
+            "engine",
+        }
+        assert session.phases["trace_generation"]["calls"] >= 1
+        assert session.phases["hierarchy_filtering"]["calls"] >= 1
+        assert session.phases["engine"]["calls"] >= 1
+
+    def test_phases_appear_in_both_reports(self, tmp_path):
+        with profiling.capture() as session:
+            make_trace(SPEC_PROFILES["astar"], 100, seed=4)
+        payload = session.to_jsonable("phase-test")
+        assert "trace_generation" in payload["phases"]
+        entry = payload["phases"]["trace_generation"]
+        assert set(entry) == {"wall_s", "calls"}
+        assert "wall time by phase:" in session.text_report("phase-test")
+        json_path, text_path = session.write_reports(tmp_path, "phase-test")
+        assert "trace_generation" in json.loads(json_path.read_text())["phases"]
+        assert "trace_generation" in text_path.read_text()
