@@ -1,0 +1,166 @@
+"""Bench: worker-pool scaling and burst admission for the pooled service.
+
+Measures the two behaviours the worker-pool PR promises, against live
+:class:`~repro.serve.harness.ServerThread` instances on ephemeral ports:
+
+* **throughput scaling** — the same 12-spec cold sweep (6 protection
+  levels x 2 seeds, all distinct digests so nothing coalesces or caches)
+  driven through cache-less servers with 1, 2 and 4 persistent workers.
+  Acceptance bar: 1 -> 4 workers speeds the sweep up by at least
+  ``SCALING_FLOOR_1_TO_4`` (2.5x) — enforced only when the machine
+  actually has 4+ CPUs to scale onto (recorded either way).
+* **burst admission** — a 16-job distinct-digest burst against the
+  default queue depth (16) submitted by a no-retry client: every job
+  must be accepted outright (zero 429s) and reach a terminal state,
+  because backpressure queues work instead of rejecting it until the
+  backlog is genuinely full.
+
+Results land in ``benchmarks/BENCH_serve_pool_scaling.json`` together
+with per-point worker health from ``/metrics``.
+"""
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.serve import LoadGenerator, ServerThread, ServiceConfig
+
+SWEEP_LEVELS = (
+    "unprotected",
+    "encryption_only",
+    "obfusmem",
+    "obfusmem_auth",
+    "oram",
+    "hide",
+)
+SWEEP_SEEDS = (2017, 2018)
+SWEEP_NUM_REQUESTS = 1200
+WORKER_POINTS = (1, 2, 4)
+LOAD_THREADS = 8
+SCALING_FLOOR_1_TO_4 = 2.5  # acceptance: 4 workers >= 2.5x the 1-worker rate
+BURST_JOBS = 16
+BURST_SPEC = {"benchmark": "mcf", "level": "obfusmem_auth", "num_requests": 800}
+
+OUTPUT_PATH = Path(__file__).parent / "BENCH_serve_pool_scaling.json"
+
+_measured: dict[str, dict] = {}
+
+
+def _cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def sweep_specs() -> list[dict]:
+    """The 12 distinct-digest cold jobs every scaling point simulates."""
+    return [
+        {
+            "benchmark": "mcf",
+            "level": level,
+            "num_requests": SWEEP_NUM_REQUESTS,
+            "seed": seed,
+        }
+        for level in SWEEP_LEVELS
+        for seed in SWEEP_SEEDS
+    ]
+
+
+def test_throughput_scales_with_workers():
+    points = {}
+    for workers in WORKER_POINTS:
+        # Cache-less and fresh per point: every request is a real
+        # simulation on a worker process, so the sweep rate measures the
+        # pool, not the cache.
+        config = ServiceConfig(workers=workers, queue_depth=32, cache_dir=None)
+        with ServerThread(config, drain_grace_s=300.0) as server:
+            # One throwaway job warms the forked workers off the clock.
+            server.client().run(
+                dict(BURST_SPEC, num_requests=200, seed=1), deadline_s=300.0
+            )
+            report = LoadGenerator(
+                host="127.0.0.1",
+                port=server.port,
+                specs=sweep_specs(),
+                threads=LOAD_THREADS,
+                deadline_s=600.0,
+            ).run()
+            metrics = server.service.metrics()
+        assert report.failed == 0
+        assert report.completed == len(sweep_specs())
+        assert metrics["worker_restarts"] == 0
+        assert metrics["workers_online"] == workers
+        points[str(workers)] = {
+            "requests_per_sec": report.to_jsonable()["requests_per_sec"],
+            "wall_s": report.to_jsonable()["wall_s"],
+            "latency_mean_s": report.to_jsonable()["latency_mean_s"],
+            "sim_events_per_sec": metrics["sim_events_per_sec"],
+        }
+
+    scaling = (
+        points["4"]["requests_per_sec"] / points["1"]["requests_per_sec"]
+        if points["1"]["requests_per_sec"]
+        else 0.0
+    )
+    cpus = _cpus()
+    floor_enforced = cpus >= 4
+    _measured["scaling"] = {
+        "points": points,
+        "scaling_1_to_4": round(scaling, 2),
+        "scaling_floor": SCALING_FLOOR_1_TO_4,
+        "cpus": cpus,
+        "floor_enforced": floor_enforced,
+    }
+    if floor_enforced:
+        assert scaling >= SCALING_FLOOR_1_TO_4, (
+            f"4 workers only {scaling:.2f}x the 1-worker sweep rate "
+            f"(floor {SCALING_FLOOR_1_TO_4}x on {cpus} CPUs): {points}"
+        )
+
+
+def test_default_depth_accepts_a_16_job_burst_without_rejections():
+    with tempfile.TemporaryDirectory(prefix="serve-pool-bench-") as cache_dir:
+        config = ServiceConfig(workers=2, cache_dir=Path(cache_dir) / "cache")
+        assert config.queue_depth == BURST_JOBS  # the default depth
+        with ServerThread(config, drain_grace_s=300.0) as server:
+            # No retries: a single 429 anywhere fails the burst outright.
+            raw = server.client(max_retries=0)
+            accepted = [
+                raw.submit(dict(BURST_SPEC, seed=seed))
+                for seed in range(1, BURST_JOBS + 1)
+            ]
+            finals = [raw.wait(job["id"], deadline_s=600.0) for job in accepted]
+            metrics = server.service.metrics()
+    assert len(accepted) == BURST_JOBS  # every POST answered 202, no 429s
+    assert all(final["state"] == "done" for final in finals)
+    rejected = metrics["counters"].get("serve.rejected_saturated", 0.0)
+    assert rejected == 0.0, f"burst saw {rejected} saturation rejections"
+    _measured["burst_admission"] = {
+        "queue_depth": config.queue_depth,
+        "offered": BURST_JOBS,
+        "accepted_202": len(accepted),
+        "rejected_429": int(rejected),
+        "completed_done": sum(1 for final in finals if final["state"] == "done"),
+        "worker_restarts": metrics["worker_restarts"],
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_bench_json():
+    yield
+    if _measured:
+        payload = {
+            "bench": "serve_pool_scaling",
+            "sweep_levels": list(SWEEP_LEVELS),
+            "sweep_seeds": list(SWEEP_SEEDS),
+            "sweep_num_requests": SWEEP_NUM_REQUESTS,
+            "worker_points": list(WORKER_POINTS),
+            "load_threads": LOAD_THREADS,
+        }
+        payload.update(_measured)
+        OUTPUT_PATH.write_text(json.dumps(payload, indent=1) + "\n")

@@ -37,6 +37,7 @@ to JSON float round-tripping (which Python performs exactly).
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import enum
 import hashlib
@@ -48,6 +49,11 @@ import time
 import typing
 from dataclasses import dataclass, field
 from pathlib import Path
+
+try:  # POSIX file locking for the single-evictor lease (absent on win32).
+    import fcntl
+except ImportError:  # pragma: no cover - platform-dependent
+    fcntl = None
 
 from repro.cpu.spec_profiles import BENCHMARK_NAMES, SPEC_PROFILES
 from repro.errors import ConfigurationError
@@ -302,7 +308,21 @@ class JsonFileCache:
     long-lived service can therefore point at one cache directory forever
     without unbounded growth.  Eviction removes oldest-first, so the entry
     just written is only ever evicted when it alone exceeds the budget.
+
+    Many processes may share one directory (the worker pool does exactly
+    that).  Writes are already safe under concurrency — write-then-rename
+    means readers only ever see whole entries — and eviction is serialized
+    by a *single-evictor lease*: a ``flock``-ed sentinel file in the cache
+    directory that at most one process holds at a time.  A process that
+    fails to take the lease simply skips eviction; the budget is enforced
+    again on the next write by whoever wins the lease then.  Two evictors
+    can therefore never race each other into double-unlinking or
+    over-evicting a directory that a concurrent writer is refilling.
     """
+
+    #: Sentinel file (not a ``*.json`` entry, so never itself evicted) that
+    #: serializes eviction across processes sharing the directory.
+    EVICTOR_LEASE_NAME = ".evictor-lease"
 
     def __init__(
         self,
@@ -343,28 +363,64 @@ class JsonFileCache:
         """Total bytes currently held by cache entries."""
         return sum(size for _path, _mtime, size in self._entries())
 
+    @contextlib.contextmanager
+    def _evictor_lease(self):
+        """Try to become the directory's sole evictor; yields True on success.
+
+        The lease is a ``flock(LOCK_EX | LOCK_NB)`` on a sentinel file in
+        the cache directory, released when the context exits.  On platforms
+        without ``fcntl`` (no POSIX locks) the lease is granted
+        unconditionally — single-process behaviour is unchanged there.
+        """
+        if fcntl is None:  # pragma: no cover - platform-dependent
+            yield True
+            return
+        lease_path = self.directory / self.EVICTOR_LEASE_NAME
+        try:
+            handle = open(lease_path, "a+")
+        except OSError:  # pragma: no cover - directory raced away
+            yield False
+            return
+        try:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                yield False  # another process is evicting right now
+                return
+            try:
+                yield True
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
+
     def evict(self, max_bytes: int | None = None) -> int:
         """Remove least-recently-used entries until the store fits the budget.
 
         ``max_bytes`` overrides the instance budget for this call; with
         neither set this is a no-op.  Returns the number of entries removed.
-        Entries that disappear concurrently (another process evicting the
-        same directory) are counted as already gone, not errors.
+        Eviction runs under the single-evictor lease: if another process
+        holds it, this call removes nothing (returns 0) and the budget is
+        enforced by the lease holder — or by the next write here.  Entries
+        that disappear concurrently are counted as already gone, not errors.
         """
         budget = self.max_bytes if max_bytes is None else max(0, int(max_bytes))
         if budget is None:
             return 0
-        entries = self._entries()
-        total = sum(size for _path, _mtime, size in entries)
-        removed = 0
-        # Oldest mtime first: the LRU end of the store.
-        for path, _mtime, size in sorted(entries, key=lambda entry: entry[1]):
-            if total <= budget:
-                break
-            path.unlink(missing_ok=True)
-            total -= size
-            removed += 1
-        return removed
+        with self._evictor_lease() as held:
+            if not held:
+                return 0
+            entries = self._entries()
+            total = sum(size for _path, _mtime, size in entries)
+            removed = 0
+            # Oldest mtime first: the LRU end of the store.
+            for path, _mtime, size in sorted(entries, key=lambda entry: entry[1]):
+                if total <= budget:
+                    break
+                path.unlink(missing_ok=True)
+                total -= size
+                removed += 1
+            return removed
 
     def _entries(self) -> list[tuple[Path, float, int]]:
         """Every live entry as ``(path, mtime, size)`` (racing files skipped)."""

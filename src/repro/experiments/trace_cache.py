@@ -23,8 +23,17 @@ the :class:`~repro.experiments.executor.JsonFileCache` machinery:
   ``--no-cache`` disables both (:func:`repro.experiments.runner.configure`
   keeps this module's process-wide config in sync).
 
+Sharing one directory also means sharing it *across processes*: every
+persistent serve worker, the supervisor and any concurrent CLI sweep may
+read, write and evict the same store at once.  That is safe by
+construction — writes are atomic (write-then-rename) and byte-budget
+eviction is serialized by the base class's single-evictor ``flock``
+lease (:attr:`~repro.experiments.executor.JsonFileCache.EVICTOR_LEASE_NAME`),
+so concurrent evictors never double-unlink or over-evict; a process that
+loses the lease race simply skips eviction until its next write.
+
 Hit/miss counters are process-wide (:func:`counters`); the serving layer
-ships them back from its forked simulation children and reports the hit
+ships them back from its persistent pool workers and reports the hit
 ratio in ``/metrics``.
 """
 

@@ -2,13 +2,17 @@
 
 Turns the experiment execution layer (JobSpec / ResultCache /
 ParallelRunner) into a long-lived network service: an asyncio HTTP/JSON
-API with a bounded job queue, admission control (429 + Retry-After),
-per-job timeouts and cancellation, duplicate-submission coalescing, live
-``/metrics``, and graceful drain on SIGTERM.  Everything is stdlib-only.
+API fronting a supervised pool of persistent simulation worker processes,
+with backlog-based admission control (429 + Retry-After), per-job
+timeouts and cancellation, duplicate-submission coalescing, crash
+requeue, live ``/metrics`` fleet health, and graceful drain on SIGTERM.
+Everything is stdlib-only.
 
 The pieces:
 
-* :mod:`repro.serve.service` — the serving core (queue, workers, metrics);
+* :mod:`repro.serve.service` — the serving core (admission, coalescing,
+  metrics) driving the pool;
+* :mod:`repro.serve.pool` — the supervised multi-process worker pool;
 * :mod:`repro.serve.http` — the HTTP/1.1 front end and its routes;
 * :mod:`repro.serve.client` — a blocking, retrying client;
 * :mod:`repro.serve.loadgen` — a closed-loop load generator;
@@ -25,12 +29,16 @@ and submit from anywhere::
     from repro.serve.client import ServeClient
     result = ServeClient(port=8787).run(
         {"benchmark": "mcf", "level": "obfusmem_auth"})
+
+Operators: ``docs/serving.md`` is the deployment manual (worker sizing,
+API reference, the full ``/metrics`` key table, security notes).
 """
 
 from repro.serve.client import ClientError, JobFailed, RequestFailed, ServeClient, ServerBusy
 from repro.serve.harness import ServerThread
 from repro.serve.jobs import Job, JobBoard, JobState
 from repro.serve.loadgen import LoadGenerator, LoadReport
+from repro.serve.pool import PoolOutcome, WorkerHandle, WorkerPool
 from repro.serve.service import (
     ServeError,
     ServiceConfig,
@@ -52,10 +60,13 @@ __all__ = [
     "JobState",
     "LoadGenerator",
     "LoadReport",
+    "PoolOutcome",
     "ServeError",
     "ServiceConfig",
     "ServiceDraining",
     "ServiceSaturated",
     "SimulationService",
+    "WorkerHandle",
+    "WorkerPool",
     "decode_submission",
 ]

@@ -1,11 +1,18 @@
 """The ``python -m repro serve`` entry point: flags, signals, serve loop.
 
-Runs the simulation service in the foreground until SIGTERM/SIGINT, then
-drains: admission stops (503), queued and running jobs finish (or are
-cancelled past the grace period), and the process exits 0.  Flags mirror
-the experiment runner's cache knobs so a service and one-shot CLI runs can
-share one cache directory — a result simulated for a remote client makes
-the next ``repro table3`` a cache hit, and vice versa.
+Runs the simulation service — a supervisor plus ``--workers`` persistent
+simulation worker processes — in the foreground until SIGTERM/SIGINT,
+then drains: admission stops (503), queued and running jobs finish (or
+are cancelled past the grace period), the pool is stopped, and the
+process exits 0.  Flags mirror the experiment runner's cache knobs so a
+service and one-shot CLI runs can share one cache directory — a result
+simulated for a remote client makes the next ``repro table3`` a cache
+hit, and vice versa.  Worker processes share that same directory; their
+concurrent LRU evictions are serialized by the cache's single-evictor
+file lease.
+
+See ``docs/serving.md`` for the operator's manual: worker sizing, the
+full HTTP API, and what every ``/metrics`` key means.
 """
 
 from __future__ import annotations
@@ -26,13 +33,16 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         "--port", type=int, default=8787, help="TCP port (0 picks an ephemeral one)"
     )
     parser.add_argument(
-        "--workers", type=int, default=2, help="concurrent simulation workers"
+        "--workers",
+        type=int,
+        default=2,
+        help="persistent simulation worker processes (size to CPU cores)",
     )
     parser.add_argument(
         "--queue-depth",
         type=int,
         default=16,
-        help="max queued jobs before admission control answers 429",
+        help="max active (queued + running) jobs before admission answers 429",
     )
     parser.add_argument(
         "--cache-dir",
@@ -62,6 +72,12 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         default=30.0,
         help="how long shutdown waits for in-flight jobs before cancelling",
     )
+    parser.add_argument(
+        "--max-requeues",
+        type=int,
+        default=2,
+        help="requeues allowed when a worker process dies mid-job",
+    )
 
 
 def config_from_args(args: argparse.Namespace) -> ServiceConfig:
@@ -73,6 +89,7 @@ def config_from_args(args: argparse.Namespace) -> ServiceConfig:
         cache_bytes=args.cache_bytes,
         default_timeout_s=args.timeout_s,
         drain_grace_s=args.drain_grace_s,
+        max_requeues=args.max_requeues,
     )
 
 

@@ -20,6 +20,12 @@ Routes::
     DELETE /jobs/<id>         cancel a queued or running job
 
 Error bodies are JSON: ``{"error": "..."}`` with the matching status code.
+
+The front end is a thin shell: every route delegates to
+:class:`~repro.serve.service.SimulationService`, which runs jobs on its
+supervised pool of persistent worker processes.  ``docs/serving.md``
+documents this surface for operators — every endpoint, status code,
+``Retry-After`` semantics, and the full ``/metrics`` key table.
 """
 
 from __future__ import annotations
@@ -309,7 +315,8 @@ class HttpApi:
         job_id = request.path.strip("/").split("/")[1]
         job = self.service.board.get(job_id)
         if job is None:
-            await self._write(writer, Response(404, {"error": f"unknown job {job_id!r}"}))
+            response = Response(404, {"error": f"unknown job {job_id!r}"})
+            await self._write(writer, response)
             return
         head = (
             "HTTP/1.1 200 OK\r\n"

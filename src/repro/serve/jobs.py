@@ -9,11 +9,17 @@ that only ever moves forward::
        │          ├──────► TIMEOUT
        └──────────┴──────► CANCELLED
 
+A job that loses its worker mid-run (the process crashed) may be requeued:
+the lifecycle then records RUNNING ──► QUEUED ──► RUNNING … with the
+``attempts`` counter ticking once per requeue, until the job lands in a
+terminal state or the supervisor gives up and FAILs it.
+
 The :class:`JobBoard` owns every job the service has accepted, allocates
 ids, records state transitions (with timestamps, for the progress stream)
 and wakes long-poll waiters through one :class:`asyncio.Condition`.  All
 board mutation happens on the service's event loop; the only cross-thread
-signal is each job's ``cancel`` event, which the executor thread polls.
+signal is each job's ``cancel`` event, which the pool supervisor checks
+when deciding whether to dispatch or kill the job's worker process.
 """
 
 from __future__ import annotations
@@ -69,13 +75,16 @@ class Job:
     #: Simulation-kernel events executed (cold jobs only; the PR-3
     #: profiling hook surfaced per job).
     sim_events: int = 0
+    #: How many times the job was requeued after its worker process died
+    #: mid-run (0 for the overwhelming majority of jobs).
+    attempts: int = 0
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
     #: ``(wall-clock time, state value)`` per transition — the progress feed.
     transitions: list[tuple[float, str]] = field(default_factory=list)
-    #: Set to interrupt a queued or running job; the executor thread polls
-    #: it and terminates the simulation child process.
+    #: Set to interrupt a queued or running job; the pool supervisor
+    #: observes it and terminates the worker process running the job.
     cancel: threading.Event = field(default_factory=threading.Event)
 
     def __post_init__(self) -> None:
@@ -96,6 +105,7 @@ class Job:
             "error": self.error,
             "wall_ms": round(self.wall_ms, 3),
             "sim_events": self.sim_events,
+            "attempts": self.attempts,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -113,9 +123,20 @@ class JobBoard:
         self._jobs: dict[str, Job] = {}
         self._sequence = itertools.count(1)
         self._condition = asyncio.Condition()
+        self._active = 0
 
     def __len__(self) -> int:
         return len(self._jobs)
+
+    @property
+    def active(self) -> int:
+        """How many accepted jobs have not yet reached a terminal state.
+
+        This is the admission-control gauge: it counts queued *and*
+        running jobs (including coalescing followers), so backpressure
+        reflects total outstanding work, not just one queue's length.
+        """
+        return self._active
 
     def create(self, spec: JobSpec, timeout_s: float | None = None) -> Job:
         """Mint a new QUEUED job for ``spec`` and register it."""
@@ -127,6 +148,7 @@ class JobBoard:
             timeout_s=timeout_s,
         )
         self._jobs[job.id] = job
+        self._active += 1
         return job
 
     def get(self, job_id: str) -> Job | None:
@@ -184,6 +206,7 @@ class JobBoard:
             job.sim_events = sim_events
         if state.terminal:
             job.finished_at = now
+            self._active -= 1
         async with self._condition:
             self._condition.notify_all()
 

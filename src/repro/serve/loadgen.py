@@ -1,13 +1,20 @@
 """A small closed-loop load generator for the simulation service.
 
-``threads`` clients each issue ``requests_per_thread`` submit-and-wait
-round trips against one server, recording per-request latency.  Closed
-loop (each client waits for its response before sending the next) keeps
-the offered load honest: throughput is what the service actually sustains,
-not what an open-loop generator wishes it would.
+Two drive modes, both closed loop (each client waits for its response
+before sending the next, so throughput is what the service actually
+sustains, not what an open-loop generator wishes it would):
 
-This is the measurement half of ``benchmarks/test_serve_throughput.py``;
-it is also handy interactively::
+* **repeat mode** (``spec=``): ``threads`` clients each issue
+  ``requests_per_thread`` submit-and-wait round trips of one spec —
+  the cache/coalescing stress shape;
+* **sweep mode** (``specs=``): the threads drain a shared work list of
+  distinct specs, each submitted exactly once — the shape that exercises
+  the worker pool's sharded scheduling, since distinct digests spread
+  across the persistent workers.
+
+This is the measurement half of ``benchmarks/test_serve_throughput.py``
+and ``benchmarks/test_serve_pool_scaling.py``; it is also handy
+interactively::
 
     from repro.serve.loadgen import LoadGenerator
 
@@ -19,6 +26,7 @@ it is also handy interactively::
 
 from __future__ import annotations
 
+import collections
 import threading
 import time
 from dataclasses import dataclass, field
@@ -77,21 +85,31 @@ class LoadReport:
 
 
 class LoadGenerator:
-    """Closed-loop load: N threads x M submit-and-wait requests each."""
+    """Closed-loop load: repeated single-spec rounds, or a distinct-spec sweep.
+
+    Exactly one of ``spec`` (repeat mode: ``threads`` x
+    ``requests_per_thread`` submissions of the same spec) or ``specs``
+    (sweep mode: the threads share one work list, each spec submitted
+    once) must be given.
+    """
 
     def __init__(
         self,
         host: str,
         port: int,
-        spec: dict,
+        spec: dict | None = None,
         threads: int = 2,
         requests_per_thread: int = 10,
         timeout_s: float | None = None,
         deadline_s: float = 600.0,
+        specs: list[dict] | None = None,
     ):
+        if (spec is None) == (specs is None):
+            raise ValueError("provide exactly one of spec= or specs=")
         self.host = host
         self.port = port
-        self.spec = dict(spec)
+        self.spec = None if spec is None else dict(spec)
+        self.specs = None if specs is None else [dict(item) for item in specs]
         self.threads = max(1, int(threads))
         self.requests_per_thread = max(1, int(requests_per_thread))
         self.timeout_s = timeout_s
@@ -104,26 +122,40 @@ class LoadGenerator:
         clients = [
             ServeClient(self.host, self.port) for _ in range(self.threads)
         ]
+        # Sweep mode drains this shared backlog; deque.popleft is atomic,
+        # so the threads need no extra coordination to split the work.
+        backlog = collections.deque(self.specs or ())
 
-        def worker(client: ServeClient) -> None:
-            for _ in range(self.requests_per_thread):
-                started = time.perf_counter()
-                try:
-                    client.run(
-                        self.spec,
-                        timeout_s=self.timeout_s,
-                        deadline_s=self.deadline_s,
-                    )
-                except (ClientError, ConnectionError):
-                    with lock:
-                        report.requests += 1
-                        report.failed += 1
-                    continue
-                latency = time.perf_counter() - started
+        def one_request(client: ServeClient, spec: dict) -> None:
+            started = time.perf_counter()
+            try:
+                client.run(
+                    spec,
+                    timeout_s=self.timeout_s,
+                    deadline_s=self.deadline_s,
+                )
+            except (ClientError, ConnectionError):
                 with lock:
                     report.requests += 1
-                    report.completed += 1
-                    report.latencies_s.append(latency)
+                    report.failed += 1
+                return
+            latency = time.perf_counter() - started
+            with lock:
+                report.requests += 1
+                report.completed += 1
+                report.latencies_s.append(latency)
+
+        def worker(client: ServeClient) -> None:
+            if self.spec is not None:
+                for _ in range(self.requests_per_thread):
+                    one_request(client, self.spec)
+                return
+            while True:
+                try:
+                    spec = backlog.popleft()
+                except IndexError:
+                    return
+                one_request(client, spec)
 
         started = time.perf_counter()
         pool = [
