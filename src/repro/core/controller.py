@@ -25,6 +25,7 @@ this class models the same behaviour at simulation speed.
 from __future__ import annotations
 
 from collections.abc import Callable
+from functools import partial
 
 from repro.core.config import AuthMode, ChannelInjection, ObfusMemConfig
 from repro.core.dummy import DummyRequestFactory
@@ -101,7 +102,11 @@ class ObfusMemController:
         if request.is_dummy:
             raise ConfigurationError("dummies are generated inside the controller")
         self._counters["requests_protected"] += 1
-        self.engine.post(self._issue_delay_ps, lambda: self._dispatch(request, callback))
+        # partial of a bound method (not a closure): event callbacks must
+        # stay picklable so a queued event survives a checkpoint.
+        self.engine.post(
+            self._issue_delay_ps, partial(self._dispatch, request, callback)
+        )
 
     def flush(self) -> None:
         """End-of-run hook (nothing is held back; kept for API symmetry)."""
@@ -225,17 +230,7 @@ class ObfusMemController:
     ) -> None:
         wrapped = callback
         if callback is not None and request.request_type is RequestType.READ:
-            response_delay = self._resp_delay_ps
-            engine = self.engine
-
-            def deliver(completed: MemoryRequest) -> None:
-                def finish() -> None:
-                    completed.complete_time_ps = engine._now_ps
-                    callback(completed)
-
-                engine.post(response_delay, finish)
-
-            wrapped = deliver
+            wrapped = partial(self._deliver, callback)
         if self._observed:
             wire_command = self._rng.token_bytes(16)
             wire_data = self._rng.token_bytes(64)
@@ -249,6 +244,21 @@ class ObfusMemController:
             self._command_slots,
             self._tag_bus_extra_ps,
         )
+
+    def _deliver(
+        self, callback: CompletionCallback, completed: MemoryRequest
+    ) -> None:
+        """Return-path hook: schedule the on-chip response delay."""
+        self.engine.post(
+            self._resp_delay_ps, partial(self._complete_read, callback, completed)
+        )
+
+    def _complete_read(
+        self, callback: CompletionCallback, completed: MemoryRequest
+    ) -> None:
+        """Stamp the completion time and hand the read back upstream."""
+        completed.complete_time_ps = self.engine._now_ps
+        callback(completed)
 
     def _send_dummy(
         self, channel: int, request_type: RequestType, real_address: int | None

@@ -21,6 +21,7 @@ repeats visible).
 from __future__ import annotations
 
 from collections.abc import Callable
+from functools import partial
 
 from repro.crypto.rng import DeterministicRng
 from repro.errors import ConfigurationError
@@ -98,17 +99,25 @@ class HideController:
         if callback is None:
             self.memory.issue(remapped, None)
         else:
-            def forward(completed: MemoryRequest) -> None:
-                request.payload = completed.payload
-                request.complete_time_ps = completed.complete_time_ps
-                callback(request)
-
-            self.memory.issue(remapped, forward)
+            # Bound-method partial (picklable) so the pending completion
+            # survives a checkpoint; a closure would not.
+            self.memory.issue(remapped, partial(self._forward, request, callback))
         self.stats.add("requests_remapped")
 
         self._access_counts[chunk] = self._access_counts.get(chunk, 0) + 1
         if self._access_counts[chunk] >= self.repermute_interval:
             self._repermute(chunk)
+
+    def _forward(
+        self,
+        request: MemoryRequest,
+        callback: CompletionCallback,
+        completed: MemoryRequest,
+    ) -> None:
+        """Completion hook: copy the remapped result back onto the original."""
+        request.payload = completed.payload
+        request.complete_time_ps = completed.complete_time_ps
+        callback(request)
 
     def _repermute(self, chunk: int) -> None:
         """Draw a fresh permutation and pay the chunk-move traffic.

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Callable
+from functools import partial
 
 from repro.core.config import ChannelInjection
 from repro.core.controller import ObfusMemController
@@ -91,7 +92,7 @@ class TimingObliviousShaper:
     def _start_channel(self, channel: int) -> None:
         self._ticking[channel] = True
         self._idle_epochs[channel] = 0
-        self.engine.post(0, lambda: self._tick(channel))
+        self.engine.post(0, partial(self._tick, channel))
 
     def _tick(self, channel: int) -> None:
         queue = self._queues[channel]
@@ -108,7 +109,7 @@ class TimingObliviousShaper:
                 return
             self.controller.inject_pair(channel)
             self.stats.add("slots_dummy")
-        self.engine.post(self.epoch_ps, lambda: self._tick(channel))
+        self.engine.post(self.epoch_ps, partial(self._tick, channel))
 
     # ------------------------------------------------------------------
 

@@ -68,6 +68,30 @@ class DeterministicRng:
         """Uniform integer with the requested number of bits."""
         return self._random.getrandbits(bits)
 
+    def getstate(self) -> tuple:
+        """The full generator state, as :meth:`random.Random.getstate` gives it.
+
+        The returned tuple is opaque but serializable (ints and tuples all
+        the way down), so simulation checkpoints can carry it across
+        processes.  Feed it back through :meth:`setstate` to resume the
+        stream exactly where it left off.
+        """
+        return self._random.getstate()
+
+    def setstate(self, state: tuple) -> None:
+        """Restore a state captured by :meth:`getstate` (same stream after)."""
+        self._random.setstate(state)
+
+    # Checkpoint-protocol aliases: every snapshottable component exposes
+    # snapshot()/restore(); for the rng they are the state tuple itself.
+    def snapshot(self) -> tuple:
+        """Checkpoint-protocol alias for :meth:`getstate`."""
+        return self.getstate()
+
+    def restore(self, state: tuple) -> None:
+        """Checkpoint-protocol alias for :meth:`setstate`."""
+        self.setstate(state)
+
     def fork(self, label: str) -> "DeterministicRng":
         """Independent child stream derived from this seed and a label.
 

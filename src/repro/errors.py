@@ -46,3 +46,7 @@ class OramDeadlockError(OramError):
 
 class TraceError(ReproError):
     """A workload trace is malformed or internally inconsistent."""
+
+
+class CheckpointError(ReproError):
+    """A simulation checkpoint could not be captured, stored or resumed."""

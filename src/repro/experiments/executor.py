@@ -139,6 +139,21 @@ class JobSpec:
         encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
+    def prefix_digest(self) -> str:
+        """Content hash of everything but ``num_requests``.
+
+        Two specs differing only in request count simulate the *same world*
+        for their shared trace prefix (the generator streams one rng, so the
+        shorter trace is a bit-identical prefix of the longer).  This digest
+        is the checkpoint-store key: a safe-prefix checkpoint saved under it
+        by a short run can seed any longer run of the family.
+        """
+        prefix = self.to_jsonable()
+        del prefix["num_requests"]
+        payload = {"schema": CACHE_SCHEMA_VERSION, "prefix": prefix}
+        encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
     def execute(self) -> RunResult:
         """Run the simulation this spec describes (the result is not cached).
 
@@ -608,12 +623,22 @@ class ParallelRunner:
         cache: ResultCache | None = None,
         memory: dict[str, RunResult] | None = None,
         stats: StatRegistry | None = None,
+        checkpoints=None,
+        checkpoint_interval_events: int | None = None,
     ):
         self.workers = max(1, int(workers))
         self.cache = cache
         self.memory = memory if memory is not None else {}
         self.stats = stats or StatRegistry()
         self.manifest: RunManifest | None = None
+        #: Optional :class:`~repro.experiments.checkpoints.CheckpointStore`.
+        #: When set, cache-missing jobs run through
+        #: :func:`~repro.experiments.checkpoints.execute_with_checkpoints`:
+        #: they fork from the deepest stored snapshot of their spec family
+        #: and persist fresh snapshots as they go, so a request-count sweep
+        #: pays for each shared trace prefix once.
+        self.checkpoints = checkpoints
+        self.checkpoint_interval_events = checkpoint_interval_events
 
     def lookup(self, spec: JobSpec) -> tuple[RunResult | None, str]:
         """Probe both cache layers for one spec: ``(result, source)``.
@@ -734,16 +759,33 @@ class ParallelRunner:
         ``on_outcome(position, (result, wall_ms))`` is called once per spec
         in list order, as each outcome becomes available.
         """
+        if self.checkpoints is not None:
+            # Imported lazily: the checkpoint store builds on this module.
+            from repro.experiments.checkpoints import (
+                DEFAULT_CHECKPOINT_INTERVAL_EVENTS,
+                checkpointed_jobs,
+            )
+
+            interval = (
+                DEFAULT_CHECKPOINT_INTERVAL_EVENTS
+                if self.checkpoint_interval_events is None
+                else self.checkpoint_interval_events
+            )
+            execute_one, payloads = checkpointed_jobs(
+                self.checkpoints, interval, specs
+            )
+        else:
+            execute_one, payloads = _execute_job, specs
         context = _fork_context()
         workers = min(self.workers, len(specs))
         if workers <= 1 or context is None:
-            for position, spec in enumerate(specs):
-                on_outcome(position, _execute_job(spec))
+            for position, payload in enumerate(payloads):
+                on_outcome(position, execute_one(payload))
             return
         with context.Pool(processes=workers) as pool:
             # imap (not map) so outcomes stream back in order as they land.
             for position, outcome in enumerate(
-                pool.imap(_execute_job, specs, chunksize=1)
+                pool.imap(execute_one, payloads, chunksize=1)
             ):
                 on_outcome(position, outcome)
 

@@ -21,6 +21,35 @@ BLOCK_OFFSET_BITS = 6
 _request_ids = itertools.count()
 
 
+def _next_request_id() -> int:
+    """Allocate the next process-wide request id.
+
+    A function (not the bound ``__next__`` of one counter object) so that
+    :func:`ensure_request_ids_above` can swap the counter out when a
+    checkpointed simulation is restored in another process.
+    """
+    return next(_request_ids)
+
+
+def request_id_watermark() -> int:
+    """An id strictly greater than every request id allocated so far.
+
+    Checkpoints record this so a restore in a *different* process — whose
+    own counter may be far behind — can call
+    :func:`ensure_request_ids_above` and never mint an id that collides
+    with one carried inside the checkpoint (cores track dependent reads by
+    request id; a collision could wake the wrong stall).
+    """
+    return next(_request_ids)
+
+
+def ensure_request_ids_above(watermark: int) -> None:
+    """Advance the process-wide id counter to at least ``watermark``."""
+    global _request_ids
+    current = next(_request_ids)
+    _request_ids = itertools.count(max(current, int(watermark)) + 1)
+
+
 class RequestType(enum.Enum):
     """Block-level request type as seen below the LLC."""
 
@@ -67,7 +96,7 @@ class MemoryRequest:
     is_dummy: bool = False
     droppable: bool = True
     core_id: int = 0
-    request_id: int = field(default_factory=_request_ids.__next__)
+    request_id: int = field(default_factory=_next_request_id)
     issue_time_ps: int | None = None
     complete_time_ps: int | None = None
 

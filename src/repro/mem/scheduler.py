@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass
+from functools import partial
 
 from repro.errors import ConfigurationError
 from repro.mem.address_mapping import AddressMapping, DecodedAddress
@@ -394,15 +395,18 @@ class ChannelController:
         else:
             complete_ps = self._issue_write(queued, cmd_end)
 
-        callback = queued.callback
-
-        def finish() -> None:
-            request.complete_time_ps = engine._now_ps
-            if callback is not None:
-                callback(request)
-
-        engine.post_at(complete_ps, finish)
+        # Picklable completion event (bound-method partial, not a closure):
+        # it may sit in the heap across a checkpoint.
+        engine.post_at(complete_ps, partial(self._finish, queued.callback, request))
         self._counters["requests_serviced"] += 1
+
+    def _finish(
+        self, callback: CompletionCallback | None, request: MemoryRequest
+    ) -> None:
+        """Completion event: stamp the finish time, notify the issuer."""
+        request.complete_time_ps = self.engine._now_ps
+        if callback is not None:
+            callback(request)
 
     def _reserve_bus(
         self, earliest_ps: int, direction: Direction, extra_ps: int = 0

@@ -12,6 +12,7 @@ capacity / write-amplification / stash-failure numbers for Table 4 and
 from __future__ import annotations
 
 from collections.abc import Callable
+from functools import partial
 
 from repro.errors import ConfigurationError
 from repro.mem.request import MemoryRequest
@@ -65,12 +66,19 @@ class OramMemoryModel:
         # amplification charged against PCM lifetime in Table 4 / §5.2.
         self.stats.add("cell_block_writes", path_blocks)
 
-        def finish() -> None:
-            request.complete_time_ps = self.engine.now_ps
-            if callback is not None:
-                callback(request)
+        # Bound-method partial, not a closure: the queued completion event
+        # must stay picklable for checkpoints.
+        self.engine.post(
+            self.access_latency_ps, partial(self._finish, request, callback)
+        )
 
-        self.engine.post(self.access_latency_ps, finish)
+    def _finish(
+        self, request: MemoryRequest, callback: CompletionCallback | None
+    ) -> None:
+        """Completion event: the fixed-latency access is done."""
+        request.complete_time_ps = self.engine.now_ps
+        if callback is not None:
+            callback(request)
 
     # Port-compatibility alias (MemorySystem exposes enqueue).
     enqueue = issue

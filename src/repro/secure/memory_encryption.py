@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass
+from functools import partial
 
 from repro.crypto.aes import AES128
 from repro.crypto.ctr import ctr_keystream, xor_bytes
@@ -211,10 +212,9 @@ class SecureMemoryController:
         pending = _PendingRead(request, callback)
         hit = self._counter_access(request.address, for_write=False)
         now = self.engine._now_ps
-
-        def data_done(req: MemoryRequest) -> None:
-            pending.data_done_ps = self.engine._now_ps
-            self._maybe_finish_read(pending)
+        # Completion hooks are bound-method partials (picklable) so queued
+        # events survive a checkpoint; closures would not.
+        data_done = partial(self._data_done, pending)
 
         if hit:
             # Pad generation starts immediately and overlaps the fetch.
@@ -224,17 +224,22 @@ class SecureMemoryController:
             counter_fetch = MemoryRequest(
                 self.counter_block_address(request.address), RequestType.READ
             )
-
-            def counter_done(req: MemoryRequest) -> None:
-                pending.pad_ready_ps = self.engine._now_ps + self._aes_exposed_ps
-                self._maybe_finish_read(pending)
-
             # Data first: it is the critical word; the counter fetch rides
             # in the next bus slot (the pad cannot be built before the
             # counter returns either way).
             self.downstream.issue(request, data_done)
-            self.downstream.issue(counter_fetch, counter_done)
+            self.downstream.issue(counter_fetch, partial(self._counter_done, pending))
             self._prefetch_next_page_counters(request.address)
+
+    def _data_done(self, pending: _PendingRead, req: MemoryRequest) -> None:
+        """Downstream data fetch completed for a pending read."""
+        pending.data_done_ps = self.engine._now_ps
+        self._maybe_finish_read(pending)
+
+    def _counter_done(self, pending: _PendingRead, req: MemoryRequest) -> None:
+        """Counter-block fetch completed: the pad pipeline can start."""
+        pending.pad_ready_ps = self.engine._now_ps + self._aes_exposed_ps
+        self._maybe_finish_read(pending)
 
     def _prefetch_next_page_counters(self, address: int) -> None:
         """Sequential counter prefetch: hide the page-crossing miss.
@@ -285,14 +290,13 @@ class SecureMemoryController:
         if hist is None:
             hist = self._exposed_hist = self.stats.live_histogram("decrypt_exposed_ns")
         hist.record((finish_ps - data_done) / 1000.0)
-        engine = self.engine
+        self.engine.post_at(finish_ps, partial(self._deliver, pending))
 
-        def deliver() -> None:
-            pending.request.complete_time_ps = engine._now_ps
-            if pending.callback is not None:
-                pending.callback(pending.request)
-
-        engine.post_at(finish_ps, deliver)
+    def _deliver(self, pending: _PendingRead) -> None:
+        """Hand a decrypted read back to its issuer."""
+        pending.request.complete_time_ps = self.engine._now_ps
+        if pending.callback is not None:
+            pending.callback(pending.request)
 
     def _issue_write(self, request: MemoryRequest, callback: CompletionCallback | None) -> None:
         hit = self._counter_access(request.address, for_write=True)

@@ -78,6 +78,15 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         default=2,
         help="requeues allowed when a worker process dies mid-job",
     )
+    parser.add_argument(
+        "--max-preemptions",
+        type=int,
+        default=8,
+        help=(
+            "checkpoint-and-requeue slices a job may consume before it "
+            "times out (needs the persistent cache)"
+        ),
+    )
 
 
 def config_from_args(args: argparse.Namespace) -> ServiceConfig:
@@ -90,6 +99,7 @@ def config_from_args(args: argparse.Namespace) -> ServiceConfig:
         default_timeout_s=args.timeout_s,
         drain_grace_s=args.drain_grace_s,
         max_requeues=args.max_requeues,
+        max_preemptions=args.max_preemptions,
     )
 
 

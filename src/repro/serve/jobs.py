@@ -7,12 +7,20 @@ that only ever moves forward::
     QUEUED ──► RUNNING ──► DONE
        │          ├──────► FAILED
        │          ├──────► TIMEOUT
+       │          ├──────► PREEMPTED ──► RUNNING … (resumed from checkpoint)
        └──────────┴──────► CANCELLED
 
 A job that loses its worker mid-run (the process crashed) may be requeued:
 the lifecycle then records RUNNING ──► QUEUED ──► RUNNING … with the
 ``attempts`` counter ticking once per requeue, until the job lands in a
 terminal state or the supervisor gives up and FAILs it.
+
+PREEMPTED is *not* terminal: when the pool runs with a persistent cache,
+a job that reaches its per-slice deadline is checkpointed by its worker
+and requeued rather than killed — the ``preemptions`` counter ticks, the
+job goes back in queue, and the next slice resumes the simulation from
+the stored checkpoint.  Long traces therefore complete across slices; a
+job that exceeds ``max_preemptions`` slices lands in TIMEOUT.
 
 The :class:`JobBoard` owns every job the service has accepted, allocates
 ids, records state transitions (with timestamps, for the progress stream)
@@ -41,6 +49,9 @@ class JobState(enum.Enum):
 
     QUEUED = "queued"
     RUNNING = "running"
+    #: Non-terminal: the worker checkpointed the job at its slice deadline
+    #: and requeued it; the next RUNNING slice resumes from the snapshot.
+    PREEMPTED = "preempted"
     DONE = "done"
     FAILED = "failed"
     TIMEOUT = "timeout"
@@ -78,6 +89,9 @@ class Job:
     #: How many times the job was requeued after its worker process died
     #: mid-run (0 for the overwhelming majority of jobs).
     attempts: int = 0
+    #: How many deadline slices ended with a checkpoint-and-requeue instead
+    #: of a kill (0 unless the pool runs with a persistent cache).
+    preemptions: int = 0
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
@@ -106,6 +120,7 @@ class Job:
             "wall_ms": round(self.wall_ms, 3),
             "sim_events": self.sim_events,
             "attempts": self.attempts,
+            "preemptions": self.preemptions,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,

@@ -9,9 +9,16 @@ paying a fork + import per simulation.
 
 The moving parts:
 
-* :func:`_pool_worker_main` — the worker-process loop: receive a spec,
-  probe the shared on-disk :class:`~repro.experiments.executor.ResultCache`,
-  simulate on a miss (with event accounting), persist, reply.
+* :func:`_pool_worker_main` — the worker-process loop: receive a spec and
+  a wall-clock budget, probe the shared on-disk
+  :class:`~repro.experiments.executor.ResultCache`, simulate on a miss
+  (with event accounting), persist, reply.  With a cache directory the
+  worker also holds a :class:`~repro.experiments.checkpoints.
+  CheckpointStore`: a budgeted job that cannot finish in time is
+  *checkpointed and preempted* — the worker snapshots the live
+  :class:`~repro.system.world.SimWorld`, persists it, and replies
+  ``preempted`` instead of being killed; the job requeues and its next
+  slice resumes from the snapshot.
 * :class:`WorkerHandle` — the supervisor's view of one worker slot:
   process, pipe, current job, deadline, restart/completion counters.
 * :class:`WorkerPool` — the supervisor: shards queued jobs by spec digest,
@@ -46,26 +53,91 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.experiments import trace_cache
+from repro.experiments.checkpoints import CheckpointStore, world_for_spec
 from repro.experiments.executor import (
     DEFAULT_CACHE_DIR,
-    _count_events,
     _fork_context,
     ResultCache,
     result_to_jsonable,
 )
 from repro.serve.jobs import Job
 
+#: Kernel events between wall-clock budget checks while a budgeted job
+#: runs — small enough that a slice overshoots its budget by milliseconds,
+#: large enough that the check never shows up in a profile.
+PREEMPT_SLICE_EVENTS = 20_000
+
+
+def _simulate_sliced(spec, store, budget_s):
+    """Run ``spec`` with event accounting, preempting at the wall budget.
+
+    Resumes from the deepest usable snapshot in ``store`` when one exists.
+    Returns ``(result, events, trace_hits, trace_misses, ckpt_hits,
+    ckpt_misses)`` — ``result`` is None when the budget expired before the
+    simulation finished, in which case the live world was checkpointed to
+    ``store`` so the next slice can resume it.  Without a store or budget
+    this degrades to a plain start-to-finish run.
+    """
+    from repro.sim.engine import Engine
+    from repro.sim.profiling import EventAccountant
+
+    accountant = EventAccountant()
+    previous = Engine.default_instrument
+    Engine.default_instrument = accountant
+    hits_before, misses_before = trace_cache.counters()
+    deadline = None if budget_s is None else time.perf_counter() + float(budget_s)
+    try:
+        world, forked_from = world_for_spec(spec, store)
+        ckpt_hits, ckpt_misses = (0, 0)
+        if store is not None:
+            ckpt_hits, ckpt_misses = (1, 0) if forked_from else (0, 1)
+        finished = False
+        if deadline is None or store is None:
+            world.run()
+            finished = True
+        else:
+            while True:
+                if world.run(stop_after_events=PREEMPT_SLICE_EVENTS):
+                    finished = True
+                    break
+                if time.perf_counter() >= deadline:
+                    try:
+                        store.put(spec, world.snapshot())
+                    except Exception:
+                        continue  # cannot persist progress: keep simulating
+                    break
+    finally:
+        Engine.default_instrument = previous
+    hits_after, misses_after = trace_cache.counters()
+    return (
+        world.result() if finished else None,
+        accountant.events,
+        hits_after - hits_before,
+        misses_after - misses_before,
+        ckpt_hits,
+        ckpt_misses,
+    )
+
 
 def _pool_worker_main(connection, worker_index, cache_dir, cache_bytes) -> None:
     """Entry point of one persistent worker process.
 
-    Loops forever: receive ``("run", job_id, spec)``, resolve it through
-    the shared on-disk cache or a fresh simulation (with kernel-event and
-    trace-cache accounting), persist a fresh result, and reply with either
-    ``("ok", job_id, source, result_json, wall_ms, events, hits, misses)``
-    or ``("error", job_id, message, wall_ms)``.  A ``("stop",)`` message —
-    or the pipe closing — ends the loop.  The worker never exits on a job
-    failure: exceptions travel back as ``error`` replies.
+    Loops forever: receive ``("run", job_id, spec, budget_s)``, resolve it
+    through the shared on-disk cache or a fresh simulation (with
+    kernel-event and trace-cache accounting), persist a fresh result, and
+    reply with one of::
+
+        ("ok", job_id, source, result_json, wall_ms,
+         events, trace_hits, trace_misses, ckpt_hits, ckpt_misses)
+        ("preempted", job_id, events, wall_ms, ckpt_hits, ckpt_misses)
+        ("error", job_id, message, wall_ms)
+
+    ``preempted`` means the wall budget expired first: the worker
+    checkpointed the live world to the shared store and stayed healthy —
+    the supervisor requeues the job and a later slice resumes it.  A
+    ``("stop",)`` message — or the pipe closing — ends the loop.  The
+    worker never exits on a job failure: exceptions travel back as
+    ``error`` replies.
     """
     trace_cache.sync(
         enabled=cache_dir is not None,
@@ -73,8 +145,10 @@ def _pool_worker_main(connection, worker_index, cache_dir, cache_bytes) -> None:
         max_bytes=cache_bytes,
     )
     cache = None
+    store = None
     if cache_dir is not None:
         cache = ResultCache(cache_dir, max_bytes=cache_bytes)
+        store = CheckpointStore(cache_dir, max_bytes=cache_bytes)
     while True:
         try:
             message = connection.recv()
@@ -82,29 +156,44 @@ def _pool_worker_main(connection, worker_index, cache_dir, cache_bytes) -> None:
             break
         if not isinstance(message, tuple) or not message or message[0] == "stop":
             break
-        _kind, job_id, spec = message
+        _kind, job_id, spec, budget_s = message
         started = time.perf_counter()
         try:
             cached = None if cache is None else cache.get(spec)
             if cached is not None:
                 wall_ms = (time.perf_counter() - started) * 1000.0
                 payload = result_to_jsonable(cached)
-                reply = ("ok", job_id, "disk", payload, wall_ms, 0, 0, 0)
+                reply = ("ok", job_id, "disk", payload, wall_ms, 0, 0, 0, 0, 0)
             else:
-                result, events, trace_hits, trace_misses = _count_events(spec)
-                if cache is not None:
-                    cache.put(spec, result)
-                wall_ms = (time.perf_counter() - started) * 1000.0
-                reply = (
-                    "ok",
-                    job_id,
-                    "simulated",
-                    result_to_jsonable(result),
-                    wall_ms,
-                    events,
-                    trace_hits,
-                    trace_misses,
+                result, events, trace_hits, trace_misses, ckpt_hits, ckpt_misses = (
+                    _simulate_sliced(spec, store, budget_s)
                 )
+                if result is None:
+                    wall_ms = (time.perf_counter() - started) * 1000.0
+                    reply = (
+                        "preempted",
+                        job_id,
+                        events,
+                        wall_ms,
+                        ckpt_hits,
+                        ckpt_misses,
+                    )
+                else:
+                    if cache is not None:
+                        cache.put(spec, result)
+                    wall_ms = (time.perf_counter() - started) * 1000.0
+                    reply = (
+                        "ok",
+                        job_id,
+                        "simulated",
+                        result_to_jsonable(result),
+                        wall_ms,
+                        events,
+                        trace_hits,
+                        trace_misses,
+                        ckpt_hits,
+                        ckpt_misses,
+                    )
         except Exception as exc:
             wall_ms = (time.perf_counter() - started) * 1000.0
             reply = ("error", job_id, f"{type(exc).__name__}: {exc}", wall_ms)
@@ -138,6 +227,10 @@ class PoolOutcome:
     sim_events: int = 0
     trace_cache_hits: int = 0
     trace_cache_misses: int = 0
+    #: Checkpoint-store probes by the finishing slice: 1/0 when the worker
+    #: resumed from a stored snapshot, 0/1 when it had to start cold.
+    checkpoint_hits: int = 0
+    checkpoint_misses: int = 0
     worker: int | None = None
 
 
@@ -193,7 +286,17 @@ class WorkerPool:
     * ``on_outcome(job, PoolOutcome)`` — the job finished, one way or
       another (including "cancelled while queued");
     * ``on_requeue(job)`` — the job's worker died and the job went back
-      to the front of its shard (``job.attempts`` was incremented).
+      to the front of its shard (``job.attempts`` was incremented);
+    * ``on_preempted(job, events, wall_ms, ckpt_hits, ckpt_misses)`` — the
+      job's wall budget expired, the worker checkpointed it, and it went
+      back to the front of its shard (``job.preemptions`` incremented).
+
+    Preemption is active only when the pool has a ``cache_dir`` to hold
+    checkpoints; without one, a job past its deadline is killed exactly as
+    before.  With preemption, the supervisor's own deadline kill becomes a
+    safety net at ``timeout_s + preempt_grace_s`` — it only fires when a
+    worker fails to preempt itself.  A job preempted more than
+    ``max_preemptions`` times resolves to a timeout outcome.
     """
 
     def __init__(
@@ -205,17 +308,25 @@ class WorkerPool:
         on_running=None,
         on_outcome=None,
         on_requeue=None,
+        on_preempted=None,
         max_requeues: int = 2,
+        max_preemptions: int = 8,
+        preempt_grace_s: float = 10.0,
         poll_s: float = 0.02,
     ):
         self.workers = max(1, int(workers))
         self.cache_dir = cache_dir
         self.cache_bytes = cache_bytes
         self.max_requeues = max(0, int(max_requeues))
+        self.max_preemptions = max(0, int(max_preemptions))
+        self.preempt_grace_s = max(0.0, float(preempt_grace_s))
         self.poll_s = max(0.001, float(poll_s))
         self._on_running = on_running or (lambda job, worker: None)
         self._on_outcome = on_outcome or (lambda job, outcome: None)
         self._on_requeue = on_requeue or (lambda job: None)
+        self._on_preempted = on_preempted or (
+            lambda job, events, wall_ms, hits, misses: None
+        )
         self._context = _fork_context() or multiprocessing.get_context()
         self._lock = threading.Lock()
         self._shards: list[deque[Job]] = [deque() for _ in range(self.workers)]
@@ -225,6 +336,7 @@ class WorkerPool:
         self._crash_restarts = 0
         self._kills = 0
         self._requeues = 0
+        self._preemptions = 0
         self._wake_r, self._wake_w = self._context.Pipe(duplex=False)
         self._thread = threading.Thread(
             target=self._supervise, name="repro-serve-pool", daemon=True
@@ -342,6 +454,7 @@ class WorkerPool:
                 "restarts_total": self._crash_restarts,
                 "kills_total": self._kills,
                 "requeues_total": self._requeues,
+                "preemptions_total": self._preemptions,
                 "workers": [handle.describe() for handle in self._handles],
             }
 
@@ -437,9 +550,18 @@ class WorkerPool:
         if not isinstance(payload, tuple) or len(payload) < 2 or payload[1] != job.id:
             return False  # stale or malformed reply: drop it
         if payload[0] == "ok":
-            _kind, _job_id, source, result_payload, wall_ms, events, hits, misses = (
-                payload
-            )
+            (
+                _kind,
+                _job_id,
+                source,
+                result_payload,
+                wall_ms,
+                events,
+                hits,
+                misses,
+                ckpt_hits,
+                ckpt_misses,
+            ) = payload
             outcome = PoolOutcome(
                 status="ok",
                 source=str(source),
@@ -448,8 +570,13 @@ class WorkerPool:
                 sim_events=int(events),
                 trace_cache_hits=int(hits),
                 trace_cache_misses=int(misses),
+                checkpoint_hits=int(ckpt_hits),
+                checkpoint_misses=int(ckpt_misses),
                 worker=handle.index,
             )
+        elif payload[0] == "preempted":
+            self._preempt(handle, payload)
+            return True
         else:
             _kind, _job_id, message, wall_ms = payload
             outcome = PoolOutcome(
@@ -463,6 +590,49 @@ class WorkerPool:
         handle.completed += 1
         self._emit(job, outcome)
         return True
+
+    def _preempt(self, handle: WorkerHandle, payload: tuple) -> None:
+        """A worker checkpointed its job at the budget: requeue, not kill.
+
+        The job goes back to the *front* of its home shard so it resumes
+        promptly; past ``max_preemptions`` slices it resolves to a timeout
+        outcome (the worker stays alive either way).  A cancellation that
+        raced the preemption resolves to cancelled here.
+        """
+        _kind, _job_id, events, wall_ms, ckpt_hits, ckpt_misses = payload
+        job, handle.job = handle.job, None
+        handle.deadline = None
+        job.preemptions += 1
+        self._preemptions += 1
+        try:
+            self._on_preempted(
+                job, int(events), float(wall_ms), int(ckpt_hits), int(ckpt_misses)
+            )
+        except Exception:  # pragma: no cover - defensive
+            pass
+        if job.cancel.is_set():
+            self._emit(
+                job,
+                PoolOutcome(
+                    status="cancelled",
+                    error="cancelled by request",
+                    worker=handle.index,
+                ),
+            )
+        elif job.preemptions > self.max_preemptions:
+            self._emit(
+                job,
+                PoolOutcome(
+                    status="timeout",
+                    error=(
+                        f"preempted {job.preemptions} times without finishing "
+                        f"({float(job.timeout_s):.3f} s budget per slice)"
+                    ),
+                    worker=handle.index,
+                ),
+            )
+        else:
+            self._shards[self._shard_of(job.digest)].appendleft(job)
 
     def _reap(self, handle: WorkerHandle) -> None:
         """A busy worker died: resolve its job, then replace the process.
@@ -592,8 +762,16 @@ class WorkerPool:
                         ),
                     )
                     continue
+                # With a checkpoint store the worker preempts itself at the
+                # budget; the supervisor's kill becomes a grace-padded
+                # safety net.  Without one, the old deadline kill applies.
+                budget = (
+                    None
+                    if job.timeout_s is None or self.cache_dir is None
+                    else float(job.timeout_s)
+                )
                 try:
-                    handle.conn.send(("run", job.id, job.spec))
+                    handle.conn.send(("run", job.id, job.spec, budget))
                 except (OSError, ValueError):
                     # The worker became unusable under us: put the job back
                     # (not the job's fault — no attempts charge) and respawn.
@@ -601,11 +779,13 @@ class WorkerPool:
                     self._respawn(handle, crashed=True)
                     break
                 handle.job = job
-                handle.deadline = (
-                    None
-                    if job.timeout_s is None
-                    else time.monotonic() + float(job.timeout_s)
-                )
+                if job.timeout_s is None:
+                    handle.deadline = None
+                else:
+                    grace = 0.0 if budget is None else self.preempt_grace_s
+                    handle.deadline = (
+                        time.monotonic() + float(job.timeout_s) + grace
+                    )
                 try:
                     self._on_running(job, handle.index)
                 except Exception:  # pragma: no cover - defensive

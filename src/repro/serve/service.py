@@ -25,10 +25,17 @@ event loop without touching the pool at all.
 
 The pool supervises its processes: a worker that dies mid-job is
 respawned and the job requeued (up to ``max_requeues`` times) before it
-is FAILED; per-job timeouts and mid-run cancellation kill the worker
-process (the slot respawns), so a stuck simulation releases its CPU.
-Worker health — per-worker inflight/completed counters, restarts —
-ships through :meth:`metrics`.
+is FAILED; mid-run cancellation kills the worker process (the slot
+respawns), so a stuck simulation releases its CPU.  With a persistent
+cache directory, a job that reaches its per-slice deadline is *preempted*
+rather than killed: the worker checkpoints the live simulation into the
+shared :class:`~repro.experiments.checkpoints.CheckpointStore`, the job
+requeues (state PREEMPTED), and its next slice resumes from the snapshot
+— long traces complete across as many slices as ``max_preemptions``
+allows, in bounded memory, without ever restarting from zero.  Without a
+cache directory the old deadline kill applies.  Worker health —
+per-worker inflight/completed counters, restarts, preemptions — ships
+through :meth:`metrics`.
 
 :meth:`drain` implements graceful shutdown (what SIGTERM triggers): stop
 admitting, let queued and running jobs finish — or, past the grace
@@ -99,11 +106,19 @@ class ServiceConfig:
     #: How many times a job is requeued after its worker process dies
     #: mid-run before the job is FAILED.
     max_requeues: int = 2
+    #: How many checkpoint-and-requeue slices a job may consume before it
+    #: resolves to TIMEOUT (only meaningful with a cache directory).
+    max_preemptions: int = 8
+    #: Safety-net padding past a preemptible job's budget before the
+    #: supervisor falls back to killing the worker.
+    preempt_grace_s: float = 10.0
 
     def __post_init__(self) -> None:
         self.workers = max(1, int(self.workers))
         self.queue_depth = max(1, int(self.queue_depth))
         self.max_requeues = max(0, int(self.max_requeues))
+        self.max_preemptions = max(0, int(self.max_preemptions))
+        self.preempt_grace_s = max(0.0, float(self.preempt_grace_s))
         if self.cache_dir is not None:
             self.cache_dir = Path(self.cache_dir)
 
@@ -148,6 +163,8 @@ class SimulationService:
         self._sim_wall_ms_total = 0.0
         self._trace_cache_hits_total = 0
         self._trace_cache_misses_total = 0
+        self._checkpoint_hits_total = 0
+        self._checkpoint_misses_total = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -164,7 +181,10 @@ class SimulationService:
             on_running=self._pool_running,
             on_outcome=self._pool_outcome,
             on_requeue=self._pool_requeue,
+            on_preempted=self._pool_preempted,
             max_requeues=self.config.max_requeues,
+            max_preemptions=self.config.max_preemptions,
+            preempt_grace_s=self.config.preempt_grace_s,
         ).start()
         self.started_at = time.monotonic()
 
@@ -354,13 +374,17 @@ class SimulationService:
                 self._sim_wall_ms_total += outcome.wall_ms
                 self._trace_cache_hits_total += outcome.trace_cache_hits
                 self._trace_cache_misses_total += outcome.trace_cache_misses
+                self._checkpoint_hits_total += outcome.checkpoint_hits
+                self._checkpoint_misses_total += outcome.checkpoint_misses
+            # Adding onto the job's own counters keeps a preempted job's
+            # record cumulative across its slices (identity for the rest).
             await self.board.advance(
                 job,
                 JobState.DONE,
                 source=outcome.source,
                 result=result,
-                wall_ms=outcome.wall_ms,
-                sim_events=outcome.sim_events,
+                wall_ms=job.wall_ms + outcome.wall_ms,
+                sim_events=job.sim_events + outcome.sim_events,
             )
             serve.add("completed")
             if outcome.source == "simulated":
@@ -388,7 +412,7 @@ class SimulationService:
             "cancelled": JobState.CANCELLED,
         }.get(outcome.status, JobState.FAILED)
         await self.board.advance(
-            job, state, error=outcome.error, wall_ms=outcome.wall_ms
+            job, state, error=outcome.error, wall_ms=job.wall_ms + outcome.wall_ms
         )
         serve.add(
             {"timeout": "timeouts", "cancelled": "cancelled"}.get(
@@ -430,6 +454,32 @@ class SimulationService:
         """Pool callback: ``job`` finished (ok/failed/timeout/cancelled)."""
         self._schedule(self._finish_pooled(job, outcome))
 
+    def _pool_preempted(
+        self, job: Job, events: int, wall_ms: float, ckpt_hits: int, ckpt_misses: int
+    ) -> None:
+        """Pool callback: ``job`` was checkpointed at its budget, requeued."""
+        self._schedule(
+            self._mark_preempted(job, events, wall_ms, ckpt_hits, ckpt_misses)
+        )
+
+    async def _mark_preempted(
+        self, job: Job, events: int, wall_ms: float, ckpt_hits: int, ckpt_misses: int
+    ) -> None:
+        """Record one preemption slice: counters plus the PREEMPTED state.
+
+        The slice's kernel events and wall-clock fold into the simulation
+        totals as they happen, so a long job's progress is visible in
+        ``/metrics`` while it is still being resumed slice after slice.
+        """
+        self.stats.group("serve").add("preempted")
+        self._sim_events_total += events
+        self._sim_wall_ms_total += wall_ms
+        self._checkpoint_hits_total += ckpt_hits
+        self._checkpoint_misses_total += ckpt_misses
+        job.sim_events += events
+        job.wall_ms += wall_ms
+        await self.board.advance(job, JobState.PREEMPTED)
+
     # -- observability -------------------------------------------------------
 
     def metrics(self) -> dict:
@@ -459,8 +509,10 @@ class SimulationService:
                 "restarts_total": 0,
                 "kills_total": 0,
                 "requeues_total": 0,
+                "preemptions_total": 0,
                 "workers": [],
             }
+        checkpoint_probes = self._checkpoint_hits_total + self._checkpoint_misses_total
         return {
             "state": "draining" if self.draining else "running",
             "uptime_s": round(uptime, 3),
@@ -469,6 +521,7 @@ class SimulationService:
             "worker_restarts": fleet["restarts_total"],
             "worker_kills": fleet["kills_total"],
             "job_requeues": fleet["requeues_total"],
+            "job_preemptions": fleet["preemptions_total"],
             "queue_depth": fleet["queued"],
             "queue_capacity": self.config.queue_depth,
             "jobs_active": 0 if self.board is None else self.board.active,
@@ -489,6 +542,13 @@ class SimulationService:
             "trace_cache_hit_ratio": (
                 round(self._trace_cache_hits_total / trace_lookups, 4)
                 if trace_lookups
+                else 0.0
+            ),
+            "checkpoint_hits": self._checkpoint_hits_total,
+            "checkpoint_misses": self._checkpoint_misses_total,
+            "checkpoint_hit_ratio": (
+                round(self._checkpoint_hits_total / checkpoint_probes, 4)
+                if checkpoint_probes
                 else 0.0
             ),
         }

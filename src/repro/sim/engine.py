@@ -39,9 +39,35 @@ from repro.errors import SimulationError
 
 PS_PER_NS = 1000
 
+class _FiredSentinel:
+    """Singleton sentinel marking an entry's callback slot as executed.
+
+    Handles distinguish fired events (this sentinel) from cancelled ones
+    (``None``) by identity.  A bare ``object()`` would lose that identity
+    through pickling, so checkpointed engines use this class: ``__new__``
+    always hands back the module singleton and ``__reduce__`` pickles to a
+    call of the class, making ``is _FIRED`` survive snapshot/restore even
+    across processes.
+    """
+
+    __slots__ = ()
+    _instance: "_FiredSentinel | None" = None
+
+    def __new__(cls) -> "_FiredSentinel":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __reduce__(self):
+        return (_FiredSentinel, ())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<fired>"
+
+
 #: Sentinel stored in an entry's callback slot once the event has executed,
 #: so handles can distinguish fired events from cancelled ones (``None``).
-_FIRED = object()
+_FIRED = _FiredSentinel()
 
 # Entry layout indices (entries are plain lists for C-speed comparison).
 _TIME = 0
@@ -223,7 +249,12 @@ class Engine:
             entry[_CALLBACK] = None
             self._live -= 1
 
-    def run(self, until_ps: int | None = None, max_events: int | None = None) -> None:
+    def run(
+        self,
+        until_ps: int | None = None,
+        max_events: int | None = None,
+        stop_after_events: int | None = None,
+    ) -> None:
         """Execute events in order until the queue empties or limits hit.
 
         Parameters
@@ -232,9 +263,28 @@ class Engine:
             Stop once the next event would be strictly after this time.
         max_events:
             Safety valve for tests; raises if exceeded.
+        stop_after_events:
+            Return *cleanly* after executing this many events (unlike
+            ``max_events``, which raises).  This is the checkpoint hook:
+            the engine pauses between events, where its state — heap,
+            clock, sequence counter — is self-consistent and
+            snapshottable; calling :meth:`run` again continues exactly
+            where the previous call stopped.
         """
         if self._running:
             raise SimulationError("engine is not re-entrant")
+        if stop_after_events is not None and stop_after_events <= 0:
+            return
+        # The two event limits fold into ONE per-event comparison (the run
+        # loop is the hottest code in the repository): whichever limit is
+        # tighter becomes ``limit``; on equality the clean stop wins.
+        limit = max_events
+        raise_at_limit = True
+        if stop_after_events is not None and (
+            limit is None or stop_after_events <= limit
+        ):
+            limit = stop_after_events
+            raise_at_limit = False
         self._running = True
         # Hot loop: locals beat attribute loads, entries are plain lists,
         # tombstones (nulled callbacks) are discarded as they surface.
@@ -263,10 +313,12 @@ class Engine:
                 executed += 1
                 if instrument is not None:
                     instrument(time_ps, callback)
-                if max_events is not None and executed >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; likely a livelock"
-                    )
+                if limit is not None and executed >= limit:
+                    if raise_at_limit:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; likely a livelock"
+                        )
+                    break
             if until_ps is not None and until_ps > self._now_ps:
                 self._now_ps = until_ps
         finally:
@@ -276,3 +328,49 @@ class Engine:
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events still queued (O(1))."""
         return self._live
+
+    # -- checkpoint protocol ------------------------------------------------
+    #
+    # The engine may only be snapshotted *between* events (not from inside a
+    # callback); everything that defines future behaviour — the heap, the
+    # clock, the sequence counter, the live count — round-trips.  The
+    # instrument hook is deliberately dropped: it is process-local
+    # observability (a profiler counter), re-attached from
+    # ``default_instrument`` on restore.  Pickling an engine as part of a
+    # larger object graph uses the same state, so heap entries shared with
+    # component-held references (e.g. the channel scheduler's wakeup entry)
+    # keep their identity through one combined dump.
+
+    def __getstate__(self) -> dict:
+        if self._running:
+            raise SimulationError("cannot snapshot a running engine mid-event")
+        return {
+            "queue": self._queue,
+            "now_ps": self._now_ps,
+            "sequence": self._sequence,
+            "live": self._live,
+            "events_executed": self.events_executed,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._queue = state["queue"]
+        self._now_ps = state["now_ps"]
+        self._sequence = state["sequence"]
+        self._running = False
+        self._live = state["live"]
+        self._instrument = type(self).default_instrument
+        self.events_executed = state["events_executed"]
+
+    def snapshot(self) -> dict:
+        """Serializable engine state (heap + clock + counters).
+
+        The outer heap list is copied so later scheduling does not mutate
+        the snapshot's spine; the entries themselves are shared (they are
+        frozen in place once fired, and pickling deep-copies them anyway).
+        """
+        state = self.__getstate__()
+        return {**state, "queue": list(state["queue"])}
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot`; the engine continues bit-identically."""
+        self.__setstate__({**state, "queue": list(state["queue"])})

@@ -11,6 +11,7 @@ from repro.system.simulator import (
     run_trace,
     run_traces,
 )
+from repro.system.world import CHECKPOINT_VERSION, SimCheckpoint, SimWorld
 
 __all__ = [
     "BuiltSystem",
@@ -24,4 +25,7 @@ __all__ = [
     "run_mix",
     "run_trace",
     "run_traces",
+    "CHECKPOINT_VERSION",
+    "SimCheckpoint",
+    "SimWorld",
 ]

@@ -10,22 +10,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.cpu.core import TraceDrivenCore
 from repro.cpu.generator import make_trace
 from repro.cpu.spec_profiles import BenchmarkProfile
 from repro.cpu.trace import Trace
-from repro.crypto.rng import DeterministicRng
 from repro.errors import SimulationError
 from repro.mem.bus import MemoryBus
-from repro.schemes import ProtectionScheme, level_for, resolve_scheme
-from repro.sim import profiling
-from repro.sim.engine import Engine
-from repro.sim.statistics import StatRegistry
-from repro.system.builder import build_system
+from repro.schemes import ProtectionScheme
 from repro.system.config import MachineConfig, ProtectionLevel
+from repro.system.world import SimWorld
 
 DEFAULT_NUM_REQUESTS = 6000
-_MAX_EVENTS_PER_REQUEST = 2000  # generous livelock guard
 
 #: A simulation target anywhere in this module: an enum member, a registry
 #: scheme name, or a resolved scheme object.
@@ -78,47 +72,9 @@ def run_traces(
     ``window`` may be a list giving each core its own outstanding-miss
     budget (heterogeneous mixes).
     """
-    if not traces:
-        raise SimulationError("need at least one trace")
-    windows = window if isinstance(window, list) else [window] * len(traces)
-    if len(windows) != len(traces):
-        raise SimulationError(
-            f"{len(windows)} windows for {len(traces)} traces"
-        )
-    machine = machine or MachineConfig()
-    scheme = resolve_scheme(level)
-    engine = Engine()
-    stats = StatRegistry()
-    rng = DeterministicRng(seed).fork(f"run-{traces[0].name}-{scheme.name}")
-    system = build_system(scheme, machine, engine, stats, rng, bus=bus)
-    cores = [
-        TraceDrivenCore(
-            engine, trace, system.port, window=core_window, stats=stats, core_id=i
-        )
-        for i, (trace, core_window) in enumerate(zip(traces, windows))
-    ]
-    total_requests = sum(len(trace) for trace in traces)
-    with profiling.phase("engine"):
-        for core in cores:
-            core.start()
-        engine.run(max_events=_MAX_EVENTS_PER_REQUEST * total_requests)
-        for core in cores:
-            if not core.done:
-                raise SimulationError(
-                    f"{core.trace.name}/{scheme.name}: core {core.core_id} did not "
-                    f"finish ({core._index}/{len(core.trace)} issued)"
-                )
-        system.flush()
-        engine.run(max_events=_MAX_EVENTS_PER_REQUEST * total_requests)
-    return RunResult(
-        benchmark=traces[0].name,
-        level=level_for(scheme.name) or scheme.name,
-        channels=machine.channels,
-        execution_time_ns=max(core.execution_time_ns for core in cores),
-        num_requests=total_requests,
-        instructions=sum(trace.total_instructions for trace in traces),
-        stats=stats.as_dict(),
-    )
+    world = SimWorld(traces, level, machine=machine, window=window, seed=seed, bus=bus)
+    world.run()
+    return world.result()
 
 
 def run_trace(

@@ -1,0 +1,177 @@
+"""SimWorld checkpoints: pause, freeze, thaw, retarget — bit-identically."""
+
+import multiprocessing
+
+import pytest
+
+from repro.cpu.generator import make_trace
+from repro.cpu.spec_profiles import SPEC_PROFILES
+from repro.errors import CheckpointError
+from repro.experiments.executor import _fork_context
+from repro.system.world import CHECKPOINT_VERSION, SimCheckpoint, SimWorld
+
+SEED = 2017
+
+
+def _world(benchmark="mcf", scheme="obfusmem_auth", n=300, cores=1, seed=SEED):
+    profile = SPEC_PROFILES[benchmark]
+    traces = [
+        make_trace(profile, n, seed=seed + 1000 * i) for i in range(cores)
+    ]
+    return SimWorld(traces, scheme, window=profile.window, seed=seed)
+
+
+def _straight_result(**kwargs):
+    world = _world(**kwargs)
+    assert world.run() is True
+    return world.result()
+
+
+class TestSlicedExecution:
+    def test_sliced_run_matches_single_shot(self):
+        straight = _straight_result()
+        sliced = _world()
+        hops = 0
+        while not sliced.run(stop_after_events=500):
+            hops += 1
+        assert hops >= 1
+        paused = sliced.result()
+        assert paused.execution_time_ns == straight.execution_time_ns
+        assert paused.stats == straight.stats
+
+    def test_run_after_finish_is_a_noop(self):
+        world = _world(n=100)
+        assert world.run() is True
+        events = world.events_executed
+        assert world.run() is True
+        assert world.events_executed == events
+
+
+class TestSnapshotThaw:
+    @pytest.mark.parametrize("scheme", ["unprotected", "obfusmem_auth", "oram"])
+    def test_thawed_world_finishes_bit_identically(self, scheme):
+        straight = _straight_result(scheme=scheme)
+        world = _world(scheme=scheme)
+        while not world.run(stop_after_events=700):
+            world = world.snapshot().thaw()  # every pause crosses a pickle
+        resumed = world.result()
+        assert resumed.execution_time_ns == straight.execution_time_ns
+        assert resumed.stats == straight.stats
+
+    def test_snapshot_metadata_describes_the_pause(self):
+        world = _world(cores=2)
+        world.run(stop_after_events=400)
+        checkpoint = world.snapshot()
+        assert checkpoint.version == CHECKPOINT_VERSION
+        assert checkpoint.events_executed == world.events_executed
+        assert checkpoint.now_ps == world.engine.now_ps
+        assert checkpoint.num_requests == 600
+        assert len(checkpoint.issued_indices) == 2
+        assert checkpoint.benchmark == "mcf"
+        assert checkpoint.scheme == "obfusmem_auth"
+        assert not checkpoint.finished
+
+    def test_wire_form_round_trips(self):
+        world = _world(n=150)
+        world.run(stop_after_events=300)
+        checkpoint = world.snapshot()
+        straight = _straight_result(n=150)
+        wired = SimCheckpoint.from_jsonable(checkpoint.to_jsonable())
+        assert wired == checkpoint
+        thawed = wired.thaw()
+        thawed.run()
+        assert thawed.result().stats == straight.stats
+
+    def test_damaged_payload_is_refused(self):
+        world = _world(n=100)
+        world.run(stop_after_events=200)
+        checkpoint = world.snapshot()
+        record = checkpoint.to_jsonable()
+        record["digest"] = "0" * 64
+        with pytest.raises(CheckpointError, match="digest"):
+            SimCheckpoint.from_jsonable(record).thaw()
+
+    def test_version_skew_is_refused(self):
+        world = _world(n=100)
+        world.run(stop_after_events=200)
+        record = world.snapshot().to_jsonable()
+        record["version"] = CHECKPOINT_VERSION + 1
+        with pytest.raises(CheckpointError, match="version"):
+            SimCheckpoint.from_jsonable(record).thaw()
+
+    def test_malformed_record_is_refused(self):
+        with pytest.raises(CheckpointError, match="malformed"):
+            SimCheckpoint.from_jsonable({"version": 1})
+
+
+class TestSafePrefixAndRetarget:
+    def test_safe_prefix_holds_mid_trace_and_clears_at_the_end(self):
+        world = _world(n=200)
+        world.run(stop_after_events=300)
+        assert world.safe_prefix
+        world.run()
+        assert not world.safe_prefix
+
+    def test_forked_run_matches_cold_long_run(self):
+        cold = _straight_result(n=600)
+        short = _world(n=300)
+        short.run(stop_after_events=800)
+        checkpoint = short.snapshot()
+        assert checkpoint.safe_prefix
+        forked = checkpoint.thaw()
+        profile = SPEC_PROFILES["mcf"]
+        forked.retarget([make_trace(profile, 600, seed=SEED)])
+        forked.run()
+        warm = forked.result()
+        assert warm.num_requests == 600
+        assert warm.execution_time_ns == cold.execution_time_ns
+        assert warm.stats == cold.stats
+
+    def test_retarget_refuses_non_extending_traces(self):
+        world = _world(n=200)
+        world.run(stop_after_events=300)
+        profile = SPEC_PROFILES["mcf"]
+        with pytest.raises(CheckpointError, match="does not extend"):
+            world.retarget([make_trace(profile, 400, seed=SEED + 1)])
+
+    def test_retarget_refuses_wrong_core_count(self):
+        world = _world(n=200)
+        world.run(stop_after_events=300)
+        profile = SPEC_PROFILES["mcf"]
+        longer = make_trace(profile, 400, seed=SEED)
+        with pytest.raises(CheckpointError, match="cores"):
+            world.retarget([longer, longer])
+
+    def test_retarget_refuses_past_the_safe_prefix(self):
+        world = _world(n=120)
+        world.run()
+        profile = SPEC_PROFILES["mcf"]
+        with pytest.raises(CheckpointError, match="safe prefix"):
+            world.retarget([make_trace(profile, 400, seed=SEED)])
+
+
+def _resume_in_child(connection, record) -> None:
+    checkpoint = SimCheckpoint.from_jsonable(record)
+    world = checkpoint.thaw()
+    world.run()
+    result = world.result()
+    connection.send((result.execution_time_ns, result.stats))
+    connection.close()
+
+
+class TestCrossProcessRestore:
+    def test_checkpoint_resumes_in_another_process(self):
+        straight = _straight_result()
+        world = _world()
+        world.run(stop_after_events=900)
+        record = world.snapshot().to_jsonable()
+        context = _fork_context() or multiprocessing.get_context()
+        parent, child = context.Pipe(duplex=False)
+        process = context.Process(target=_resume_in_child, args=(child, record))
+        process.start()
+        child.close()
+        execution_time_ns, stats = parent.recv()
+        process.join(timeout=60)
+        assert process.exitcode == 0
+        assert execution_time_ns == straight.execution_time_ns
+        assert stats == straight.stats

@@ -13,6 +13,12 @@ Any drift here means the event ordering contract — (time, priority,
 sequence), FR-FCFS arbitration over identical queue snapshots, label-stable
 rng forking — was broken somewhere, even if the aggregate overheads still
 look plausible.
+
+The grid is also the oracle for the checkpoint protocol: a second lane runs
+every cell paused-and-resumed — snapshot the world at an event budget, thaw
+the pickled blob, continue, repeat — and must land on the same golden
+number.  Passing both lanes for every scheme means snapshot/restore is
+invisible to the physics.
 """
 
 import json
@@ -20,9 +26,11 @@ from pathlib import Path
 
 import pytest
 
+from repro.cpu.generator import make_trace
 from repro.cpu.spec_profiles import SPEC_PROFILES
 from repro.system.config import MachineConfig, ProtectionLevel
 from repro.system.simulator import run_benchmark
+from repro.system.world import SimWorld
 
 GOLDEN_PATH = Path(__file__).parent.parent / "golden" / "execution_times.json"
 GOLDEN = json.loads(GOLDEN_PATH.read_text())
@@ -67,6 +75,40 @@ def test_execution_time_matches_golden(bench_name, level, machine_kwargs, cores,
     # Bit-identical, not approximately equal: execution_time_ns is an exact
     # integer picosecond count divided by 1000, so == is well-defined.
     assert result.execution_time_ns == expected
+
+
+@pytest.mark.parametrize(
+    "bench_name, level, machine_kwargs, cores, expected", _cells()
+)
+def test_snapshot_resume_matches_golden(
+    bench_name, level, machine_kwargs, cores, expected
+):
+    """The checkpoint lane: every cell, paused/frozen/thawed repeatedly.
+
+    Each pause crosses a full pickle round trip (exactly what the
+    persistent store and the preemptible pool do), at a budget that doubles
+    every hop so the resume points land at varied depths.  At least one hop
+    always happens: every cell executes more events than the first budget.
+    """
+    profile = SPEC_PROFILES[bench_name]
+    traces = [
+        make_trace(profile, GOLDEN["num_requests"], seed=GOLDEN["seed"] + 1000 * i)
+        for i in range(cores)
+    ]
+    world = SimWorld(
+        traces,
+        level,
+        machine=MachineConfig(**machine_kwargs),
+        window=profile.window,
+        seed=GOLDEN["seed"],
+    )
+    budget, hops = 300, 0
+    while not world.run(stop_after_events=budget):
+        world = world.snapshot().thaw()
+        hops += 1
+        budget *= 2
+    assert hops >= 1
+    assert world.result().execution_time_ns == expected
 
 
 def test_golden_grid_is_complete():
