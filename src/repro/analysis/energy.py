@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.oram.timing import DEFAULT_BUCKET_SIZE, DEFAULT_LEVELS
+from repro.oram.backend import DEFAULT_BUCKET_SIZE, DEFAULT_LEVELS
 
 PCM_WRITE_TO_READ_ENERGY = 6.8  # Lee et al. ratio used in §5.2
 

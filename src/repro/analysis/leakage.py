@@ -27,6 +27,7 @@ from repro.schemes.stages import (
     TRAIT_OPAQUE_BACKEND,
     TRAIT_PAIRED_TYPES,
     TRAIT_PERMUTED_ADDRESSES,
+    TRAIT_REBUILD_BURSTS,
 )
 
 # The publicly known unprotected wire format: type byte + 8-byte address.
@@ -305,6 +306,10 @@ class ExpectedLeakage:
     footprint_hidden: bool  # distinct-address count degenerates
     type_accuracy: float
     channels_covered: bool  # co-activity driven toward 1 (§3.4)
+    #: Amortized maintenance arrives in periodic bursts a §6.2-style timing
+    #: observer can count even without a wire (Ring evictions, Pyramid
+    #: rebuilds).  Serial per-access designs and real wires score False.
+    timing_bursts: bool = False
 
 
 def expected_leakage(
@@ -317,9 +322,11 @@ def expected_leakage(
     checks against live components — so a newly registered hybrid gets its
     leakage expectations for free:
 
-    * an opaque backend (ORAM timing model) has no wire, so every
+    * an opaque backend (any ORAM timing model) has no wire, so every
       access-pattern aspect is hidden by construction and type inference
-      degenerates to the 0.5 coin flip;
+      degenerates to the 0.5 coin flip; backends with bursty amortized
+      maintenance (Ring evictions, Pyramid rebuilds) still expose a
+      countable timing cadence, flagged as ``timing_bursts``;
     * a ciphertext wire hides spatial (both grains), temporal and
       footprint aspects at once;
     * plaintext-but-permuted addresses (HIDE) hide only block-grain
@@ -340,6 +347,7 @@ def expected_leakage(
             footprint_hidden=True,
             type_accuracy=0.5,
             channels_covered=False,
+            timing_bursts=TRAIT_REBUILD_BURSTS in traits,
         )
     ciphertext = TRAIT_CIPHERTEXT_WIRE in traits
     permuted = TRAIT_PERMUTED_ADDRESSES in traits

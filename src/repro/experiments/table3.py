@@ -4,6 +4,13 @@ For every benchmark: overhead of the fixed-latency ORAM model and of
 ObfusMem with authenticated communication, both relative to the unprotected
 baseline on the same trace, plus the speedup ratio of ObfusMem+Auth over
 ORAM.  Paper averages: ORAM 946.1%, ObfusMem+Auth 10.9%, speedup 9.1x.
+
+:func:`run_extended` widens the comparison along the paper's own axis:
+one overhead column per *registered ORAM scheme* (every scheme whose
+stack ends in an :class:`~repro.schemes.stages.OramBackendStage` — Path,
+Ring, Pyramid, Palermo, plus anything a plugin registers), so the table
+shows where the obfuscated bus sits against the whole ORAM design space
+rather than a single point.  ``--extended`` on the CLI prints it.
 """
 
 from __future__ import annotations
@@ -25,7 +32,24 @@ from repro.experiments.runner import (
     prefetch,
     select_benchmarks,
 )
+from repro.schemes import available_schemes
+from repro.schemes.stages import OramBackendStage
 from repro.system.config import MachineConfig, ProtectionLevel
+
+
+def oram_scheme_names() -> list[str]:
+    """Names of registered schemes backed by an ORAM backend stage.
+
+    Discovery is structural (the stack's terminal stage is an
+    :class:`~repro.schemes.stages.OramBackendStage`), so a newly
+    registered ORAM design joins the extended comparison without touching
+    this module.
+    """
+    return [
+        scheme.name
+        for scheme in available_schemes()
+        if isinstance(scheme.stages[-1], OramBackendStage)
+    ]
 
 
 @dataclass(frozen=True)
@@ -112,6 +136,92 @@ def run(
     return Table3Result(rows)
 
 
+@dataclass(frozen=True)
+class ExtendedRow:
+    """One benchmark's overheads across every registered ORAM scheme."""
+
+    benchmark: str
+    oram_overheads_pct: dict[str, float]  # scheme name -> overhead %
+    obfusmem_auth_overhead_pct: float
+
+    def speedup_over(self, scheme: str) -> float:
+        """ObfusMem+Auth speedup over one ORAM scheme on this benchmark."""
+        return (100.0 + self.oram_overheads_pct[scheme]) / (
+            100.0 + self.obfusmem_auth_overhead_pct
+        )
+
+
+@dataclass(frozen=True)
+class Table3Extended:
+    """The extended Table 3: one overhead column per ORAM scheme."""
+
+    schemes: tuple[str, ...]
+    rows: list[ExtendedRow]
+
+    def avg_overhead_pct(self, scheme: str) -> float:
+        """Mean overhead of one ORAM scheme across benchmarks."""
+        return statistics.mean(r.oram_overheads_pct[scheme] for r in self.rows)
+
+    @property
+    def avg_obfusmem_pct(self) -> float:
+        """Mean ObfusMem+Auth overhead across benchmarks."""
+        return statistics.mean(r.obfusmem_auth_overhead_pct for r in self.rows)
+
+
+def run_extended(
+    benchmarks: list[str] | None = None,
+    num_requests: int = DEFAULT_REQUESTS,
+    seed: int = DEFAULT_SEED,
+    machine: MachineConfig | None = None,
+    schemes: list[str] | None = None,
+) -> Table3Extended:
+    """Measure every registered ORAM scheme's overhead per benchmark.
+
+    ``schemes`` defaults to :func:`oram_scheme_names`; ObfusMem+Auth rides
+    along as the paper's comparison anchor.
+    """
+    machine = machine or MachineConfig()
+    names = select_benchmarks(benchmarks)
+    scheme_names = list(schemes) if schemes is not None else oram_scheme_names()
+    levels: list[ProtectionLevel | str] = [
+        ProtectionLevel.UNPROTECTED,
+        ProtectionLevel.OBFUSMEM_AUTH,
+        *scheme_names,
+    ]
+    prefetch(
+        sweep_specs(
+            names,
+            levels,
+            machine=machine,
+            num_requests=num_requests,
+            seed=seed,
+        ),
+        label="table3-extended",
+    )
+    rows = []
+    for name in names:
+        baseline = cached_run(
+            name, ProtectionLevel.UNPROTECTED, machine, num_requests, seed
+        )
+        obfus = cached_run(
+            name, ProtectionLevel.OBFUSMEM_AUTH, machine, num_requests, seed
+        )
+        overheads = {
+            scheme: cached_run(name, scheme, machine, num_requests, seed).overhead_pct(
+                baseline
+            )
+            for scheme in scheme_names
+        }
+        rows.append(
+            ExtendedRow(
+                benchmark=name,
+                oram_overheads_pct=overheads,
+                obfusmem_auth_overhead_pct=obfus.overhead_pct(baseline),
+            )
+        )
+    return Table3Extended(schemes=tuple(scheme_names), rows=rows)
+
+
 def format_results(result: Table3Result) -> str:
     """Render the result as a fixed-width text table."""
     columns = [
@@ -149,11 +259,45 @@ def format_results(result: Table3Result) -> str:
     return format_table(columns, body)
 
 
+def format_extended(result: Table3Extended) -> str:
+    """Render the extended comparison: one column per ORAM scheme."""
+    columns = [TableColumn("Benchmark", 12, "<")]
+    columns.extend(TableColumn(f"{name}%", 11) for name in result.schemes)
+    columns.append(TableColumn("ObfMem%", 8))
+    body = [
+        [
+            row.benchmark,
+            *[f"{row.oram_overheads_pct[name]:.1f}" for name in result.schemes],
+            f"{row.obfusmem_auth_overhead_pct:.1f}",
+        ]
+        for row in result.rows
+    ]
+    body.append(
+        [
+            "Avg",
+            *[f"{result.avg_overhead_pct(name):.1f}" for name in result.schemes],
+            f"{result.avg_obfusmem_pct:.1f}",
+        ]
+    )
+    return format_table(columns, body)
+
+
 def main(argv: list[str] | None = None) -> None:
     """Print the regenerated table (script entry point)."""
     parser = argparse.ArgumentParser(prog="repro.experiments.table3")
     add_runner_arguments(parser)
-    configure_from_args(parser.parse_args(argv))
+    parser.add_argument(
+        "--extended",
+        action="store_true",
+        help="one overhead column per registered ORAM scheme "
+        "(path, ring, pyramid, palermo, ...)",
+    )
+    args = parser.parse_args(argv)
+    configure_from_args(args)
+    if args.extended:
+        print("Table 3 (extended) — overheads across every registered ORAM scheme")
+        print(format_extended(run_extended()))
+        return
     print("Table 3 — ORAM vs ObfusMem+Auth overheads ('p' columns = paper)")
     print(format_results(run()))
 

@@ -1,23 +1,55 @@
-"""ORAM baselines: Path ORAM and Ring ORAM (functional), plus the paper's
-fixed-latency ORAM timing model."""
+"""ORAM designs behind one pluggable-backend seam.
 
-from repro.oram.path_oram import Bucket, OramBlock, PathOram, PositionMap
-from repro.oram.ring_oram import RingOram
-from repro.oram.timing import (
+Functional implementations (Path, Ring, Pyramid), the fixed-latency
+timing model the paper's §4 comparison charges, and the
+:class:`~repro.oram.backend.OramBackend` descriptors that bind a design's
+functional algorithm, per-access timing/traffic decomposition, and
+observable-bus traits into one registrable object.
+"""
+
+from repro.oram.backend import (
     DEFAULT_ACCESS_LATENCY_NS,
     DEFAULT_BUCKET_SIZE,
     DEFAULT_LEVELS,
-    OramMemoryModel,
+    AccessDecomposition,
+    AccessPhase,
+    OramBackend,
+    PalermoBackend,
+    PathOramBackend,
+    PyramidOramBackend,
+    RingOramBackend,
+    available_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+    unregister_backend,
 )
+from repro.oram.path_oram import Bucket, OramBlock, PathOram, PositionMap
+from repro.oram.pyramid import PyramidOram
+from repro.oram.ring_oram import RingOram
+from repro.oram.timing import OramMemoryModel
 
 __all__ = [
+    "AccessDecomposition",
+    "AccessPhase",
     "Bucket",
+    "OramBackend",
     "OramBlock",
+    "OramMemoryModel",
+    "PalermoBackend",
     "PathOram",
+    "PathOramBackend",
     "PositionMap",
+    "PyramidOram",
+    "PyramidOramBackend",
     "RingOram",
+    "RingOramBackend",
     "DEFAULT_ACCESS_LATENCY_NS",
     "DEFAULT_BUCKET_SIZE",
     "DEFAULT_LEVELS",
-    "OramMemoryModel",
+    "available_backends",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
 ]

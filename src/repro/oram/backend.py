@@ -1,0 +1,505 @@
+"""Pluggable ORAM backends: one descriptor per ORAM design.
+
+The paper's Table 3 positions the obfuscated bus against "ORAM" as if that
+were one design; in reality the ORAM literature is a family — Path ORAM's
+full-path reads, Ring ORAM's XOR-compressed online phase, the Pyramid
+Scheme's hash-table hierarchy (Costa et al.), Palermo's protocol/hardware
+co-design that overlaps position-map and tree phases (Ye et al.).  This
+module gives each design one seam: an :class:`OramBackend` descriptor that
+bundles
+
+* the **functional access algorithm** (:meth:`OramBackend.make_functional`
+  constructs the invariant-checked simulator object — Path ORAM, Ring
+  ORAM, Pyramid ORAM — used for capacity / write-amplification / failure
+  characterization);
+* the **per-access timing and traffic decomposition**
+  (:meth:`OramBackend.decompose` returns the ordered
+  :class:`AccessPhase` list — position map, read path, write-back,
+  amortized rebuild — with the overlap structure that determines the
+  critical-path latency the fixed-latency memory model charges);
+* the **observable-bus trait descriptor** (:attr:`OramBackend.traits`,
+  the ``TRAIT_*`` vocabulary :func:`repro.analysis.leakage.expected_leakage`
+  reads).
+
+Descriptors are frozen dataclasses: hashable, picklable (the PR-8 snapshot
+protocol pickles the whole component graph, descriptor included), and
+cheap enough that :class:`repro.schemes.stages.OramBackendStage` resolves
+one per build with zero per-backend branches.  The module-level defaults
+that used to live in :mod:`repro.oram.timing` (fixed 2500 ns access,
+L=24, Z=4) are fields of the descriptor now, so a per-scheme override
+flows through :meth:`OramBackend.with_latency` and can never drift from
+:class:`repro.system.config.MachineConfig`.
+
+Registering a new design::
+
+    from repro.oram.backend import OramBackend, register_backend
+
+    @dataclass(frozen=True)
+    class MyBackend(OramBackend):
+        name = "mine"
+        summary = "my oblivious design"
+        ...  # decompose() + make_functional()
+
+    register_backend(MyBackend())
+    # then: ProtectionScheme(..., stages=(OramBackendStage(backend="mine"),))
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import difflib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # imported lazily at build time to keep import cycles out
+    from repro.crypto.rng import DeterministicRng
+
+# Paper baseline (§4): every ORAM access costs a fixed 2500 ns (extrapolated
+# from Freecursive ORAM) over an L=24, Z=4 tree — a path of ~100 blocks read
+# and later written back per access.  These used to be module-level constants
+# in repro.oram.timing; they live on the descriptor now.
+DEFAULT_ACCESS_LATENCY_NS = 2500.0
+DEFAULT_LEVELS = 24
+DEFAULT_BUCKET_SIZE = 4
+
+#: The backend has no wire model at all: accesses vanish into an opaque
+#: trusted memory, so a bus snooper sees nothing (every ORAM backend).
+TRAIT_OPAQUE_BACKEND = "opaque-backend"
+#: Amortized maintenance (scheduled evictions, hash-table rebuilds) arrives
+#: in periodic bursts a timing observer can count even without a wire.
+TRAIT_REBUILD_BURSTS = "rebuild-bursts"
+
+
+@dataclass(frozen=True)
+class AccessPhase:
+    """One protocol phase of a single ORAM access.
+
+    Latency is the time the phase contributes when executed serially;
+    traffic fields are per-access block counts (amortized phases carry
+    fractional values).  ``overlapped`` folds the phase into the same
+    pipeline step as the preceding phase: the step's latency becomes the
+    max of its phases instead of the sum — exactly Palermo's trick of
+    fetching the position map while the tree path is speculatively read.
+    """
+
+    name: str
+    latency_ns: float
+    blocks_read: float = 0.0
+    blocks_written: float = 0.0
+    cell_writes: float = 0.0
+    overlapped: bool = False
+
+    def __post_init__(self) -> None:
+        if self.latency_ns < 0:
+            raise ConfigurationError(f"phase {self.name!r} has negative latency")
+        if min(self.blocks_read, self.blocks_written, self.cell_writes) < 0:
+            raise ConfigurationError(f"phase {self.name!r} has negative traffic")
+
+
+@dataclass(frozen=True)
+class AccessDecomposition:
+    """The per-access timing/traffic breakdown of one ORAM backend.
+
+    Phases are listed in protocol order; consecutive phases marked
+    ``overlapped`` share a pipeline step with the phase they follow.  The
+    critical-path latency is the sum over steps of each step's slowest
+    phase, so a backend that overlaps nothing degenerates to the plain
+    serial sum.
+    """
+
+    phases: tuple[AccessPhase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ConfigurationError("decomposition needs at least one phase")
+        if self.phases[0].overlapped:
+            raise ConfigurationError("first phase cannot overlap a predecessor")
+        if self.latency_ns <= 0:
+            raise ConfigurationError("decomposition must take positive time")
+
+    def steps(self) -> list[tuple[AccessPhase, ...]]:
+        """Phases grouped into pipeline steps (overlap joins the previous)."""
+        grouped: list[list[AccessPhase]] = []
+        for phase in self.phases:
+            if phase.overlapped and grouped:
+                grouped[-1].append(phase)
+            else:
+                grouped.append([phase])
+        return [tuple(group) for group in grouped]
+
+    @property
+    def latency_ns(self) -> float:
+        """Critical-path latency: per-step max, summed across steps."""
+        return sum(
+            max(phase.latency_ns for phase in step) for step in self.steps()
+        )
+
+    @property
+    def serialized_latency_ns(self) -> float:
+        """What the access would cost with no overlap at all."""
+        return sum(phase.latency_ns for phase in self.phases)
+
+    @property
+    def overlap_savings_ns(self) -> float:
+        """Latency hidden by the overlap structure (0 for serial designs)."""
+        return self.serialized_latency_ns - self.latency_ns
+
+    @property
+    def blocks_read(self) -> float:
+        """Blocks read from the trusted memory per access (amortized)."""
+        return sum(phase.blocks_read for phase in self.phases)
+
+    @property
+    def blocks_written(self) -> float:
+        """Blocks written back per access (amortized)."""
+        return sum(phase.blocks_written for phase in self.phases)
+
+    @property
+    def cell_writes(self) -> float:
+        """PCM cell writes charged against lifetime per access (amortized)."""
+        return sum(phase.cell_writes for phase in self.phases)
+
+    def phase_named(self, name: str) -> AccessPhase:
+        """The phase with the given name; KeyError when absent."""
+        for phase in self.phases:
+            if phase.name == name:
+                return phase
+        raise KeyError(name)
+
+
+@dataclass(frozen=True)
+class OramBackend(abc.ABC):
+    """One ORAM design: functional algorithm + timing decomposition + traits.
+
+    Subclasses set the class-level metadata (``name``, ``summary``,
+    ``traits``) and implement :meth:`decompose` and
+    :meth:`make_functional`.  The shared fields are the paper-baseline
+    geometry every decomposition is scaled from: ``access_latency_ns`` is
+    the reference cost of one *Path ORAM* access over an
+    ``levels``/``bucket_size`` tree, so the per-block wire time
+    (:attr:`block_time_ns`) — and with it every other backend's latency —
+    moves together when :class:`~repro.system.config.MachineConfig`
+    overrides the ORAM latency assumption.
+    """
+
+    access_latency_ns: float = DEFAULT_ACCESS_LATENCY_NS
+    levels: int = DEFAULT_LEVELS
+    bucket_size: int = DEFAULT_BUCKET_SIZE
+
+    #: Registry key (``OramBackendStage(backend=<name>)`` selects it).
+    name: ClassVar[str] = "backend"
+    #: One-line design summary for ``--list-schemes`` and stack listings.
+    summary: ClassVar[str] = ""
+    #: Observable-bus trait flags (``TRAIT_*``) the leakage model reads.
+    traits: ClassVar[frozenset[str]] = frozenset({TRAIT_OPAQUE_BACKEND})
+
+    def __post_init__(self) -> None:
+        if self.access_latency_ns <= 0:
+            raise ConfigurationError("ORAM access latency must be positive")
+        if self.levels < 1 or self.bucket_size < 1:
+            raise ConfigurationError("ORAM geometry must be positive")
+
+    # -- shared geometry ----------------------------------------------------
+
+    @property
+    def path_blocks(self) -> int:
+        """Blocks on one root-to-leaf path of the reference tree."""
+        return (self.levels + 1) * self.bucket_size
+
+    @property
+    def block_time_ns(self) -> float:
+        """Per-block service time implied by the paper's path latency.
+
+        The reference access moves a full path twice (read + write-back)
+        in ``access_latency_ns``, so one block costs that divided by
+        ``2 * path_blocks`` — the scale every decomposition is built from.
+        """
+        return self.access_latency_ns / (2 * self.path_blocks)
+
+    def with_latency(self, access_latency_ns: float) -> "OramBackend":
+        """This descriptor rescaled to a machine's ORAM latency assumption."""
+        return dataclasses.replace(self, access_latency_ns=access_latency_ns)
+
+    # -- the protocol -------------------------------------------------------
+
+    @abc.abstractmethod
+    def decompose(self) -> AccessDecomposition:
+        """The per-access phase breakdown at this descriptor's scale."""
+
+    @abc.abstractmethod
+    def make_functional(self, num_blocks: int, rng: "DeterministicRng", **kwargs):
+        """Construct the functional (invariant-checked) ORAM instance."""
+
+    def describe(self) -> str:
+        """Human-readable ``name: summary`` line for listings."""
+        return f"{self.name}: {self.summary}"
+
+
+@dataclass(frozen=True)
+class PathOramBackend(OramBackend):
+    """Path ORAM (Stefanov et al.) under the paper's §4 timing assumptions.
+
+    Every access reads the full path into the stash and writes it back:
+    two serial path movements, no overlap, the fixed 2500 ns baseline the
+    paper's Table 3 charges.  The position-map lookup is on-chip (the
+    recursive position map is folded into the access constant, as the
+    paper does).
+    """
+
+    name: ClassVar[str] = "path"
+    summary: ClassVar[str] = "full path read + write-back per access (§4 baseline)"
+    traits: ClassVar[frozenset[str]] = frozenset({TRAIT_OPAQUE_BACKEND})
+
+    def decompose(self) -> AccessDecomposition:
+        """Position map (on-chip), then path read, then path write-back."""
+        half = self.access_latency_ns / 2
+        return AccessDecomposition(
+            phases=(
+                AccessPhase("posmap", 0.0),
+                AccessPhase("read-path", half, blocks_read=self.path_blocks),
+                AccessPhase(
+                    "writeback",
+                    half,
+                    blocks_written=self.path_blocks,
+                    cell_writes=self.path_blocks,
+                ),
+            )
+        )
+
+    def make_functional(self, num_blocks: int, rng: "DeterministicRng", **kwargs):
+        """A :class:`~repro.oram.path_oram.PathOram` over this geometry."""
+        from repro.oram.path_oram import PathOram
+
+        kwargs.setdefault("bucket_size", self.bucket_size)
+        return PathOram(num_blocks, rng, **kwargs)
+
+
+@dataclass(frozen=True)
+class RingOramBackend(OramBackend):
+    """Ring ORAM (Ren et al.): XOR online reads + decoupled eviction.
+
+    The online phase touches one slot per bucket on the path and the XOR
+    technique collapses the whole path to a single block on the bus; a
+    full path eviction runs only every ``evict_rate`` accesses.  Scheduled
+    evictions and early reshuffles arrive in bursts, which is what the
+    :data:`TRAIT_REBUILD_BURSTS` flag declares to the leakage model.
+    """
+
+    bucket_dummies: int = 12
+    evict_rate: int = 8
+
+    name: ClassVar[str] = "ring"
+    summary: ClassVar[str] = "XOR online reads + amortized path evictions"
+    traits: ClassVar[frozenset[str]] = frozenset(
+        {TRAIT_OPAQUE_BACKEND, TRAIT_REBUILD_BURSTS}
+    )
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.bucket_dummies < 1 or self.evict_rate < 1:
+            raise ConfigurationError("ring backend needs dummies and A >= 1")
+
+    def decompose(self) -> AccessDecomposition:
+        """Online slot reads, then the per-access share of one eviction."""
+        slots_online = self.levels + 1  # one slot per bucket on the path
+        evict_blocks = self.path_blocks / self.evict_rate  # amortized each way
+        return AccessDecomposition(
+            phases=(
+                AccessPhase("posmap", 0.0),
+                # Slot touches are serial on the DIMM even though XOR
+                # compresses the bus transfer to one block.
+                AccessPhase(
+                    "online-read",
+                    slots_online * self.block_time_ns,
+                    blocks_read=1.0,
+                ),
+                AccessPhase(
+                    "evict",
+                    2 * evict_blocks * self.block_time_ns,
+                    blocks_read=evict_blocks,
+                    blocks_written=evict_blocks,
+                    cell_writes=evict_blocks,
+                ),
+            )
+        )
+
+    def make_functional(self, num_blocks: int, rng: "DeterministicRng", **kwargs):
+        """A :class:`~repro.oram.ring_oram.RingOram` over this geometry."""
+        from repro.oram.ring_oram import RingOram
+
+        kwargs.setdefault("bucket_reals", self.bucket_size)
+        kwargs.setdefault("bucket_dummies", self.bucket_dummies)
+        kwargs.setdefault("evict_rate", self.evict_rate)
+        return RingOram(num_blocks, rng, **kwargs)
+
+
+@dataclass(frozen=True)
+class PyramidOramBackend(OramBackend):
+    """The Pyramid Scheme (Costa et al.): a hash-table ORAM hierarchy.
+
+    An access probes one bucket per hash level top-down (locality-friendly
+    sequential reads, the design's point for trusted processors) and every
+    access carries an amortized share of the periodic level rebuilds that
+    merge small tables into larger ones under fresh hash keys.  The
+    rebuild cadence is bursty — :data:`TRAIT_REBUILD_BURSTS`.
+
+    ``levels`` means *hash levels* here (the functional
+    :class:`~repro.oram.pyramid.PyramidOram` sizes itself the same way),
+    not tree depth; the default keeps the probe cost well under one path
+    movement, which is the design's headline.
+    """
+
+    levels: int = 12
+
+    name: ClassVar[str] = "pyramid"
+    summary: ClassVar[str] = "hash-table hierarchy probes + amortized rebuilds"
+    traits: ClassVar[frozenset[str]] = frozenset(
+        {TRAIT_OPAQUE_BACKEND, TRAIT_REBUILD_BURSTS}
+    )
+
+    def decompose(self) -> AccessDecomposition:
+        """Level probes, then the amortized rebuild share."""
+        probe_blocks = self.levels * self.bucket_size  # one bucket per level
+        # Over n accesses each block participates in ~log(n) merges: one
+        # read and one write per level, amortized to `levels` blocks each
+        # way per access.
+        rebuild_each_way = float(self.levels)
+        return AccessDecomposition(
+            phases=(
+                AccessPhase("posmap", 0.0),
+                AccessPhase(
+                    "probe",
+                    probe_blocks * self.block_time_ns,
+                    blocks_read=probe_blocks,
+                ),
+                AccessPhase(
+                    "rebuild",
+                    2 * rebuild_each_way * self.block_time_ns,
+                    blocks_read=rebuild_each_way,
+                    blocks_written=rebuild_each_way,
+                    cell_writes=rebuild_each_way,
+                ),
+            )
+        )
+
+    def make_functional(self, num_blocks: int, rng: "DeterministicRng", **kwargs):
+        """A :class:`~repro.oram.pyramid.PyramidOram` over this geometry."""
+        from repro.oram.pyramid import PyramidOram
+
+        kwargs.setdefault("bucket_size", self.bucket_size)
+        return PyramidOram(num_blocks, rng, **kwargs)
+
+
+@dataclass(frozen=True)
+class PalermoBackend(OramBackend):
+    """Palermo (Ye et al.): protocol/hardware co-design over a ring tree.
+
+    The co-design overlaps the off-chip position-map fetch with a
+    speculative tree-path read and spreads the path over
+    ``bank_parallelism`` banks, so the three phases collapse into one
+    pipeline step whose latency is the slowest phase — the overlap
+    structure :class:`AccessDecomposition` models directly.  Write-backs
+    are pipelined behind subsequent accesses rather than bursty, so the
+    backend does *not* carry :data:`TRAIT_REBUILD_BURSTS`.
+    """
+
+    bank_parallelism: int = 4
+    posmap_fraction: float = 0.1
+
+    name: ClassVar[str] = "palermo"
+    summary: ClassVar[str] = "posmap fetch overlapped with banked tree phases"
+    traits: ClassVar[frozenset[str]] = frozenset({TRAIT_OPAQUE_BACKEND})
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.bank_parallelism < 1:
+            raise ConfigurationError("bank parallelism must be >= 1")
+        if not 0 < self.posmap_fraction < 1:
+            raise ConfigurationError("posmap fraction must be in (0, 1)")
+
+    def decompose(self) -> AccessDecomposition:
+        """Posmap, tree read and write-back folded into one pipeline step."""
+        banked_half = (self.access_latency_ns / 2) / self.bank_parallelism
+        return AccessDecomposition(
+            phases=(
+                AccessPhase(
+                    "posmap",
+                    self.posmap_fraction * self.access_latency_ns,
+                    blocks_read=2.0,  # off-chip position-map blocks
+                ),
+                AccessPhase(
+                    "read-path",
+                    banked_half,
+                    blocks_read=self.path_blocks,
+                    overlapped=True,
+                ),
+                AccessPhase(
+                    "writeback",
+                    banked_half,
+                    blocks_written=self.path_blocks,
+                    cell_writes=self.path_blocks,
+                    overlapped=True,
+                ),
+            )
+        )
+
+    def make_functional(self, num_blocks: int, rng: "DeterministicRng", **kwargs):
+        """The co-design keeps Ring ORAM's functional tree semantics."""
+        from repro.oram.ring_oram import RingOram
+
+        kwargs.setdefault("bucket_reals", self.bucket_size)
+        return RingOram(num_blocks, rng, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Backend registry
+# ---------------------------------------------------------------------------
+
+_BACKENDS: dict[str, OramBackend] = {}
+
+
+def register_backend(backend: OramBackend, replace: bool = False) -> OramBackend:
+    """Add a backend descriptor; duplicate names raise unless ``replace``."""
+    if not replace and backend.name in _BACKENDS:
+        raise ConfigurationError(
+            f"ORAM backend {backend.name!r} is already registered"
+        )
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend by name (no-op when absent; mainly for tests)."""
+    _BACKENDS.pop(name, None)
+
+
+def backend_names() -> list[str]:
+    """Registered backend names in registration order."""
+    return list(_BACKENDS)
+
+
+def available_backends() -> list[OramBackend]:
+    """Every registered backend descriptor, in registration order."""
+    return list(_BACKENDS.values())
+
+
+def get_backend(name: str) -> OramBackend:
+    """Look a backend up by name; unknown names get a close-match hint."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        suggestion = difflib.get_close_matches(name, _BACKENDS, n=1)
+        hint = f"; did you mean {suggestion[0]!r}?" if suggestion else ""
+        raise ConfigurationError(
+            f"unknown ORAM backend {name!r}{hint} "
+            f"(registered: {', '.join(_BACKENDS)})"
+        ) from None
+
+
+register_backend(PathOramBackend())
+register_backend(RingOramBackend())
+register_backend(PyramidOramBackend())
+register_backend(PalermoBackend())

@@ -1,0 +1,320 @@
+"""Pyramid ORAM (the Pyramid Scheme, Costa et al.) — a hash-table hierarchy.
+
+Functional implementation of the hierarchical hash-table ORAM family the
+Pyramid Scheme builds on: a small trusted *top buffer* sits above a
+pyramid of keyed hash tables, each level twice the size of the one above.
+An access probes exactly one bucket per non-empty level top-down (a dummy
+bucket once the block has been found, so the probe sequence is
+independent of where the block lives), then inserts the freshly touched
+block into the top buffer.  When the top buffer overflows, levels are
+merged downward under fresh hash keys — the classic binary-counter
+rebuild schedule that gives the design its amortized cost and its bursty
+maintenance signature (:data:`repro.oram.backend.TRAIT_REBUILD_BURSTS`).
+
+The obliviousness argument is the hierarchical one: each level's key is
+refreshed at every rebuild, a block is probed at most once per level per
+epoch (it moves to the top buffer on first touch), and unfound levels are
+probed at uniformly random buckets — so the bucket sequence an observer
+sees is fresh-random per access.  :meth:`PyramidOram.check_invariant`
+asserts the structural half (every stored block sits in the bucket its
+level's key hashes it to, no duplicates), which is what rebuild bugs
+break first.
+
+Everything is plain picklable state (dicts, lists, ints) and all
+randomness flows through one :class:`~repro.crypto.rng.DeterministicRng`
+fork, so instances honor the PR-8 snapshot protocol: pickle mid-workload,
+thaw, continue bit-identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ConfigurationError, OramDeadlockError, OramError
+from repro.oram.path_oram import OramBlock
+from repro.sim.statistics import StatGroup
+
+DEFAULT_TOP_CAPACITY = 4  # blocks buffered before a rebuild triggers
+DEFAULT_REHASH_LIMIT = 32  # fresh-key retries before declaring deadlock
+# A merge only targets a level with at least this many buckets per merged
+# block (mean load <= 1/4): overflowing a Z-slot bucket is then rare
+# enough that the fresh-key retry loop always converges in practice.
+_LOAD_HEADROOM = 4
+
+
+def _bucket_of(key: int, address: int, num_buckets: int) -> int:
+    """Keyed hash placing a block address into one of a level's buckets.
+
+    A short keyed digest (not Python's randomized ``hash``) keeps the
+    mapping stable across processes, which the snapshot protocol and the
+    golden determinism grid both rely on.
+    """
+    digest = hashlib.blake2b(
+        f"{key}:{address}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") % num_buckets
+
+
+@dataclass
+class _HashLevel:
+    """One pyramid level: a keyed hash table of fixed-size buckets."""
+
+    num_buckets: int
+    bucket_size: int
+    key: int = 0
+    occupied: bool = False
+    buckets: list[list[OramBlock]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.buckets:
+            self.buckets = [[] for _ in range(self.num_buckets)]
+
+    @property
+    def block_count(self) -> int:
+        """Real blocks currently stored in this level."""
+        return sum(len(bucket) for bucket in self.buckets)
+
+    def clear(self) -> None:
+        """Empty the level (post-merge)."""
+        self.buckets = [[] for _ in range(self.num_buckets)]
+        self.occupied = False
+
+
+class PyramidOram:
+    """Functional Pyramid ORAM over ``num_blocks`` addressable blocks.
+
+    Parameters
+    ----------
+    num_blocks:
+        How many distinct real blocks the ORAM must hold.
+    bucket_size:
+        Slots per hash bucket (shares the paper's Z=4 default).
+    top_capacity:
+        Trusted top-buffer size; overflowing it triggers a rebuild, so
+        this is also the rebuild cadence.
+    rehash_limit:
+        Fresh-key retries when a rebuild overflows a bucket before
+        :class:`OramDeadlockError` is raised (the hierarchy's analogue of
+        Path ORAM's stash overflow).
+    """
+
+    def __init__(
+        self,
+        num_blocks: int,
+        rng: DeterministicRng,
+        bucket_size: int = 4,
+        top_capacity: int = DEFAULT_TOP_CAPACITY,
+        levels: int | None = None,
+        rehash_limit: int = DEFAULT_REHASH_LIMIT,
+        stats: StatGroup | None = None,
+    ):
+        if num_blocks < 1:
+            raise ConfigurationError("Pyramid ORAM needs at least one block")
+        if bucket_size < 1:
+            raise ConfigurationError("bucket size must be >= 1")
+        if top_capacity < 1:
+            raise ConfigurationError("top buffer needs at least one slot")
+        if rehash_limit < 1:
+            raise ConfigurationError("rehash limit must be >= 1")
+        if levels is None:
+            # Deep enough that the bottom level holds everything at the
+            # <= 1/4 blocks-per-bucket load the rebuild rule maintains
+            # (keeps per-key placement failures rare enough that a few
+            # rehash retries always succeed).
+            levels = max(
+                2, (_LOAD_HEADROOM * (num_blocks + top_capacity) - 1).bit_length()
+            )
+        self.num_blocks = num_blocks
+        self.bucket_size = bucket_size
+        self.top_capacity = top_capacity
+        self.rehash_limit = rehash_limit
+        self.num_levels = levels
+        self._rng = rng.fork("pyramid")
+        # Level i has 2^(i+1) buckets: capacity doubles level to level.
+        self.levels = [
+            _HashLevel(num_buckets=1 << (i + 1), bucket_size=bucket_size)
+            for i in range(levels)
+        ]
+        bottom = self.levels[-1]
+        if bottom.num_buckets < _LOAD_HEADROOM * (num_blocks + top_capacity):
+            raise ConfigurationError(
+                f"pyramid with {levels} levels, Z={bucket_size} cannot hold "
+                f"{num_blocks} blocks at the required hash load headroom"
+            )
+        self.top: dict[int, OramBlock] = {}
+        self.stats = stats or StatGroup("pyramid_oram")
+        self.max_top_seen = 0
+        self.epoch = 0
+
+    # ------------------------------------------------------------------
+    # Access protocol
+    # ------------------------------------------------------------------
+
+    def access(self, address: int, write_data: bytes | None = None) -> bytes | None:
+        """One Pyramid access: read if ``write_data`` is None, else write.
+
+        Probes one bucket per occupied level top-down (dummy buckets once
+        the block is found or when it was already in the top buffer),
+        moves the block into the top buffer, and rebuilds when the buffer
+        overflows.  Returns the block's previous data (None if never
+        written).
+        """
+        if not 0 <= address < self.num_blocks:
+            raise OramError(f"address {address} out of ORAM range")
+        found = self.top.pop(address, None)
+        for level in self.levels:
+            if not level.occupied:
+                continue
+            if found is None:
+                index = _bucket_of(level.key, address, level.num_buckets)
+            else:
+                # Dummy probe: uniformly random bucket, same wire cost.
+                index = self._rng.randrange(level.num_buckets)
+            bucket = level.buckets[index]
+            self.stats.add("blocks_read", self.bucket_size)
+            if found is None:
+                for position, block in enumerate(bucket):
+                    if block.address == address:
+                        found = bucket.pop(position)
+                        break
+
+        old_data = None
+        if found is not None:
+            old_data = found.data
+            if write_data is not None:
+                found.data = write_data
+            self.top[address] = found
+        elif write_data is not None:
+            self.top[address] = OramBlock(address, 0, write_data)
+
+        self.max_top_seen = max(self.max_top_seen, len(self.top))
+        self.stats.add("accesses")
+        if len(self.top) > self.top_capacity:
+            self._rebuild()
+        return old_data
+
+    def read(self, address: int) -> bytes | None:
+        """Oblivious read of one block."""
+        return self.access(address)
+
+    def write(self, address: int, data: bytes) -> None:
+        """Oblivious write of one block."""
+        self.access(address, write_data=data)
+
+    # ------------------------------------------------------------------
+    # Rebuild (the binary-counter merge schedule)
+    # ------------------------------------------------------------------
+
+    def _rebuild(self) -> None:
+        """Merge the top buffer and upper levels downward under a fresh key.
+
+        Hierarchical schedule with a load guard: walking top-down and
+        accumulating the blocks that would merge (top buffer plus every
+        level passed, the destination's current content included), the
+        destination is the shallowest level that can take the merged set
+        at the :data:`_LOAD_HEADROOM` buckets-per-block ratio — the bottom
+        level as the guaranteed fallback.  Levels above the destination
+        come out empty, restoring the pyramid shape.
+        """
+        target = self.num_levels - 1
+        cumulative = len(self.top)
+        for i, level in enumerate(self.levels):
+            cumulative += level.block_count
+            if level.num_buckets >= _LOAD_HEADROOM * cumulative:
+                target = i
+                break
+        blocks = list(self.top.values())
+        for level in self.levels[: target + 1]:
+            for bucket in level.buckets:
+                blocks.extend(bucket)
+        self._fill_level(self.levels[target], blocks)
+        self.top = {}
+        for level in self.levels[:target]:
+            level.clear()
+        self.epoch += 1
+        self.stats.add("rebuilds")
+        self.stats.add("rebuild_blocks", len(blocks))
+
+    def _fill_level(self, level: _HashLevel, blocks: list[OramBlock]) -> None:
+        """Place blocks into a level under a fresh key, retrying on overflow."""
+        if len(blocks) > level.num_buckets * level.bucket_size:
+            raise OramDeadlockError(
+                f"pyramid level of {level.num_buckets} buckets cannot hold "
+                f"{len(blocks)} blocks"
+            )
+        for _ in range(self.rehash_limit):
+            key = self._rng.getrandbits(64)
+            placed: list[list[OramBlock]] = [[] for _ in range(level.num_buckets)]
+            for block in blocks:
+                slot = placed[_bucket_of(key, block.address, level.num_buckets)]
+                if len(slot) >= level.bucket_size:
+                    break
+                slot.append(block)
+            else:
+                level.key = key
+                level.buckets = placed
+                level.occupied = True
+                # One read + one write per merged block, the traffic the
+                # backend decomposition amortizes per access.
+                self.stats.add("blocks_read", len(blocks))
+                self.stats.add("blocks_written", len(blocks))
+                return
+            self.stats.add("rehash_retries")
+        raise OramDeadlockError(
+            f"pyramid rebuild failed {self.rehash_limit} rehash attempts "
+            f"placing {len(blocks)} blocks into {level.num_buckets} buckets"
+        )
+
+    # ------------------------------------------------------------------
+    # Invariants and accounting
+    # ------------------------------------------------------------------
+
+    def check_invariant(self) -> None:
+        """Structural invariant: keyed placement holds and no block repeats."""
+        seen: set[int] = set(self.top)
+        if len(seen) != len(self.top):
+            raise OramError("duplicate block in top buffer")
+        for depth, level in enumerate(self.levels):
+            if not level.occupied and level.block_count:
+                raise OramError(f"level {depth} holds blocks but is marked empty")
+            for index, bucket in enumerate(level.buckets):
+                if len(bucket) > level.bucket_size:
+                    raise OramError(f"level {depth} bucket {index} over capacity")
+                for block in bucket:
+                    if block.address in seen:
+                        raise OramError(f"duplicate block {block.address}")
+                    seen.add(block.address)
+                    expected = _bucket_of(level.key, block.address, level.num_buckets)
+                    if index != expected:
+                        raise OramError(
+                            f"block {block.address} in level {depth} bucket "
+                            f"{index}, keyed hash says {expected}"
+                        )
+
+    @property
+    def stored_blocks(self) -> int:
+        """Real blocks currently held (top buffer + all levels)."""
+        return len(self.top) + sum(level.block_count for level in self.levels)
+
+    @property
+    def capacity_blocks(self) -> int:
+        """Total block slots across the hierarchy (real + empty)."""
+        return sum(
+            level.num_buckets * level.bucket_size for level in self.levels
+        )
+
+    @property
+    def capacity_overhead(self) -> float:
+        """Fraction of hierarchy capacity not usable for real data."""
+        return 1.0 - self.num_blocks / self.capacity_blocks
+
+    @property
+    def blocks_per_access(self) -> float:
+        """Measured average blocks moved per access (probes + rebuilds)."""
+        accesses = self.stats.get("accesses")
+        if not accesses:
+            return 0.0
+        total = self.stats.get("blocks_read") + self.stats.get("blocks_written")
+        return total / accesses

@@ -1,70 +1,90 @@
 """ORAM timing model used for the performance comparison (paper §4).
 
-The paper deliberately models ORAM optimistically: every memory access costs
-a fixed 2500 ns (extrapolated from Freecursive ORAM), with unlimited
-bandwidth and unconstrained PCM write power.  We reproduce exactly that
-model so Table 3 is regenerated on the paper's own terms, while the
-*functional* Path ORAM in :mod:`repro.oram.path_oram` supplies the
-capacity / write-amplification / stash-failure numbers for Table 4 and
-§5.2.
+The paper deliberately models ORAM optimistically: every memory access
+costs a fixed latency (2500 ns for the Path ORAM baseline, extrapolated
+from Freecursive ORAM), with unlimited bandwidth and unconstrained PCM
+write power.  :class:`OramMemoryModel` reproduces exactly that shape —
+one fixed-latency completion per request — but the latency and the
+per-access traffic charged to the stats now come from a pluggable
+:class:`~repro.oram.backend.OramBackend` decomposition, so Ring, Pyramid
+and Palermo-style designs slot in as alternative backends while Table 3
+is still regenerated on the paper's own terms.  The *functional* ORAMs
+in :mod:`repro.oram.path_oram` / :mod:`repro.oram.ring_oram` /
+:mod:`repro.oram.pyramid` supply the capacity / write-amplification /
+stash-failure numbers for Table 4 and §5.2.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from collections.abc import Callable
 from functools import partial
 
-from repro.errors import ConfigurationError
 from repro.mem.request import MemoryRequest
+from repro.oram.backend import OramBackend, PathOramBackend, get_backend
 from repro.sim.engine import Engine, ns_to_ps
 from repro.sim.statistics import StatRegistry
 
 CompletionCallback = Callable[[MemoryRequest], None]
 
-# Paper baseline: L=24 levels, Z=4 blocks/bucket => a path of ~100 blocks is
-# read and later written back on every access.
-DEFAULT_ACCESS_LATENCY_NS = 2500.0
-DEFAULT_LEVELS = 24
-DEFAULT_BUCKET_SIZE = 4
-
 
 class OramMemoryModel:
-    """Fixed-latency, unlimited-bandwidth ORAM memory backend."""
+    """Fixed-latency, unlimited-bandwidth ORAM memory backend.
+
+    The serviced latency and the per-access traffic (blocks read/written,
+    PCM cell writes) are read once from the backend's
+    :class:`~repro.oram.backend.AccessDecomposition`; legacy keyword
+    overrides (``access_latency_ns``/``levels``/``bucket_size``) rescale
+    the descriptor so existing call sites keep their meaning.
+    """
 
     def __init__(
         self,
         engine: Engine,
         stats: StatRegistry,
-        access_latency_ns: float = DEFAULT_ACCESS_LATENCY_NS,
-        levels: int = DEFAULT_LEVELS,
-        bucket_size: int = DEFAULT_BUCKET_SIZE,
+        backend: OramBackend | str | None = None,
+        access_latency_ns: float | None = None,
+        levels: int | None = None,
+        bucket_size: int | None = None,
     ):
-        if access_latency_ns <= 0:
-            raise ConfigurationError("ORAM access latency must be positive")
+        if backend is None:
+            backend = PathOramBackend()
+        elif isinstance(backend, str):
+            backend = get_backend(backend)
+        overrides = {
+            "access_latency_ns": access_latency_ns,
+            "levels": levels,
+            "bucket_size": bucket_size,
+        }
+        applied = {k: v for k, v in overrides.items() if v is not None}
+        if applied:
+            backend = dataclasses.replace(backend, **applied)
+        self.backend = backend
         self.engine = engine
         self.stats = stats.group("oram")
-        self.access_latency_ps = ns_to_ps(access_latency_ns)
-        self.levels = levels
-        self.bucket_size = bucket_size
+        self.decomposition = backend.decompose()
+        self.access_latency_ps = ns_to_ps(self.decomposition.latency_ns)
+        self.levels = backend.levels
+        self.bucket_size = backend.bucket_size
 
     @property
-    def blocks_per_access(self) -> int:
-        """Path read + path write-back per access ((L+1) * Z each way)."""
-        return 2 * (self.levels + 1) * self.bucket_size
+    def blocks_per_access(self) -> float:
+        """Blocks moved per access (read + write-back, amortized)."""
+        return self.decomposition.blocks_read + self.decomposition.blocks_written
 
     def issue(self, request: MemoryRequest, callback: CompletionCallback | None) -> None:
-        """Service a request after the fixed ORAM access latency.
+        """Service a request after the backend's critical-path latency.
 
-        Both reads and writes move a full path: the request type does not
-        change the work (that is how ORAM hides it).
+        Both reads and writes run the same decomposition: the request
+        type does not change the work (that is how ORAM hides it).
         """
         self.stats.add("accesses")
-        path_blocks = (self.levels + 1) * self.bucket_size
-        self.stats.add("blocks_read", path_blocks)
-        self.stats.add("blocks_written", path_blocks)
-        # Every access rewrites ~(L+1)*Z blocks: that is the write
-        # amplification charged against PCM lifetime in Table 4 / §5.2.
-        self.stats.add("cell_block_writes", path_blocks)
+        self.stats.add("blocks_read", self.decomposition.blocks_read)
+        self.stats.add("blocks_written", self.decomposition.blocks_written)
+        # Write-back traffic is charged against PCM lifetime: the write
+        # amplification in Table 4 / §5.2 (amortized for backends whose
+        # maintenance is periodic rather than per-access).
+        self.stats.add("cell_block_writes", self.decomposition.cell_writes)
 
         # Bound-method partial, not a closure: the queued completion event
         # must stay picklable for checkpoints.

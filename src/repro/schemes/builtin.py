@@ -66,6 +66,37 @@ ORAM = register(
     )
 )
 
+#: Ring ORAM (Ren et al.): XOR-compressed online reads and amortized
+#: evictions over the same fixed-latency memory model — the "24x vs 120x"
+#: bandwidth point the paper cites next to Path ORAM.
+ORAM_RING = register(
+    ProtectionScheme(
+        name="oram_ring",
+        description="Ring ORAM backend: XOR online reads, amortized evictions",
+        stages=(OramBackendStage(backend="ring"),),
+    )
+)
+
+#: The Pyramid Scheme (Costa et al., PAPERS.md): hash-table ORAM hierarchy
+#: with amortized rebuilds, tuned for trusted processors.
+PYRAMID = register(
+    ProtectionScheme(
+        name="pyramid",
+        description="Pyramid ORAM backend: hash-table hierarchy + rebuilds",
+        stages=(OramBackendStage(backend="pyramid"),),
+    )
+)
+
+#: Palermo (Ye et al., PAPERS.md): protocol/HW co-design overlapping the
+#: position-map fetch with banked tree-path phases.
+PALERMO = register(
+    ProtectionScheme(
+        name="palermo",
+        description="Palermo backend: overlapped posmap + banked tree phases",
+        stages=(OramBackendStage(backend="palermo"),),
+    )
+)
+
 HIDE = register(
     ProtectionScheme(
         name="hide",

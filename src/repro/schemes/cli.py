@@ -14,16 +14,23 @@ import argparse
 from repro.schemes.registry import available_schemes
 
 
+def _trait_column(scheme) -> str:
+    """A scheme's wire traits as a compact sorted CSV (``-`` when none)."""
+    return ",".join(sorted(scheme.traits)) or "-"
+
+
 def format_scheme_list() -> str:
-    """The registry as an aligned ``name  stack  description`` listing."""
+    """The registry as an aligned ``name  stack  traits  description`` listing."""
     schemes = available_schemes()
     name_width = max(len(scheme.name) for scheme in schemes)
     stack_width = max(len(scheme.stack_summary()) for scheme in schemes)
+    trait_width = max(len(_trait_column(scheme)) for scheme in schemes)
     lines = ["protection schemes (stage stacks are top -> bottom):"]
     for scheme in schemes:
         lines.append(
             f"  {scheme.name:<{name_width}}  "
-            f"{scheme.stack_summary():<{stack_width}}  {scheme.description}"
+            f"{scheme.stack_summary():<{stack_width}}  "
+            f"{_trait_column(scheme):<{trait_width}}  {scheme.description}"
         )
     return "\n".join(lines)
 

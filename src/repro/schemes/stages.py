@@ -48,6 +48,13 @@ from repro.errors import ConfigurationError
 from repro.mem.address_mapping import AddressMapping
 from repro.mem.bus import MemoryBus
 from repro.mem.scheduler import MemorySystem
+# TRAIT_OPAQUE_BACKEND ("no wire model at all") and TRAIT_REBUILD_BURSTS
+# ("bursty amortized maintenance") are owned by repro.oram.backend — the
+# ORAM descriptors declare them — and re-exported here so the trait
+# vocabulary stays importable from one place.
+from repro.oram.backend import TRAIT_OPAQUE_BACKEND as TRAIT_OPAQUE_BACKEND
+from repro.oram.backend import TRAIT_REBUILD_BURSTS as TRAIT_REBUILD_BURSTS
+from repro.oram.backend import get_backend
 from repro.oram.timing import OramMemoryModel
 from repro.secure.memory_encryption import SecureMemoryController
 from repro.sim.engine import Engine
@@ -72,8 +79,6 @@ TRAIT_AUTHENTICATED = "authenticated"
 TRAIT_PERMUTED_ADDRESSES = "permuted-addresses"
 #: Data at rest is counter-mode encrypted (content, not access pattern).
 TRAIT_DATA_ENCRYPTED = "data-encrypted"
-#: The backend has no wire model at all (the fixed-latency ORAM).
-TRAIT_OPAQUE_BACKEND = "opaque-backend"
 
 
 @dataclass
@@ -174,22 +179,50 @@ class PcmChannelStage(BusStage):
 
 @dataclass(frozen=True)
 class OramBackendStage(BusStage):
-    """Terminal stage: the paper's fixed-latency Path ORAM model (§4)."""
+    """Terminal stage: a fixed-latency ORAM model behind a pluggable design.
 
-    name = "oram-backend"
+    ``backend`` names a descriptor in the :mod:`repro.oram.backend`
+    registry (``path``, ``ring``, ``pyramid``, ``palermo``, or anything
+    registered by a plugin); the stage's display name, summary and traits
+    all come from that descriptor, so registering a new ORAM design never
+    touches this class or the builder.  The paper's §4 baseline is
+    ``backend="path"``.
+    """
+
+    backend: str = "path"
+
     handle = "oram"
-    summary = "fixed-latency Path ORAM model (unlimited bandwidth)"
-    traits = frozenset({TRAIT_OPAQUE_BACKEND})
     stat_groups = ("oram",)
     terminal = True
 
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        """Stack name; the historical ``oram-backend`` for the baseline."""
+        if self.backend == "path":
+            return "oram-backend"
+        return f"oram-{self.backend}"
+
+    @property
+    def summary(self) -> str:  # type: ignore[override]
+        """The backend descriptor's one-line design summary."""
+        return get_backend(self.backend).summary
+
+    @property
+    def traits(self) -> frozenset[str]:  # type: ignore[override]
+        """Wire flags declared by the backend descriptor."""
+        return get_backend(self.backend).traits
+
     def build(self, ctx: StageContext, downstream: object | None) -> object:
-        """Build the fixed-latency ORAM memory model."""
-        oram = OramMemoryModel(
-            ctx.engine,
-            ctx.stats,
-            access_latency_ns=ctx.machine.oram_access_latency_ns,
+        """Build the fixed-latency ORAM model over the selected backend.
+
+        The machine's ORAM latency assumption rescales the descriptor
+        (it is the reference Path ORAM access cost every backend's
+        per-block timing derives from).
+        """
+        descriptor = get_backend(self.backend).with_latency(
+            ctx.machine.oram_access_latency_ns
         )
+        oram = OramMemoryModel(ctx.engine, ctx.stats, backend=descriptor)
         ctx.handles[self.handle] = oram
         return oram
 

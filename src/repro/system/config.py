@@ -8,7 +8,7 @@ from dataclasses import dataclass, field
 from repro.core.config import AuthMode, ChannelInjection, DummyAddressPolicy, ObfusMemConfig
 from repro.errors import ConfigurationError
 from repro.mem.dram_timing import EngineTiming, PcmEnergy, PcmTiming
-from repro.oram.timing import DEFAULT_ACCESS_LATENCY_NS
+from repro.oram.backend import DEFAULT_ACCESS_LATENCY_NS
 
 
 class ProtectionLevel(enum.Enum):

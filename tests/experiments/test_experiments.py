@@ -67,6 +67,33 @@ class TestTable3:
         assert by_name["mcf"].oram_overhead_pct > by_name["astar"].oram_overhead_pct
 
 
+class TestTable3Extended:
+    def test_covers_every_registered_oram_scheme(self):
+        result = table3.run_extended(benchmarks=["mcf"], **FAST)
+        assert set(result.schemes) == set(table3.oram_scheme_names())
+        assert {"oram", "oram_ring", "pyramid", "palermo"} <= set(result.schemes)
+        for row in result.rows:
+            assert set(row.oram_overheads_pct) == set(result.schemes)
+
+    def test_backend_overheads_keep_design_ordering(self):
+        result = table3.run_extended(benchmarks=["mcf", "bwaves"], **FAST)
+        for row in result.rows:
+            overheads = row.oram_overheads_pct
+            assert overheads["palermo"] < overheads["oram_ring"] < overheads["oram"]
+            assert overheads["pyramid"] < overheads["oram"]
+            # Every ORAM design still costs more than the obfuscated bus.
+            for scheme in result.schemes:
+                assert overheads[scheme] > row.obfusmem_auth_overhead_pct
+                assert row.speedup_over(scheme) > 1.0
+
+    def test_formatting_has_a_column_per_scheme(self):
+        result = table3.run_extended(benchmarks=["mcf"], **FAST)
+        table = table3.format_extended(result)
+        assert "Avg" in table
+        for scheme in result.schemes:
+            assert f"{scheme}%" in table
+
+
 class TestFigure4:
     def test_levels_ordered(self):
         result = figure4.run(benchmarks=SUBSET, **FAST)

@@ -43,6 +43,24 @@ class TestRelatedComparison:
         obfus = result.row("obfusmem+auth")
         assert oram.overhead_pct > 10 * obfus.overhead_pct
 
+    def test_every_oram_backend_reported_as_fully_hidden(self, result):
+        """The opaque rows come from the registry's declarative traits."""
+        for system in ("path-oram", "ring-oram", "pyramid-oram", "palermo-oram"):
+            row = result.row(system)
+            assert row.block_locality == 0.0
+            assert row.chunk_locality == 0.0
+            assert row.temporal_repeats == 0.0
+            assert row.type_accuracy == 0.5
+
+    def test_oram_designs_span_an_overhead_range(self, result):
+        """The backends position differently against ObfusMem on cost."""
+        path = result.row("path-oram").overhead_pct
+        ring = result.row("ring-oram").overhead_pct
+        palermo = result.row("palermo-oram").overhead_pct
+        pyramid = result.row("pyramid-oram").overhead_pct
+        assert palermo < ring < path
+        assert pyramid < path
+
     def test_formatting(self, result):
         table = related.format_results(result)
         assert "hide-chunk-permute" in table

@@ -1,4 +1,6 @@
-"""Ring ORAM: correctness, invariants, and bandwidth vs Path ORAM."""
+"""Ring ORAM: correctness, invariants, bandwidth vs Path ORAM, snapshots."""
+
+import pickle
 
 import pytest
 from hypothesis import given, settings
@@ -105,6 +107,82 @@ class TestBandwidth:
         ring.write(0, b"x")
         # levels+1 buckets on the path, one slot each.
         assert ring.stats.get("slots_touched") == ring.levels + 1
+
+
+class TestSnapshots:
+    """The snapshot/resume lane for Ring ORAM (previously Path-only)."""
+
+    def _run_schedule(self, ring, schedule, start, stop):
+        for step in range(start, stop):
+            block, is_write = schedule[step]
+            if is_write:
+                ring.write(block, bytes([step % 256]))
+            else:
+                ring.read(block)
+
+    def test_invariant_and_stash_bound_after_thaw(self):
+        ring = make_ring(stash_limit=512)
+        schedule = []
+        ops = DeterministicRng(41)
+        for _ in range(300):
+            schedule.append((ops.randrange(64), bool(ops.randrange(2))))
+        self._run_schedule(ring, schedule, 0, 150)
+        # The freeze/thaw the checkpoint store and preemptible pool do.
+        thawed = pickle.loads(pickle.dumps(ring))
+        thawed.check_invariant()
+        self._run_schedule(thawed, schedule, 150, 300)
+        thawed.check_invariant()
+        assert len(thawed.stash) <= thawed.stash_limit
+        assert thawed.max_stash_seen <= thawed.stash_limit
+
+    def test_thawed_run_matches_uninterrupted_twin(self):
+        straight = make_ring(stash_limit=512)
+        paused = make_ring(stash_limit=512)
+        schedule = []
+        ops = DeterministicRng(43)
+        for _ in range(200):
+            schedule.append((ops.randrange(64), bool(ops.randrange(2))))
+        self._run_schedule(straight, schedule, 0, 200)
+        self._run_schedule(paused, schedule, 0, 100)
+        paused = pickle.loads(pickle.dumps(paused))
+        self._run_schedule(paused, schedule, 100, 200)
+        # Bit-identical physics: same positions, same stash, same counters.
+        assert paused._position == straight._position
+        assert sorted(paused.stash) == sorted(straight.stash)
+        assert paused.stats.get("evictions") == straight.stats.get("evictions")
+        assert paused.stats.get("bus_blocks_read") == straight.stats.get(
+            "bus_blocks_read"
+        )
+        assert paused._evict_leaf_counter == straight._evict_leaf_counter
+
+    def test_timed_ring_scheme_survives_world_snapshot(self):
+        """`oram_ring` through SimWorld's pause/freeze/thaw, vs straight."""
+        from repro.cpu.generator import make_trace
+        from repro.cpu.spec_profiles import SPEC_PROFILES
+        from repro.system.config import MachineConfig
+        from repro.system.world import SimWorld
+
+        profile = SPEC_PROFILES["mcf"]
+        trace = make_trace(profile, 200, seed=11)
+
+        def build():
+            return SimWorld(
+                [trace],
+                "oram_ring",
+                machine=MachineConfig(),
+                window=profile.window,
+                seed=11,
+            )
+
+        straight = build()
+        assert straight.run()
+        paused = build()
+        while not paused.run(stop_after_events=400):
+            paused = paused.snapshot().thaw()
+        assert (
+            paused.result().execution_time_ns
+            == straight.result().execution_time_ns
+        )
 
 
 @settings(max_examples=15, deadline=None)

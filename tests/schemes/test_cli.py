@@ -13,6 +13,19 @@ class TestSchemeListing:
             assert name in listing
         assert "memory-encryption -> obfusmem -> pcm-channels" in listing
 
+    def test_listing_includes_oram_backends_with_traits(self):
+        """CLI discovery matches the registry: new backends + trait columns."""
+        listing = format_scheme_list()
+        assert "oram-ring" in listing
+        assert "oram-pyramid" in listing
+        assert "oram-palermo" in listing
+        assert "opaque-backend,rebuild-bursts" in listing
+        # The traitless baseline shows a placeholder, not an empty column.
+        unprotected_line = next(
+            line for line in listing.splitlines() if "unprotected" in line
+        )
+        assert " - " in unprotected_line
+
     def test_top_level_flag_prints_and_exits(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             build_parser().parse_args(["--list-schemes"])

@@ -91,3 +91,25 @@ def test_oram_expectation_is_total_by_construction():
     assert not expected.wire_observable
     assert expected.spatial_hidden and expected.temporal_hidden
     assert expected.type_accuracy == 0.5
+    assert not expected.timing_bursts
+
+
+@pytest.mark.parametrize("name", ["oram", "oram_ring", "pyramid", "palermo"])
+def test_every_oram_backend_expectation_is_total(name):
+    """All ORAM backends hide the access pattern totally by construction."""
+    expected = expected_leakage(name)
+    assert not expected.wire_observable
+    assert expected.spatial_hidden and expected.chunk_hidden
+    assert expected.temporal_hidden and expected.footprint_hidden
+    assert expected.type_accuracy == 0.5
+
+
+def test_bursty_maintenance_flagged_per_backend():
+    """Ring evictions and Pyramid rebuilds are countable timing bursts;
+    the Path baseline and Palermo's pipelined write-backs are not."""
+    assert expected_leakage("oram_ring").timing_bursts
+    assert expected_leakage("pyramid").timing_bursts
+    assert not expected_leakage("palermo").timing_bursts
+    assert not expected_leakage("oram").timing_bursts
+    # Wire schemes never carry the flag: it describes opaque maintenance.
+    assert not expected_leakage("obfusmem").timing_bursts
