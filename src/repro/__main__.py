@@ -34,6 +34,7 @@ _EXPERIMENTS = (
     "table4",
     "energy",
     "related",
+    "matrix",
 )
 
 
@@ -115,6 +116,7 @@ def _experiment_modules() -> dict:
         energy,
         figure4,
         figure5,
+        matrix,
         related,
         table1,
         table3,
@@ -129,6 +131,7 @@ def _experiment_modules() -> dict:
         "table4": table4,
         "energy": energy,
         "related": related,
+        "matrix": matrix,
     }
 
 

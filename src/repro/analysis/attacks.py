@@ -1,219 +1,41 @@
-"""Attack harness: the passive and active attacks of §3.2/§3.5/§6.1.
+"""Backward-compatibility shim: the attack harnesses moved to ``repro.attacks``.
 
-Passive attacks run against recorded bus transfers; active attacks wire an
-interceptor into the functional ObfusMem stack and check that every
-tampering scenario the paper walks through is detected (or, for the ECB
-strawman, that the attack *succeeds*, demonstrating why counter mode is
-required).
+The §3.2 dictionary attack now lives in :mod:`repro.attacks.dictionary`
+and the §3.5 active-tampering scenarios in :mod:`repro.attacks.tamper`,
+where they are registered as first-class attackers and run in the
+scheme×attack leakage matrix (:mod:`repro.experiments.matrix`).  This
+module re-exports the original public names so existing imports keep
+working; new code should import from :mod:`repro.attacks` directly.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass
+from repro.attacks.dictionary import (
+    DictionaryAttackResult,
+    EcbAddressObfuscation,
+    command_wire_encodings,
+    dictionary_attack,
+)
+from repro.attacks.tamper import (
+    ActiveAttackOutcome,
+    address_flip_attack,
+    command_bitflip_attack,
+    data_tamper_attack,
+    injection_attack,
+    message_drop_attack,
+    replay_attack,
+)
 
-from repro.core.config import AuthMode
-from repro.core.functional import FunctionalObfusMem
-from repro.crypto.aes import AES128
-from repro.crypto.rng import DeterministicRng
-from repro.errors import IntegrityError
-from repro.mem.bus import BusTransfer, TransferKind
-
-
-# ---------------------------------------------------------------------------
-# Passive: dictionary / frequency analysis (§3.2's argument against ECB)
-# ---------------------------------------------------------------------------
-
-
-class EcbAddressObfuscation:
-    """The ECB strawman of §3.2: ``Y = E_Key(X)`` per address.
-
-    Deterministic, so spatial locality across blocks is hidden but temporal
-    reuse, footprint and access frequencies all leak.  Exists solely so the
-    dictionary attack below has a demonstrable victim.
-    """
-
-    def __init__(self, key: bytes):
-        self._cipher = AES128(key)
-
-    def encrypt_address(self, address: int) -> bytes:
-        """Deterministically encrypt one address (the ECB weakness)."""
-        return self._cipher.encrypt_block(address.to_bytes(16, "big"))
-
-
-@dataclass(frozen=True)
-class DictionaryAttackResult:
-    """Outcome of frequency matching between plaintext and wire streams."""
-
-    correct_matches: int
-    candidates: int
-
-    @property
-    def accuracy(self) -> float:
-        return self.correct_matches / self.candidates if self.candidates else 0.0
-
-
-def dictionary_attack(
-    plaintext_addresses: list[int], wire_encodings: list[bytes], top_k: int = 8
-) -> DictionaryAttackResult:
-    """Match the ``top_k`` most frequent wire encodings to the most frequent
-    plaintext addresses by rank (the classic frequency-analysis attack).
-
-    Deterministic encryption (ECB) preserves frequency ranks, so the attack
-    recovers the hot addresses; counter-mode wire encodings are all unique
-    and the attack degenerates to guessing.
-    """
-    plain_ranks = [address for address, _ in Counter(plaintext_addresses).most_common(top_k)]
-    wire_ranks = [encoding for encoding, _ in Counter(wire_encodings).most_common(top_k)]
-    pairs = list(zip(plain_ranks, wire_ranks))
-    if not pairs:
-        return DictionaryAttackResult(0, 0)
-    # Score against the true mapping: an encoding matches if it is the
-    # encryption the rank-paired address actually produced somewhere.
-    truth: dict[bytes, set[int]] = {}
-    for address, encoding in zip(plaintext_addresses, wire_encodings):
-        truth.setdefault(encoding, set()).add(address)
-    correct = sum(1 for address, encoding in pairs if address in truth.get(encoding, set()))
-    return DictionaryAttackResult(correct, len(pairs))
-
-
-# ---------------------------------------------------------------------------
-# Active attacks on the functional stack (§3.5 scenarios)
-# ---------------------------------------------------------------------------
-
-
-@dataclass
-class ActiveAttackOutcome:
-    """What happened when an active attack ran against the channel."""
-
-    detected: bool
-    error: str | None
-
-
-class _ScriptedInterceptor:
-    """Tamper with the nth wire message of a given kind."""
-
-    def __init__(self, kind: str, occurrence: int, mutate):
-        self.kind = kind
-        self.occurrence = occurrence
-        self.mutate = mutate
-        self._seen = 0
-        self.recorded: list[bytes] = []
-
-    def __call__(self, kind: str, direction: str, payload: bytes) -> bytes | None:
-        self.recorded.append(payload)
-        if kind == self.kind:
-            self._seen += 1
-            if self._seen == self.occurrence:
-                return self.mutate(payload)
-        return payload
-
-
-def _run_attack(auth: AuthMode, interceptor, operations) -> ActiveAttackOutcome:
-    rng = DeterministicRng(99)
-    stack = FunctionalObfusMem(
-        session_key=rng.fork("sk").token_bytes(16),
-        memory_key=rng.fork("mk").token_bytes(16),
-        rng=rng,
-        auth=auth,
-        interceptor=interceptor,
-    )
-    try:
-        operations(stack)
-    except IntegrityError as error:
-        return ActiveAttackOutcome(detected=True, error=str(error))
-    return ActiveAttackOutcome(detected=False, error=None)
-
-
-def _default_operations(stack: FunctionalObfusMem) -> None:
-    stack.write(0x4000, bytes(range(64)))
-    stack.read(0x4000)
-    stack.write(0x8000, bytes(reversed(range(64))))
-    stack.read(0x8000)
-
-
-def command_bitflip_attack(auth: AuthMode = AuthMode.ENCRYPT_AND_MAC) -> ActiveAttackOutcome:
-    """Flip one bit of an encrypted command in flight (M -> M').
-
-    §3.5: the memory decrypts a wrong (r', a) or (r, a'), the recomputed
-    MAC mismatches, and tampering is detected.
-    """
-
-    def flip(payload: bytes) -> bytes:
-        return bytes([payload[0] ^ 0x40]) + payload[1:]
-
-    return _run_attack(auth, _ScriptedInterceptor("command", 2, flip), _default_operations)
-
-
-def message_drop_attack(auth: AuthMode = AuthMode.ENCRYPT_AND_MAC) -> ActiveAttackOutcome:
-    """Delete a request from the bus.
-
-    §3.5: processor and memory counters desynchronize; no further
-    meaningful communication is possible and detection follows.
-    """
-
-    def drop(payload: bytes) -> bytes | None:
-        return None
-
-    return _run_attack(auth, _ScriptedInterceptor("command", 2, drop), _default_operations)
-
-
-def replay_attack(auth: AuthMode = AuthMode.ENCRYPT_AND_MAC) -> ActiveAttackOutcome:
-    """Replace a command with a previously captured valid command.
-
-    §3.5: the memory verifies with its *fresh* counter, while the captured
-    message reflects a stale one — the MAC mismatches.
-    """
-    state: dict[str, bytes] = {}
-
-    class Replayer:
-        def __call__(self, kind: str, direction: str, payload: bytes) -> bytes:
-            if kind != "command":
-                return payload
-            if "captured" not in state:
-                state["captured"] = payload
-                return payload
-            if "replayed" not in state:
-                state["replayed"] = payload
-                return state["captured"]
-            return payload
-
-    return _run_attack(auth, Replayer(), _default_operations)
-
-
-def data_tamper_attack(auth: AuthMode = AuthMode.ENCRYPT_AND_MAC) -> ActiveAttackOutcome:
-    """Flip bits in a *data* burst (not the command).
-
-    Observation 4: with encrypt-and-MAC the tag covers (r|a|c) only, so
-    data tampering passes the bus check — it is caught later by the Merkle
-    tree when the block is read back.  Expected: NOT detected at bus level.
-    """
-
-    def flip(payload: bytes) -> bytes:
-        return bytes([payload[0] ^ 0xFF]) + payload[1:]
-
-    return _run_attack(auth, _ScriptedInterceptor("data", 1, flip), _default_operations)
-
-
-def injection_attack(auth: AuthMode = AuthMode.ENCRYPT_AND_MAC) -> ActiveAttackOutcome:
-    """Substitute a fabricated random command for a legitimate one.
-
-    The attacker cannot construct ciphertext that decrypts meaningfully
-    under the session pad; decode or MAC verification fails.
-    """
-    rng = DeterministicRng(123456)
-
-    def fabricate(payload: bytes) -> bytes:
-        return rng.token_bytes(len(payload))
-
-    return _run_attack(auth, _ScriptedInterceptor("command", 3, fabricate), _default_operations)
-
-
-# ---------------------------------------------------------------------------
-# Passive helper reused by experiments
-# ---------------------------------------------------------------------------
-
-
-def command_wire_encodings(transfers: list[BusTransfer]) -> list[bytes]:
-    """Extract command wire bytes from a transfer list."""
-    return [t.wire_bytes for t in transfers if t.kind is TransferKind.COMMAND]
+__all__ = [
+    "ActiveAttackOutcome",
+    "DictionaryAttackResult",
+    "EcbAddressObfuscation",
+    "address_flip_attack",
+    "command_bitflip_attack",
+    "command_wire_encodings",
+    "data_tamper_attack",
+    "dictionary_attack",
+    "injection_attack",
+    "message_drop_attack",
+    "replay_attack",
+]

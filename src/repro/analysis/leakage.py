@@ -122,9 +122,13 @@ class FootprintLeak:
 
     @property
     def relative_error(self) -> float:
-        """How wrong the attacker's footprint estimate is (0 = exact)."""
+        """How wrong the attacker's footprint estimate is (0 = exact).
+
+        With no real blocks to estimate (an empty or all-dummy capture) any
+        non-zero estimate is infinitely wrong, not exact.
+        """
         if self.true_unique == 0:
-            return 0.0
+            return 0.0 if self.observed_unique == 0 else math.inf
         return abs(self.observed_unique - self.true_unique) / self.true_unique
 
 
@@ -207,12 +211,19 @@ def observed_write_share(transfers: list[BusTransfer]) -> float:
 
 
 def channel_entropy(transfers: list[BusTransfer], num_channels: int) -> float:
-    """Normalized entropy of per-channel command counts (1.0 = uniform)."""
+    """Normalized entropy of per-channel command counts (1.0 = uniform).
+
+    Commands tagged with a channel outside ``range(num_channels)`` are
+    ignored — scoring them against a distribution they cannot belong to
+    would let the normalized entropy drift outside ``[0, 1]``.
+    """
     commands = _commands(transfers)
     if not commands or num_channels < 2:
         return 1.0
-    counts = Counter(t.channel for t in commands)
+    counts = Counter(t.channel for t in commands if 0 <= t.channel < num_channels)
     total = sum(counts.values())
+    if total == 0:
+        return 0.0
     entropy = 0.0
     for channel in range(num_channels):
         p = counts.get(channel, 0) / total

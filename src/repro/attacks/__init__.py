@@ -1,0 +1,60 @@
+"""Adversarial attackers: registry + normalized leakage scoring.
+
+The defensive counterpart of :mod:`repro.schemes`: where that package
+answers "what protections exist", this one answers "what adversaries
+exist".  An :class:`~repro.attacks.base.Attacker` consumes observable
+bus captures (:meth:`repro.mem.bus.BusTransfer.attacker_view`) — or, for
+active attacks, drives the functional wire protocol directly — and emits
+a normalized :class:`~repro.attacks.base.AttackOutcome` whose advantage
+in ``[0, 1]`` is comparable across attacks.  Importing the package
+registers the built-in attackers; :mod:`repro.experiments.matrix` fans
+every scheme × every attacker into the leakage matrix, and
+``--list-attacks`` prints the registry from any experiment CLI.
+
+Built-ins: the passive snoopers of :mod:`repro.attacks.passive`
+(fingerprint, type_recovery, footprint, channel_correlation,
+rebuild_timing), the §3.2 frequency analysis of
+:mod:`repro.attacks.dictionary`, and the §3.5 active forgery battery of
+:mod:`repro.attacks.tamper`.
+"""
+
+from repro.attacks import dictionary, passive, tamper  # noqa: F401  (register built-ins)
+from repro.attacks.base import (
+    AttackInput,
+    AttackOutcome,
+    Attacker,
+    WorkloadCapture,
+    attacker_names,
+    available_attackers,
+    get_attacker,
+    hash_coin,
+    normalized_advantage,
+    register_attacker,
+    unregister_attacker,
+    wire_address,
+    wire_is_write,
+)
+from repro.attacks.cli import (
+    ListAttacksAction,
+    add_attack_arguments,
+    format_attack_list,
+)
+
+__all__ = [
+    "AttackInput",
+    "AttackOutcome",
+    "Attacker",
+    "WorkloadCapture",
+    "attacker_names",
+    "available_attackers",
+    "get_attacker",
+    "hash_coin",
+    "normalized_advantage",
+    "register_attacker",
+    "unregister_attacker",
+    "wire_address",
+    "wire_is_write",
+    "ListAttacksAction",
+    "add_attack_arguments",
+    "format_attack_list",
+]

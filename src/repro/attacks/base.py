@@ -1,0 +1,291 @@
+"""Attacker protocol, normalized outcomes and the attacker registry.
+
+The schemes registry answers "what defenses exist"; this module answers
+"what adversaries exist".  An :class:`Attacker` consumes the observable
+bus — :class:`~repro.mem.bus.BusObserver` captures of
+:meth:`~repro.mem.bus.BusTransfer.attacker_view` fields — and emits a
+normalized :class:`AttackOutcome`: an **advantage** in ``[0, 1]`` over the
+attack's random-guess baseline, plus the raw evidence behind it.  Because
+every attack reports on the same scale, outcomes are comparable across
+attacks and the scheme×attack leakage matrix
+(:mod:`repro.experiments.matrix`) can render one verdict column for all of
+them.
+
+The registry mirrors :mod:`repro.schemes.registry` /
+:mod:`repro.oram.backend`: attackers register under a unique name,
+:func:`get_attacker` offers close-match hints, and
+:mod:`repro.attacks.cli` exposes ``--list-attacks`` on every experiment
+CLI.  Attackers must be **deterministic**: the same capture always yields
+a bit-identical outcome (tie-breaks go through :func:`hash_coin`, never a
+live RNG), which is what lets the matrix cache outcomes by content digest.
+"""
+
+from __future__ import annotations
+
+import abc
+import difflib
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.errors import ConfigurationError
+from repro.mem.bus import BusTransfer, TransferKind
+
+if TYPE_CHECKING:  # evaluation-side only; never imported at runtime here
+    from repro.analysis.leakage import ExpectedLeakage
+
+# The publicly documented command layouts: one type byte followed by an
+# 8-byte big-endian address.  The unprotected scheduler encodes the type
+# as 0x00 read / 0x01 write; the secure packet format of
+# :mod:`repro.core.packets` uses the sparse codes 0x0A read / 0x5B write
+# (what a ciphertext wire decrypts to).  The threat model assumes the
+# attacker knows both formats — they are protocol, not a crypto secret.
+COMMAND_TYPE_READ = 0x0A
+COMMAND_TYPE_WRITE = 0x5B
+PLAIN_TYPE_READ = 0x00
+PLAIN_TYPE_WRITE = 0x01
+_ADDRESS_SLICE = slice(1, 9)
+
+
+def wire_address(wire_bytes: bytes) -> int:
+    """Decode the address field assuming the plaintext command layout.
+
+    On a ciphertext wire this yields pad-dependent garbage — which is the
+    point: the attacker always *can* run the decode, and the leakage
+    question is whether the result carries information.
+    """
+    return int.from_bytes(wire_bytes[_ADDRESS_SLICE], "big")
+
+
+def wire_is_write(wire_bytes: bytes) -> bool | None:
+    """Decode the type byte; None when it is not a valid command code.
+
+    Accepts both public layouts (plain scheduler and secure packet).  On a
+    ciphertext wire the first byte is pad-dependent, so it only rarely
+    collides with one of the four valid codes.
+    """
+    if not wire_bytes:
+        return None
+    code = wire_bytes[0]
+    if code in (COMMAND_TYPE_WRITE, PLAIN_TYPE_WRITE):
+        return True
+    if code in (COMMAND_TYPE_READ, PLAIN_TYPE_READ):
+        return False
+    return None
+
+
+def hash_coin(*parts: object, modulus: int = 2) -> int:
+    """Deterministic pseudo-random draw in ``range(modulus)``.
+
+    Attackers use this for unbiased guesses and tie-breaks so that the
+    same capture always produces the same outcome — a live RNG would break
+    the bit-identical caching contract.
+    """
+    text = "|".join(repr(part) for part in parts).encode()
+    digest = hashlib.blake2b(text, digest_size=8).digest()
+    return int.from_bytes(digest, "big") % max(1, modulus)
+
+
+@dataclass(frozen=True)
+class WorkloadCapture:
+    """One observed bus trace: a workload run under one scheme and seed."""
+
+    workload: str
+    seed: int
+    transfers: tuple[BusTransfer, ...]
+    #: Transfers the observer's ring buffer had to discard (0 = complete).
+    dropped: int = 0
+
+    def commands(self) -> list[BusTransfer]:
+        """Command/address transfers, in observation order."""
+        return [t for t in self.transfers if t.kind is TransferKind.COMMAND]
+
+    def real_commands(self) -> list[BusTransfer]:
+        """Ground-truth-annotated real (non-dummy) commands.
+
+        Evaluation-side selection: scoring needs to know which commands
+        were real, the attacker's *guesses* never read these fields.
+        """
+        return [
+            t
+            for t in self.commands()
+            if not t.is_dummy and t.plaintext_address is not None
+        ]
+
+
+@dataclass(frozen=True)
+class AttackInput:
+    """Everything one attacker invocation gets to work with.
+
+    ``captures`` maps each workload to the captures taken for it, ordered
+    by seed (``seeds_needed`` per workload).  Active attackers that drive
+    the functional stack directly (``seeds_needed == 0``) receive an empty
+    mapping and work from the scheme name alone.
+    """
+
+    scheme: str
+    channels: int
+    captures: dict[str, tuple[WorkloadCapture, ...]] = field(default_factory=dict)
+
+    def workloads(self) -> list[str]:
+        """Captured workload names, sorted for deterministic iteration."""
+        return sorted(self.captures)
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Normalized result of one attacker against one scheme.
+
+    ``score`` is the attack's raw success measure (accuracy, estimate,
+    fraction of forgeries accepted — attack-specific); ``baseline`` is what
+    random guessing scores; ``advantage`` normalizes the two into ``[0, 1]``
+    so outcomes are comparable across attacks.  ``evidence`` holds the raw
+    numbers the advantage was computed from.
+    """
+
+    attack: str
+    scheme: str
+    advantage: float
+    baseline: float
+    score: float
+    evidence: dict[str, float | int | str] = field(default_factory=dict)
+
+    def to_jsonable(self) -> dict:
+        """Plain-JSON form (cache entries, CSV export, the serve layer)."""
+        return {
+            "attack": self.attack,
+            "scheme": self.scheme,
+            "advantage": self.advantage,
+            "baseline": self.baseline,
+            "score": self.score,
+            "evidence": dict(self.evidence),
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "AttackOutcome":
+        """Rebuild an outcome from :meth:`to_jsonable` output."""
+        return cls(
+            attack=payload["attack"],
+            scheme=payload["scheme"],
+            advantage=float(payload["advantage"]),
+            baseline=float(payload["baseline"]),
+            score=float(payload["score"]),
+            evidence=dict(payload.get("evidence", {})),
+        )
+
+
+def normalized_advantage(score: float, baseline: float) -> float:
+    """Map a raw success rate onto ``[0, 1]`` above the guessing baseline.
+
+    ``baseline`` scores 0, perfect success scores 1, below-baseline scores
+    clip to 0 (doing worse than guessing is not leakage).
+    """
+    if baseline >= 1.0:
+        return 0.0
+    return max(0.0, min(1.0, (score - baseline) / (1.0 - baseline)))
+
+
+class Attacker(abc.ABC):
+    """One adversary: a named, deterministic analysis of the observable bus.
+
+    Subclasses set the class-level metadata and implement :meth:`attack`
+    plus :meth:`expects_leak` — the trait-derived prediction the leakage
+    matrix checks measured advantage against.
+    """
+
+    #: Registry key (``AttackCellSpec(attack=<name>)`` selects it).
+    name: ClassVar[str] = "attacker"
+    #: One-line description for ``--list-attacks`` and the serve layer.
+    summary: ClassVar[str] = ""
+    #: ``"passive"`` (reads captures) or ``"active"`` (tampers with wires).
+    kind: ClassVar[str] = "passive"
+    #: Captures wanted per workload (consecutive seeds); 0 = no captures.
+    seeds_needed: ClassVar[int] = 1
+    #: Advantage at or above which the matrix calls the scheme leaky.
+    leak_threshold: ClassVar[float] = 0.5
+
+    @abc.abstractmethod
+    def attack(self, observed: AttackInput) -> AttackOutcome:
+        """Run the attack over the observed captures; must be deterministic."""
+
+    @abc.abstractmethod
+    def expects_leak(self, expected: "ExpectedLeakage") -> bool:
+        """Whether the scheme's wire traits predict this attack succeeds."""
+
+    def describe(self) -> str:
+        """Human-readable ``name: summary`` line for listings."""
+        return f"{self.name}: {self.summary}"
+
+    def to_jsonable(self) -> dict:
+        """Registry metadata as plain JSON (the serve layer's ``/attacks``)."""
+        return {
+            "name": self.name,
+            "summary": self.summary,
+            "kind": self.kind,
+            "seeds_needed": self.seeds_needed,
+            "leak_threshold": self.leak_threshold,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Attacker registry
+# ---------------------------------------------------------------------------
+
+_ATTACKERS: dict[str, Attacker] = {}
+
+
+def register_attacker(attacker: Attacker, replace: bool = False) -> Attacker:
+    """Add an attacker; duplicate names raise unless ``replace``."""
+    if not attacker.name:
+        raise ConfigurationError("attacker needs a non-empty name")
+    if not replace and attacker.name in _ATTACKERS:
+        raise ConfigurationError(
+            f"attacker {attacker.name!r} is already registered"
+        )
+    _ATTACKERS[attacker.name] = attacker
+    return attacker
+
+
+def unregister_attacker(name: str) -> None:
+    """Remove an attacker by name (no-op when absent; mainly for tests)."""
+    _ATTACKERS.pop(name, None)
+
+
+def attacker_names() -> list[str]:
+    """Registered attacker names in registration order."""
+    return list(_ATTACKERS)
+
+
+def available_attackers() -> list[Attacker]:
+    """Every registered attacker, in registration order."""
+    return list(_ATTACKERS.values())
+
+
+def get_attacker(name: str) -> Attacker:
+    """Look an attacker up by name; unknown names get a close-match hint."""
+    try:
+        return _ATTACKERS[name]
+    except KeyError:
+        suggestion = difflib.get_close_matches(name, _ATTACKERS, n=1)
+        hint = f"; did you mean {suggestion[0]!r}?" if suggestion else ""
+        raise ConfigurationError(
+            f"unknown attacker {name!r}{hint} "
+            f"(registered: {', '.join(_ATTACKERS)})"
+        ) from None
+
+
+__all__ = [
+    "AttackInput",
+    "AttackOutcome",
+    "Attacker",
+    "WorkloadCapture",
+    "attacker_names",
+    "available_attackers",
+    "get_attacker",
+    "hash_coin",
+    "normalized_advantage",
+    "register_attacker",
+    "unregister_attacker",
+    "wire_address",
+    "wire_is_write",
+]

@@ -1,0 +1,46 @@
+"""CLI helpers for the attacker registry: the shared ``--list-attacks`` flag.
+
+The counterpart of :mod:`repro.schemes.cli`: every entry point that takes
+runner arguments also exposes ``--list-attacks`` through
+:func:`add_attack_arguments`; the flag prints the attacker registry (name,
+kind, leak threshold, description) and exits, exactly like ``--help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.attacks.base import available_attackers
+
+
+def format_attack_list() -> str:
+    """The registry as an aligned ``name  kind  threshold  description`` listing."""
+    attackers = available_attackers()
+    name_width = max(len(attacker.name) for attacker in attackers)
+    kind_width = max(len(attacker.kind) for attacker in attackers)
+    lines = ["registered attackers (leak verdict at advantage >= threshold):"]
+    for attacker in attackers:
+        lines.append(
+            f"  {attacker.name:<{name_width}}  {attacker.kind:<{kind_width}}  "
+            f"{attacker.leak_threshold:>4.2f}  {attacker.summary}"
+        )
+    return "\n".join(lines)
+
+
+class ListAttacksAction(argparse.Action):
+    """``--list-attacks``: print the registry and exit (like ``--help``)."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        kwargs.setdefault("nargs", 0)
+        kwargs.setdefault("help", "list registered attackers and exit")
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        """Print the attacker listing and terminate argument parsing."""
+        print(format_attack_list())
+        parser.exit()
+
+
+def add_attack_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--list-attacks`` flag to a CLI parser."""
+    parser.add_argument("--list-attacks", action=ListAttacksAction)

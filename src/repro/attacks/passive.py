@@ -1,0 +1,465 @@
+"""Passive bus-snooping attackers (the membus-attack playbook).
+
+Five adversaries, each isolating one leakage channel the paper's Table 4
+metrics measure indirectly:
+
+* :class:`FingerprintAttacker` — workload classification from address-trace
+  shape (which kernel is running?);
+* :class:`TypeRecoveryAttacker` — read/write recovery from the command type
+  byte (§3.3's motivation for dummy pairing);
+* :class:`FootprintAttacker` — working-set size recovery from distinct wire
+  addresses;
+* :class:`ChannelCorrelationAttacker` — which channel served a request,
+  from inter-channel activity timing (§3.4's motivation for cover traffic);
+* :class:`RebuildTimingAttacker` — the §6.2 timing channel generalized to
+  periodic maintenance bursts (`TRAIT_REBUILD_BURSTS` backends).
+
+Every attacker reads only :meth:`~repro.mem.bus.BusTransfer.attacker_view`
+fields to form its guesses; ground-truth annotations are used strictly for
+*scoring* those guesses.  All tie-breaks and coin flips go through
+:func:`~repro.attacks.base.hash_coin`, so outcomes are bit-identical
+across runs and processes.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from collections import Counter
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.attacks.base import (
+    AttackInput,
+    AttackOutcome,
+    Attacker,
+    WorkloadCapture,
+    hash_coin,
+    normalized_advantage,
+    register_attacker,
+    wire_address,
+    wire_is_write,
+)
+
+if TYPE_CHECKING:
+    from repro.analysis.leakage import ExpectedLeakage
+
+#: 64-byte blocks: the granularity of every wire address in this repo.
+_BLOCK_SHIFT = 6
+#: Chunk granularity used for locality features (matches analysis.leakage).
+_CHUNK_SHIFT = 16
+#: "Near" for the spatial feature: within 64 blocks (one 4 KiB page).
+_NEAR_BLOCKS = 64
+#: Normalizer for the mean log2 stride feature (~full 64-bit span under
+#: ciphertext clips to 1.0; real workloads land well below).
+_LOG_STRIDE_SCALE = 40.0
+#: Scale factor mapping typical working-set densities into [0, 1].
+_DENSITY_SCALE = 200.0
+#: Region granularity (256 MiB) for isolating the demand stream from
+#: interleaved metadata traffic (counter fetches live in their own region).
+_REGION_SHIFT = 28
+#: Minimum commands the dominant region must hold for its features to mean
+#: anything.  Ciphertext wires scatter uniformly over 2^36 regions, so the
+#: busiest one holds a couple of commands at most and every capture
+#: degenerates to the same default vector — classification collapses to
+#: exactly the random-guess baseline.
+_MIN_REGION_COMMANDS = 10
+
+
+def _mean(values: list[float], default: float = 0.0) -> float:
+    """Average with a defined value for empty input."""
+    return sum(values) / len(values) if values else default
+
+
+def _cv(values: list[float]) -> float:
+    """Coefficient of variation (population); 0 for degenerate input."""
+    if len(values) < 2:
+        return 0.0
+    mean = _mean(values)
+    if mean == 0:
+        return 0.0
+    return statistics.pstdev(values) / mean
+
+
+class FingerprintAttacker(Attacker):
+    """Classify which workload produced a capture from its address shape.
+
+    The attacker profiles every workload once (first capture per workload),
+    then classifies the remaining captures by nearest feature vector.  The
+    features — spatial locality, chunk locality, temporal reuse, decoded
+    write share — are exactly what survives on a plaintext or
+    deterministically-obfuscated wire and what a ciphertext wire destroys.
+    Advantage is classification accuracy normalized against the 1/K
+    random-guess baseline.
+    """
+
+    name: ClassVar[str] = "fingerprint"
+    summary: ClassVar[str] = "workload classification from address-trace shape"
+    seeds_needed: ClassVar[int] = 3
+    leak_threshold: ClassVar[float] = 0.5
+
+    def _features(self, capture: WorkloadCapture) -> tuple[float, ...]:
+        """Address-shape feature vector of one capture (attacker view only).
+
+        The attacker first segments the decoded addresses into 256 MiB
+        regions and keeps only the dominant one: schemes that fetch
+        encryption metadata (counter blocks) interleave it from a separate
+        region, and a competent adversary profiles the demand stream, not
+        the mixture.  Six dimensions, each in ``[0, 1]``: near-block
+        fraction, same-chunk fraction, temporal repeat rate, decoded write
+        share, mean log stride, and working-set density (distinct blocks
+        over the address span).  On a ciphertext wire no region dominates,
+        every capture degenerates to the same default vector, and
+        classification collapses to the random-guess baseline.
+        """
+        default = (0.0, 0.0, 0.0, 0.5, 0.0, 0.0)
+        commands = capture.commands()
+        decoded = [(wire_address(t.wire_bytes), t) for t in commands]
+        if len(decoded) < 2:
+            return default
+        regions = Counter(address >> _REGION_SHIFT for address, _ in decoded)
+        top = max(regions, key=lambda region: (regions[region], -region))
+        selected = [
+            (address, t) for address, t in decoded if address >> _REGION_SHIFT == top
+        ]
+        if len(selected) < max(_MIN_REGION_COMMANDS, len(decoded) // 20):
+            return default
+        addresses = [address for address, _ in selected]
+        blocks = [a >> _BLOCK_SHIFT for a in addresses]
+        deltas = [abs(n - p) for p, n in zip(blocks, blocks[1:])]
+        near = sum(1 for d in deltas if d <= _NEAR_BLOCKS)
+        same_chunk = sum(
+            1
+            for p, n in zip(addresses, addresses[1:])
+            if p >> _CHUNK_SHIFT == n >> _CHUNK_SHIFT
+        )
+        pairs = len(addresses) - 1
+        repeat = 1.0 - len(set(addresses)) / len(addresses)
+        types = [wire_is_write(t.wire_bytes) for _, t in selected]
+        valid = [t for t in types if t is not None]
+        write_share = _mean([1.0 if t else 0.0 for t in valid], default=0.5)
+        log_stride = min(
+            1.0, _mean([math.log2(d + 1) for d in deltas]) / _LOG_STRIDE_SCALE
+        )
+        span = max(blocks) - min(blocks) + 1
+        density = min(1.0, _DENSITY_SCALE * len(set(blocks)) / span)
+        return (
+            near / pairs,
+            same_chunk / pairs,
+            repeat,
+            write_share,
+            log_stride,
+            density,
+        )
+
+    def attack(self, observed: AttackInput) -> AttackOutcome:
+        """Profile-then-classify over the workloads' captures."""
+        workloads = observed.workloads()
+        profiles = {
+            w: self._features(observed.captures[w][0])
+            for w in workloads
+            if observed.captures[w]
+        }
+        tests = [
+            (w, capture)
+            for w in workloads
+            for capture in observed.captures[w][1:]
+        ]
+        if len(profiles) < 2 or not tests:
+            return AttackOutcome(
+                self.name, observed.scheme, 0.0, 0.0, 0.0,
+                {"tests": 0, "workloads": len(profiles)},
+            )
+        correct = 0
+        for truth, capture in tests:
+            vector = self._features(capture)
+            best = min(
+                profiles,
+                key=lambda w: (
+                    sum((a - b) ** 2 for a, b in zip(vector, profiles[w])),
+                    w,  # deterministic tie-break: lexicographic
+                ),
+            )
+            correct += best == truth
+        accuracy = correct / len(tests)
+        baseline = 1.0 / len(profiles)
+        return AttackOutcome(
+            self.name,
+            observed.scheme,
+            normalized_advantage(accuracy, baseline),
+            baseline,
+            accuracy,
+            {"tests": len(tests), "correct": correct, "workloads": len(profiles)},
+        )
+
+    def expects_leak(self, expected: "ExpectedLeakage") -> bool:
+        """Fingerprinting needs *some* address-derived feature on the wire."""
+        return expected.wire_observable and not (
+            expected.spatial_hidden
+            and expected.chunk_hidden
+            and expected.temporal_hidden
+        )
+
+
+class TypeRecoveryAttacker(Attacker):
+    """Recover read-vs-write from the command type byte.
+
+    A plaintext wire hands the type over; under counter-mode encryption the
+    byte is pad noise and the attacker degenerates to an unbiased coin,
+    which is also where ObfusMem's read/write pairing (§3.3) pins any
+    smarter traffic-shape classifier.  Scored per real request against a
+    0.5 baseline.
+    """
+
+    name: ClassVar[str] = "type_recovery"
+    summary: ClassVar[str] = "read/write recovery from the command type byte"
+    leak_threshold: ClassVar[float] = 0.5
+
+    def _capture_accuracy(self, capture: WorkloadCapture) -> tuple[int, int]:
+        """(correct, total) type guesses over the capture's real commands."""
+        correct = total = 0
+        for t in capture.real_commands():
+            guess = wire_is_write(t.wire_bytes)
+            if guess is None:
+                guess = bool(hash_coin(t.wire_bytes, t.time_ps))
+            total += 1
+            correct += guess == t.plaintext_is_write
+        return correct, total
+
+    def attack(self, observed: AttackInput) -> AttackOutcome:
+        """Guess every real request's type; score against ground truth."""
+        correct = total = 0
+        for workload in observed.workloads():
+            for capture in observed.captures[workload]:
+                c, n = self._capture_accuracy(capture)
+                correct, total = correct + c, total + n
+        accuracy = correct / total if total else 0.0
+        advantage = normalized_advantage(accuracy, 0.5) if total else 0.0
+        return AttackOutcome(
+            self.name,
+            observed.scheme,
+            advantage,
+            0.5,
+            accuracy,
+            {"requests": total, "correct": correct},
+        )
+
+    def expects_leak(self, expected: "ExpectedLeakage") -> bool:
+        """Leaks when the traits predict above-coin type recovery."""
+        return expected.wire_observable and expected.type_accuracy > 0.5
+
+
+class FootprintAttacker(Attacker):
+    """Estimate the working-set size from distinct wire addresses.
+
+    Deterministic address encodings (plaintext, HIDE permutations, the §3.2
+    ECB strawman) keep the distinct-count equal to the true footprint;
+    counter-mode wires make every command unique and the estimate explodes.
+    Advantage is ``1 - relative error``, clipped to ``[0, 1]``.
+    """
+
+    name: ClassVar[str] = "footprint"
+    summary: ClassVar[str] = "working-set size from distinct wire addresses"
+    leak_threshold: ClassVar[float] = 0.5
+
+    def _capture_advantage(self, capture: WorkloadCapture) -> tuple[float, int, int]:
+        """(advantage, estimate, truth) for one capture."""
+        commands = capture.commands()
+        truth = len({t.plaintext_address for t in capture.real_commands()})
+        if not commands or truth == 0:
+            return 0.0, 0, truth
+        estimate = len({wire_address(t.wire_bytes) for t in commands})
+        error = abs(estimate - truth) / truth
+        return max(0.0, 1.0 - error), estimate, truth
+
+    def attack(self, observed: AttackInput) -> AttackOutcome:
+        """Average the footprint-recovery advantage over all captures."""
+        advantages: list[float] = []
+        estimates = truths = 0
+        for workload in observed.workloads():
+            for capture in observed.captures[workload]:
+                advantage, estimate, truth = self._capture_advantage(capture)
+                advantages.append(advantage)
+                estimates += estimate
+                truths += truth
+        advantage = _mean(advantages)
+        return AttackOutcome(
+            self.name,
+            observed.scheme,
+            advantage,
+            0.0,
+            float(estimates),
+            {"estimated_blocks": estimates, "true_blocks": truths},
+        )
+
+    def expects_leak(self, expected: "ExpectedLeakage") -> bool:
+        """Leaks whenever the traits say the footprint reaches the wire."""
+        return expected.wire_observable and not expected.footprint_hidden
+
+
+class ChannelCorrelationAttacker(Attacker):
+    """Infer which channel served a request from inter-channel timing.
+
+    For each real request (the challenge anchor), the attacker looks at the
+    command activity within a short window around the anchor time and bets
+    on the busiest channel.  Without cover traffic only the serving channel
+    is active and the bet wins; ObfusMem's channel injection (§3.4) keeps
+    every channel equally busy, pinning the attacker to the 1/C baseline.
+    """
+
+    name: ClassVar[str] = "channel_correlation"
+    summary: ClassVar[str] = "serving-channel inference from activity timing"
+    #: Covered schemes retain a residual count bias below this — §3.3's
+    #: read/write pair rides the serving channel, so its command count is
+    #: one higher than each cover channel's — while uncovered wires let the
+    #: attacker recover the serving channel outright (advantage >= ~0.5).
+    #: The threshold separates "recovers the channel" from that residual.
+    leak_threshold: ClassVar[float] = 0.45
+
+    #: Half-width of the activity window around each anchor (ps).
+    window_ps: ClassVar[int] = 30_000
+
+    def _capture_accuracy(self, capture: WorkloadCapture) -> tuple[int, int]:
+        """(correct, total) channel guesses over the capture's anchors."""
+        commands = sorted(capture.commands(), key=lambda t: (t.time_ps, t.channel))
+        times = [t.time_ps for t in commands]
+        correct = total = 0
+        lo = 0
+        for anchor in (t for t in commands if not t.is_dummy):
+            if anchor.plaintext_address is None:
+                continue
+            while lo < len(times) and times[lo] < anchor.time_ps - self.window_ps:
+                lo += 1
+            counts: dict[int, int] = {}
+            hi = lo
+            while hi < len(times) and times[hi] <= anchor.time_ps + self.window_ps:
+                channel = commands[hi].channel
+                counts[channel] = counts.get(channel, 0) + 1
+                hi += 1
+            if not counts:
+                continue
+            top = max(counts.values())
+            tied = sorted(c for c, n in counts.items() if n == top)
+            guess = tied[hash_coin(anchor.time_ps, len(tied), modulus=len(tied))]
+            total += 1
+            correct += guess == anchor.channel
+        return correct, total
+
+    def attack(self, observed: AttackInput) -> AttackOutcome:
+        """Guess the serving channel of every real request; score it."""
+        if observed.channels < 2:
+            return AttackOutcome(
+                self.name, observed.scheme, 0.0, 1.0, 0.0, {"requests": 0}
+            )
+        correct = total = 0
+        for workload in observed.workloads():
+            for capture in observed.captures[workload]:
+                c, n = self._capture_accuracy(capture)
+                correct, total = correct + c, total + n
+        accuracy = correct / total if total else 0.0
+        baseline = 1.0 / observed.channels
+        advantage = normalized_advantage(accuracy, baseline) if total else 0.0
+        return AttackOutcome(
+            self.name,
+            observed.scheme,
+            advantage,
+            baseline,
+            accuracy,
+            {"requests": total, "correct": correct},
+        )
+
+    def expects_leak(self, expected: "ExpectedLeakage") -> bool:
+        """Leaks when channels are exposed without cover traffic."""
+        return expected.wire_observable and not expected.channels_covered
+
+
+class RebuildTimingAttacker(Attacker):
+    """Detect periodic maintenance bursts in transfer timing (§6.2 general).
+
+    The paper's §6.2 timing channel observes that ORAM's fixed access
+    cadence is visible without reading a single wire bit.  Generalized
+    here: backends flagged :data:`~repro.oram.backend.TRAIT_REBUILD_BURSTS`
+    (Ring evictions, Pyramid rebuilds) emit large, uniformly-sized activity
+    bursts at a regular access cadence.  The attacker clusters transfer
+    times, looks for clusters far above the typical size, and scores their
+    regularity; demand traffic — even heavy, even obfuscated — produces
+    either uniform small clusters or irregular large ones, and scores 0.
+    """
+
+    name: ClassVar[str] = "rebuild_timing"
+    summary: ClassVar[str] = "periodic maintenance-burst detection from timing"
+    leak_threshold: ClassVar[float] = 0.5
+
+    #: Transfers closer than this (ps) belong to one activity cluster.
+    cluster_gap_ps: ClassVar[int] = 15_000
+    #: A burst must dwarf the typical cluster by this factor (min 32).
+    burst_factor: ClassVar[float] = 4.0
+    #: Size spread above this CV means "not scheduled maintenance".
+    max_size_cv: ClassVar[float] = 0.35
+
+    def _capture_advantage(self, capture: WorkloadCapture) -> tuple[float, int]:
+        """(advantage, burst count) from one capture's transfer times."""
+        times = sorted(t.time_ps for t in capture.transfers)
+        if len(times) < 10:
+            return 0.0, 0
+        sizes: list[int] = []
+        starts: list[int] = []
+        size, start = 1, times[0]
+        for previous, current in zip(times, times[1:]):
+            if current - previous <= self.cluster_gap_ps:
+                size += 1
+            else:
+                sizes.append(size)
+                starts.append(start)
+                size, start = 1, current
+        sizes.append(size)
+        starts.append(start)
+        if len(sizes) < 4:
+            return 0.0, 0
+        cutoff = max(32.0, self.burst_factor * statistics.median(sizes))
+        bursts = [
+            (s, g) for s, g in zip(sizes, starts) if s >= cutoff
+        ]
+        if len(bursts) < 3:
+            return 0.0, len(bursts)
+        burst_sizes = [float(s) for s, _ in bursts]
+        burst_gaps = [
+            float(b - a) for (_, a), (_, b) in zip(bursts, bursts[1:])
+        ]
+        size_cv = _cv(burst_sizes)
+        gap_cv = _cv(burst_gaps)
+        if size_cv >= self.max_size_cv:
+            return 0.0, len(bursts)
+        advantage = max(
+            0.0, (1.0 - size_cv / self.max_size_cv) * (1.0 - min(gap_cv, 1.0))
+        )
+        return advantage, len(bursts)
+
+    def attack(self, observed: AttackInput) -> AttackOutcome:
+        """Average burst-detection confidence over all captures."""
+        advantages: list[float] = []
+        bursts = 0
+        for workload in observed.workloads():
+            for capture in observed.captures[workload]:
+                advantage, count = self._capture_advantage(capture)
+                advantages.append(advantage)
+                bursts += count
+        advantage = _mean(advantages)
+        return AttackOutcome(
+            self.name,
+            observed.scheme,
+            advantage,
+            0.0,
+            advantage,
+            {"bursts": bursts, "captures": len(advantages)},
+        )
+
+    def expects_leak(self, expected: "ExpectedLeakage") -> bool:
+        """Leaks exactly when the scheme carries rebuild-burst maintenance."""
+        return expected.timing_bursts
+
+
+register_attacker(FingerprintAttacker())
+register_attacker(TypeRecoveryAttacker())
+register_attacker(FootprintAttacker())
+register_attacker(ChannelCorrelationAttacker())
+register_attacker(RebuildTimingAttacker())

@@ -7,6 +7,9 @@
 - :mod:`repro.experiments.table4` — measured security comparison.
 - :mod:`repro.experiments.energy` — §5.2 energy/lifetime analysis.
 - :mod:`repro.experiments.related` — §7 related-work comparison (HIDE/ORAM).
+- :mod:`repro.experiments.matrix` — scheme×attack leakage matrix over the
+  attacker registry (:mod:`repro.attacks`), with verdicts checked against
+  trait-derived expectations.
 - :mod:`repro.experiments.report` — one-shot Markdown report of everything.
 - :mod:`repro.experiments.export` — CSV writers for every result type.
 - :mod:`repro.experiments.executor` — parallel job execution + persistent

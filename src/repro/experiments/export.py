@@ -14,6 +14,7 @@ from pathlib import Path
 from repro.experiments.energy import EnergyResult
 from repro.experiments.figure4 import Figure4Result
 from repro.experiments.figure5 import Figure5Result
+from repro.experiments.matrix import MatrixResult
 from repro.experiments.table1 import Table1Row
 from repro.experiments.table3 import Table3Result
 from repro.experiments.table4 import Table4Result
@@ -138,6 +139,38 @@ def write_table4(result: Table4Result, path: str | Path) -> Path:
                 result.obfusmem_write_amplification,
                 result.oram.blocks_per_access / 2,
             ],
+        ],
+    )
+
+
+def write_matrix(result: MatrixResult, path: str | Path) -> Path:
+    """Write the scheme×attack leakage matrix cells to CSV; returns the path."""
+    return _write(
+        path,
+        [
+            "scheme",
+            "attack",
+            "advantage",
+            "baseline",
+            "score",
+            "threshold",
+            "leaked",
+            "expected_leak",
+            "agrees",
+        ],
+        [
+            [
+                cell.scheme,
+                cell.attack,
+                f"{cell.outcome.advantage:.4f}",
+                f"{cell.outcome.baseline:.4f}",
+                f"{cell.outcome.score:.4f}",
+                f"{cell.threshold:.2f}",
+                int(cell.leaked),
+                int(cell.expected_leak),
+                int(cell.agrees),
+            ]
+            for cell in result.cells
         ],
     )
 

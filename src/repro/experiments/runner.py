@@ -45,6 +45,7 @@ from repro.experiments.executor import (
     ResultCache,
     RunManifest,
 )
+from repro.attacks import add_attack_arguments
 from repro.schemes import add_scheme_arguments
 from repro.sim.statistics import StatRegistry
 from repro.system.config import MachineConfig, ProtectionLevel
@@ -277,10 +278,12 @@ def _prefetch_profiled(specs: list[JobSpec], label: str) -> RunManifest:
 def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach the shared ``--workers/--no-cache/--cache-dir`` flags.
 
-    Also attaches ``--list-schemes`` so every experiment CLI can print the
-    protection-scheme registry without running anything.
+    Also attaches ``--list-schemes`` and ``--list-attacks`` so every
+    experiment CLI can print the protection-scheme and attacker registries
+    without running anything.
     """
     add_scheme_arguments(parser)
+    add_attack_arguments(parser)
     parser.add_argument(
         "--workers",
         type=int,

@@ -11,14 +11,19 @@ scheme is evaluated against what it actually puts on the wire.
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
 
 
 class TransferKind(enum.Enum):
-    """What crossed the bus: a command/address slot or a data burst."""
+    """What crossed the bus: a command/address slot, data burst, or pulse."""
 
     COMMAND = "command"  # command + address slot
     DATA = "data"  # 64-byte data burst
+    #: Wire-less activity observable only as timing (power/EM side channel):
+    #: maintenance bursts of an opaque ORAM package.  ``wire_bytes`` is
+    #: empty — a pulse carries *when*, never *what*.
+    PULSE = "pulse"
 
 
 class Direction(enum.Enum):
@@ -55,31 +60,53 @@ class BusTransfer:
 
 
 class BusObserver:
-    """Passive snooper attached to the memory bus; collects transfers."""
+    """Passive snooper attached to the memory bus; collects transfers.
 
-    def __init__(self, name: str = "observer"):
+    ``max_transfers`` bounds the capture as a ring buffer: once full, each
+    new transfer evicts the oldest and bumps :attr:`dropped`, so long
+    traces never hold every :class:`BusTransfer` alive.  The default is
+    unbounded (full-trace captures for the leakage metrics).
+    """
+
+    def __init__(self, name: str = "observer", max_transfers: int | None = None):
+        if max_transfers is not None and max_transfers < 1:
+            raise ValueError("max_transfers must be positive when set")
         self.name = name
-        self.transfers: list[BusTransfer] = []
+        self.max_transfers = max_transfers
+        self._transfers: deque[BusTransfer] = deque(maxlen=max_transfers)
+        #: Transfers evicted by the ring buffer since the last clear().
+        self.dropped = 0
+
+    @property
+    def transfers(self) -> list[BusTransfer]:
+        """Retained transfers, oldest first (a fresh list each call)."""
+        return list(self._transfers)
 
     def record(self, transfer: BusTransfer) -> None:
-        """Store one observed transfer."""
-        self.transfers.append(transfer)
+        """Store one observed transfer (evicting the oldest when capped)."""
+        if (
+            self.max_transfers is not None
+            and len(self._transfers) == self.max_transfers
+        ):
+            self.dropped += 1
+        self._transfers.append(transfer)
 
     def command_transfers(self) -> list[BusTransfer]:
         """Only the command/address transfers seen."""
-        return [t for t in self.transfers if t.kind is TransferKind.COMMAND]
+        return [t for t in self._transfers if t.kind is TransferKind.COMMAND]
 
     def data_transfers(self) -> list[BusTransfer]:
         """Only the data bursts seen."""
-        return [t for t in self.transfers if t.kind is TransferKind.DATA]
+        return [t for t in self._transfers if t.kind is TransferKind.DATA]
 
     def channels_seen(self) -> set[int]:
         """Set of channel indices with any observed traffic."""
-        return {t.channel for t in self.transfers}
+        return {t.channel for t in self._transfers}
 
     def clear(self) -> None:
-        """Forget everything observed so far."""
-        self.transfers.clear()
+        """Forget everything observed so far (resets the dropped counter)."""
+        self._transfers.clear()
+        self.dropped = 0
 
 
 @dataclass

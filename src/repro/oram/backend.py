@@ -223,6 +223,20 @@ class OramBackend(abc.ABC):
         """This descriptor rescaled to a machine's ORAM latency assumption."""
         return dataclasses.replace(self, access_latency_ns=access_latency_ns)
 
+    def maintenance_burst(self) -> tuple[int, int] | None:
+        """Externally visible maintenance cadence, or None when smooth.
+
+        Backends flagged :data:`TRAIT_REBUILD_BURSTS` batch their
+        amortized maintenance into scheduled work: every
+        ``period_accesses`` accesses the package moves ``burst_blocks``
+        blocks in one burst, visible to a timing observer (power/bank
+        activity) even though no wire leaves the trusted package.
+        Returns ``(period_accesses, burst_blocks)``; the default None
+        means maintenance is folded smoothly into each access and there
+        is nothing periodic to observe.
+        """
+        return None
+
     # -- the protocol -------------------------------------------------------
 
     @abc.abstractmethod
@@ -335,6 +349,10 @@ class RingOramBackend(OramBackend):
         kwargs.setdefault("evict_rate", self.evict_rate)
         return RingOram(num_blocks, rng, **kwargs)
 
+    def maintenance_burst(self) -> tuple[int, int]:
+        """One full path eviction (read + write-back) every A accesses."""
+        return self.evict_rate, 2 * self.path_blocks
+
 
 @dataclass(frozen=True)
 class PyramidOramBackend(OramBackend):
@@ -391,6 +409,13 @@ class PyramidOramBackend(OramBackend):
 
         kwargs.setdefault("bucket_size", self.bucket_size)
         return PyramidOram(num_blocks, rng, **kwargs)
+
+    def maintenance_burst(self) -> tuple[int, int]:
+        """Level merges drain the top buffer every ``4 * bucket_size``
+        accesses, moving that period's amortized rebuild share (one read
+        and one write per hash level per access) in a single burst."""
+        period = 4 * self.bucket_size
+        return period, 2 * self.levels * period
 
 
 @dataclass(frozen=True)

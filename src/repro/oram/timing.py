@@ -20,12 +20,20 @@ import dataclasses
 from collections.abc import Callable
 from functools import partial
 
+from repro.mem.bus import BusTransfer, Direction, MemoryBus, TransferKind
 from repro.mem.request import MemoryRequest
 from repro.oram.backend import OramBackend, PathOramBackend, get_backend
 from repro.sim.engine import Engine, ns_to_ps
 from repro.sim.statistics import StatRegistry
 
 CompletionCallback = Callable[[MemoryRequest], None]
+
+#: Spacing between the pulses of one maintenance burst (they model one
+#: tightly scheduled batch of internal block moves).
+_BURST_PULSE_SPACING_PS = 1_000
+#: Safety bound on pulses emitted per burst (observability, not traffic
+#: accounting, so truncating a huge burst loses nothing the attacker uses).
+_MAX_BURST_PULSES = 1_024
 
 
 class OramMemoryModel:
@@ -36,6 +44,16 @@ class OramMemoryModel:
     :class:`~repro.oram.backend.AccessDecomposition`; legacy keyword
     overrides (``access_latency_ns``/``levels``/``bucket_size``) rescale
     the descriptor so existing call sites keep their meaning.
+
+    With a ``bus`` attached, the model emits :data:`TransferKind.PULSE`
+    records: an opaque trusted package exposes no wire, but its *activity
+    timing* (power draw, bank-level parallelism) is still physically
+    observable.  Per-access work produces one pulse; backends that declare
+    a :meth:`~repro.oram.backend.OramBackend.maintenance_burst` cadence
+    additionally emit one tight pulse cluster per scheduled eviction or
+    rebuild — the §6.2-style timing channel the leakage matrix's
+    rebuild-timing attacker detects.  Without a bus nothing is emitted
+    and timing/stats are unchanged.
     """
 
     def __init__(
@@ -46,6 +64,7 @@ class OramMemoryModel:
         access_latency_ns: float | None = None,
         levels: int | None = None,
         bucket_size: int | None = None,
+        bus: MemoryBus | None = None,
     ):
         if backend is None:
             backend = PathOramBackend()
@@ -66,6 +85,9 @@ class OramMemoryModel:
         self.access_latency_ps = ns_to_ps(self.decomposition.latency_ns)
         self.levels = backend.levels
         self.bucket_size = backend.bucket_size
+        self.bus = bus
+        self._accesses = 0
+        self._burst = backend.maintenance_burst()
 
     @property
     def blocks_per_access(self) -> float:
@@ -91,6 +113,38 @@ class OramMemoryModel:
         self.engine.post(
             self.access_latency_ps, partial(self._finish, request, callback)
         )
+        if self.bus is not None:
+            self._emit_pulses()
+
+    def _emit_pulses(self) -> None:
+        """Record the access's observable activity on the attached bus.
+
+        Timestamps anchor at the access's completion; burst pulses are
+        spaced one per :data:`_BURST_PULSE_SPACING_PS` to model one tight
+        internal batch.  Pure observability: no events are scheduled and
+        no stats are touched, so simulated timing is bit-identical with or
+        without an observer.
+        """
+        self._accesses += 1
+        done_ps = self.engine.now_ps + self.access_latency_ps
+        self.bus.emit(
+            BusTransfer(done_ps, 0, TransferKind.PULSE, Direction.TO_MEMORY, b"")
+        )
+        if self._burst is None:
+            return
+        period, burst_blocks = self._burst
+        if self._accesses % period:
+            return
+        for index in range(1, min(burst_blocks, _MAX_BURST_PULSES) + 1):
+            self.bus.emit(
+                BusTransfer(
+                    done_ps + index * _BURST_PULSE_SPACING_PS,
+                    0,
+                    TransferKind.PULSE,
+                    Direction.TO_MEMORY,
+                    b"",
+                )
+            )
 
     def _finish(
         self, request: MemoryRequest, callback: CompletionCallback | None

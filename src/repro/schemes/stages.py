@@ -222,7 +222,9 @@ class OramBackendStage(BusStage):
         descriptor = get_backend(self.backend).with_latency(
             ctx.machine.oram_access_latency_ns
         )
-        oram = OramMemoryModel(ctx.engine, ctx.stats, backend=descriptor)
+        oram = OramMemoryModel(
+            ctx.engine, ctx.stats, backend=descriptor, bus=ctx.bus
+        )
         ctx.handles[self.handle] = oram
         return oram
 

@@ -11,6 +11,7 @@ Routes::
     GET    /healthz           liveness + drain state
     GET    /metrics           live service metrics (see SimulationService.metrics)
     GET    /schemes           the protection-scheme registry, wire-format
+    GET    /attacks           the attacker registry, wire-format
     GET    /jobs              every known job (summaries, no result payloads)
     POST   /jobs              submit a JobSpec-shaped JSON body -> 202 + job
                               (429 + Retry-After when saturated, 503 draining)
@@ -35,6 +36,7 @@ import json
 from dataclasses import dataclass, field
 from urllib.parse import parse_qs, urlsplit
 
+from repro.attacks import available_attackers
 from repro.errors import ConfigurationError
 from repro.schemes import available_schemes
 from repro.serve.service import (
@@ -222,6 +224,8 @@ class HttpApi:
             return self._metrics(request)
         if request.path == "/schemes":
             return self._schemes(request)
+        if request.path == "/attacks":
+            return self._attacks(request)
         if parts[:1] == ["jobs"]:
             if len(parts) == 1:
                 if request.method == "POST":
@@ -263,6 +267,15 @@ class HttpApi:
             return refusal
         return Response(
             200, {"schemes": [scheme.to_jsonable() for scheme in available_schemes()]}
+        )
+
+    def _attacks(self, request: Request) -> Response:
+        refusal = self._require_get(request)
+        if refusal is not None:
+            return refusal
+        return Response(
+            200,
+            {"attacks": [attacker.to_jsonable() for attacker in available_attackers()]},
         )
 
     def _submit(self, request: Request) -> Response:

@@ -42,6 +42,17 @@ def data(time_ps=0, channel=0, to_memory=True):
     )
 
 
+def pulse(time_ps=0, channel=0):
+    """A wire-less timing pulse: empty wire bytes, nothing to decode."""
+    return BusTransfer(
+        time_ps=time_ps,
+        channel=channel,
+        kind=TransferKind.PULSE,
+        direction=Direction.TO_MEMORY,
+        wire_bytes=b"",
+    )
+
+
 class TestEmptyInputs:
     def test_all_metrics_handle_empty(self):
         assert ciphertext_repeat_fraction([]) == 0.0
@@ -53,6 +64,26 @@ class TestEmptyInputs:
         assert timing_regularity([]) == 0.0
         leak = footprint_leak([])
         assert leak.observed_unique == 0 and leak.relative_error == 0.0
+
+    def test_all_metrics_handle_pulse_only_captures(self):
+        """An opaque ORAM capture is all pulses: no commands, no wire bytes."""
+        transfers = [pulse(time_ps=i * 1_000) for i in range(16)]
+        assert ciphertext_repeat_fraction(transfers) == 0.0
+        assert spatial_locality_score(transfers) == 0.0
+        assert type_inference_accuracy(transfers) == 0.0
+        assert observed_write_share(transfers) == 0.0
+        assert channel_entropy(transfers, 4) == 1.0
+        assert channel_coactivity(transfers, 4) == 0.0
+        assert timing_regularity(transfers) == 0.0
+        leak = footprint_leak(transfers)
+        assert leak.total_commands == 0 and leak.relative_error == 0.0
+
+    def test_zero_truth_footprint_with_observations_is_not_exact(self):
+        """All-dummy traffic: any non-zero estimate is infinitely wrong."""
+        transfers = [command(address=i * 64, dummy=True) for i in range(8)]
+        leak = footprint_leak(transfers)
+        assert leak.true_unique == 0 and leak.observed_unique == 8
+        assert leak.relative_error == float("inf")
 
 
 class TestSingletons:
@@ -108,6 +139,13 @@ class TestChannelMetrics:
     def test_entropy_uniform(self):
         transfers = [command(time_ps=i, channel=i % 4) for i in range(8)]
         assert channel_entropy(transfers, 4) == pytest.approx(1.0)
+
+    def test_entropy_ignores_out_of_range_channels(self):
+        """Corrupt channel tags cannot push normalized entropy outside [0, 1]."""
+        transfers = [command(time_ps=i, channel=i % 2) for i in range(8)]
+        transfers += [command(time_ps=100 + i, channel=9) for i in range(8)]
+        assert channel_entropy(transfers, 2) == pytest.approx(1.0)
+        assert channel_entropy([command(channel=9)], 2) == 0.0
 
     def test_coactivity_requires_all_channels(self):
         transfers = [
@@ -169,3 +207,24 @@ class TestBusObserver:
     def test_write_share(self):
         transfers = [data(to_memory=True), data(to_memory=True), data(to_memory=False)]
         assert observed_write_share(transfers) == pytest.approx(2 / 3)
+
+    def test_ring_buffer_caps_retention_and_counts_drops(self):
+        observer = BusObserver(max_transfers=3)
+        for i in range(5):
+            observer.record(command(time_ps=i))
+        assert len(observer.transfers) == 3
+        assert observer.dropped == 2
+        # Oldest transfers were the ones evicted.
+        assert [t.time_ps for t in observer.transfers] == [2, 3, 4]
+        observer.clear()
+        assert observer.transfers == [] and observer.dropped == 0
+
+    def test_ring_buffer_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            BusObserver(max_transfers=0)
+
+    def test_unbounded_observer_never_drops(self):
+        observer = BusObserver()
+        for i in range(100):
+            observer.record(command(time_ps=i))
+        assert len(observer.transfers) == 100 and observer.dropped == 0

@@ -1,0 +1,321 @@
+"""Passive attackers on synthetic captures: each leakage channel isolated."""
+
+import hashlib
+
+import pytest
+
+from repro.analysis.leakage import expected_leakage
+from repro.attacks import AttackInput, WorkloadCapture, get_attacker
+from repro.attacks.passive import (
+    ChannelCorrelationAttacker,
+    FingerprintAttacker,
+    FootprintAttacker,
+    RebuildTimingAttacker,
+    TypeRecoveryAttacker,
+)
+from repro.mem.bus import BusTransfer, Direction, TransferKind
+
+_METADATA_REGION_BASE = 31 << 28  # where counter-block traffic lives
+
+
+def plain_wire(address, is_write=False):
+    """The unprotected scheduler's command layout."""
+    return (b"\x01" if is_write else b"\x00") + address.to_bytes(8, "big") + b"\x00" * 7
+
+
+def packet_wire(address, is_write=False):
+    """The secure packet layout, decrypted (0x0A read / 0x5B write)."""
+    return bytes([0x5B if is_write else 0x0A]) + address.to_bytes(8, "big") + b"\x00" * 7
+
+
+def cipher_wire(*tag):
+    """A ciphertext-looking wire: pseudo-random, never a valid type code."""
+    digest = hashlib.blake2b(repr(tag).encode(), digest_size=16).digest()
+    first = digest[0]
+    if first in (0x00, 0x01, 0x0A, 0x5B):
+        first ^= 0x80
+    return bytes([first]) + digest[1:]
+
+
+def command(
+    time_ps=0, channel=0, address=0x1000, is_write=False, dummy=False, wire=None
+):
+    if wire is None:
+        wire = plain_wire(address, is_write)
+    return BusTransfer(
+        time_ps=time_ps,
+        channel=channel,
+        kind=TransferKind.COMMAND,
+        direction=Direction.TO_MEMORY,
+        wire_bytes=wire,
+        plaintext_address=address,
+        plaintext_is_write=is_write,
+        is_dummy=dummy,
+    )
+
+
+def pulse(time_ps):
+    return BusTransfer(
+        time_ps=time_ps,
+        channel=0,
+        kind=TransferKind.PULSE,
+        direction=Direction.TO_MEMORY,
+        wire_bytes=b"",
+    )
+
+
+def capture(transfers, workload="w", seed=0):
+    return WorkloadCapture(workload, seed, tuple(transfers))
+
+
+def scatter(i, seed, span_blocks=1 << 22):
+    """A pseudo-random block address inside region 0."""
+    digest = hashlib.blake2b(f"{i}|{seed}".encode(), digest_size=8).digest()
+    return (int.from_bytes(digest, "big") % span_blocks) * 64
+
+
+class TestFingerprint:
+    def _streaming(self, seed, metadata=False):
+        transfers = []
+        for i in range(300):
+            transfers.append(command(time_ps=i * 1_000, address=(seed * 7 + i) * 64))
+            if metadata and i % 3 == 0:
+                transfers.append(
+                    command(
+                        time_ps=i * 1_000 + 500,
+                        address=_METADATA_REGION_BASE + (i % 64) * 64,
+                    )
+                )
+        return capture(transfers, "stream", seed)
+
+    def _scattered(self, seed):
+        return capture(
+            [
+                command(time_ps=i * 1_000, address=scatter(i, seed))
+                for i in range(300)
+            ],
+            "random",
+            seed,
+        )
+
+    def test_distinct_workloads_classified_perfectly(self):
+        observed = AttackInput(
+            scheme="unprotected",
+            channels=1,
+            captures={
+                "stream": tuple(self._streaming(seed) for seed in range(3)),
+                "random": tuple(self._scattered(seed) for seed in range(3)),
+            },
+        )
+        outcome = FingerprintAttacker().attack(observed)
+        assert outcome.baseline == pytest.approx(0.5)
+        assert outcome.advantage == 1.0
+
+    def test_metadata_region_is_filtered_out(self):
+        """Interleaved counter-region traffic must not pollute the features."""
+        attacker = FingerprintAttacker()
+        clean = attacker._features(self._streaming(0))
+        mixed = attacker._features(self._streaming(0, metadata=True))
+        assert mixed == clean
+
+    def test_ciphertext_collapses_to_baseline(self):
+        def noise(workload, seed):
+            return capture(
+                [
+                    command(time_ps=i * 1_000, wire=cipher_wire(workload, seed, i))
+                    for i in range(300)
+                ],
+                workload,
+                seed,
+            )
+
+        observed = AttackInput(
+            scheme="obfusmem",
+            channels=1,
+            captures={
+                w: tuple(noise(w, seed) for seed in range(3))
+                for w in ("stream", "random")
+            },
+        )
+        outcome = FingerprintAttacker().attack(observed)
+        # Every capture degenerates to the identical default feature vector:
+        # classification is exactly the random-guess baseline, advantage 0.
+        assert outcome.advantage == 0.0
+
+    def test_single_workload_yields_no_advantage(self):
+        observed = AttackInput(
+            scheme="unprotected",
+            channels=1,
+            captures={"stream": tuple(self._streaming(seed) for seed in range(3))},
+        )
+        assert FingerprintAttacker().attack(observed).advantage == 0.0
+
+
+class TestTypeRecovery:
+    def _typed_capture(self, wire_builder):
+        return capture(
+            [
+                command(
+                    time_ps=i * 1_000,
+                    address=i * 64,
+                    is_write=i % 3 == 0,
+                    wire=wire_builder(i * 64, i % 3 == 0),
+                )
+                for i in range(200)
+            ]
+        )
+
+    @pytest.mark.parametrize("layout", [plain_wire, packet_wire])
+    def test_both_public_layouts_leak_fully(self, layout):
+        observed = AttackInput(
+            scheme="unprotected",
+            channels=1,
+            captures={"w": (self._typed_capture(layout),)},
+        )
+        outcome = TypeRecoveryAttacker().attack(observed)
+        assert outcome.score == 1.0 and outcome.advantage == 1.0
+
+    def test_ciphertext_degenerates_to_a_coin(self):
+        transfers = [
+            command(
+                time_ps=i * 1_000,
+                address=i * 64,
+                is_write=i % 3 == 0,
+                wire=cipher_wire("type", i),
+            )
+            for i in range(600)
+        ]
+        observed = AttackInput(
+            scheme="obfusmem", channels=1, captures={"w": (capture(transfers),)}
+        )
+        outcome = TypeRecoveryAttacker().attack(observed)
+        assert outcome.baseline == 0.5
+        assert outcome.advantage < 0.25  # well below the 0.5 leak threshold
+
+
+class TestFootprint:
+    def test_deterministic_wire_recovers_exactly(self):
+        transfers = [
+            command(time_ps=i * 1_000, address=(i % 32) * 64, is_write=i % 5 == 0)
+            for i in range(320)
+        ]
+        observed = AttackInput(
+            scheme="unprotected", channels=1, captures={"w": (capture(transfers),)}
+        )
+        outcome = FootprintAttacker().attack(observed)
+        assert outcome.advantage == 1.0
+        assert outcome.evidence == {"estimated_blocks": 32, "true_blocks": 32}
+
+    def test_one_time_encodings_explode_the_estimate(self):
+        transfers = [
+            command(time_ps=i * 1_000, address=(i % 32) * 64, wire=cipher_wire(i))
+            for i in range(320)
+        ]
+        observed = AttackInput(
+            scheme="obfusmem", channels=1, captures={"w": (capture(transfers),)}
+        )
+        assert FootprintAttacker().attack(observed).advantage == 0.0
+
+
+class TestChannelCorrelation:
+    def test_uncovered_channels_recovered_outright(self):
+        transfers = [
+            command(time_ps=i * 1_000_000, channel=i % 4, address=i * 64)
+            for i in range(100)
+        ]
+        observed = AttackInput(
+            scheme="unprotected", channels=4, captures={"w": (capture(transfers),)}
+        )
+        outcome = ChannelCorrelationAttacker().attack(observed)
+        assert outcome.baseline == pytest.approx(0.25)
+        assert outcome.advantage == 1.0
+
+    def test_cover_traffic_pins_the_attacker_near_baseline(self):
+        transfers = []
+        for i in range(100):
+            anchor = i * 1_000_000
+            serving = i % 4
+            transfers.append(
+                command(time_ps=anchor, channel=serving, address=i * 64)
+            )
+            for other in range(4):
+                if other != serving:
+                    transfers.append(
+                        command(
+                            time_ps=anchor + 100,
+                            channel=other,
+                            address=0xFFC0,
+                            dummy=True,
+                        )
+                    )
+        observed = AttackInput(
+            scheme="obfusmem", channels=4, captures={"w": (capture(transfers),)}
+        )
+        outcome = ChannelCorrelationAttacker().attack(observed)
+        assert outcome.advantage < ChannelCorrelationAttacker.leak_threshold
+
+    def test_single_channel_has_nothing_to_infer(self):
+        observed = AttackInput(scheme="unprotected", channels=1, captures={})
+        assert ChannelCorrelationAttacker().attack(observed).advantage == 0.0
+
+
+class TestRebuildTiming:
+    def _trace(self, burst_sizes, demand=60, burst_period_ps=10_000_000):
+        transfers = [pulse(i * 500_000) for i in range(demand)]
+        start = demand * 500_000 + 1_000_000
+        for b, size in enumerate(burst_sizes):
+            base = start + b * burst_period_ps
+            transfers += [pulse(base + i * 1_000) for i in range(size)]
+        return capture(sorted(transfers, key=lambda t: t.time_ps))
+
+    def _attack(self, trace):
+        observed = AttackInput(
+            scheme="oram_ring", channels=1, captures={"w": (trace,)}
+        )
+        return RebuildTimingAttacker().attack(observed)
+
+    def test_uniform_periodic_bursts_detected(self):
+        outcome = self._attack(self._trace([200] * 5))
+        assert outcome.advantage >= RebuildTimingAttacker.leak_threshold
+        assert outcome.evidence["bursts"] == 5
+
+    def test_irregular_burst_sizes_rejected(self):
+        outcome = self._attack(self._trace([40, 200, 400, 80, 300]))
+        assert outcome.advantage == 0.0
+
+    def test_too_few_bursts_rejected(self):
+        assert self._attack(self._trace([200] * 2)).advantage == 0.0
+
+    def test_pure_demand_traffic_scores_zero(self):
+        assert self._attack(self._trace([])).advantage == 0.0
+
+
+class TestExpectedLeakIntegration:
+    """expects_leak predictions line up with the trait-derived expectations."""
+
+    @pytest.mark.parametrize(
+        "attack, scheme, leaks",
+        [
+            ("fingerprint", "unprotected", True),
+            ("fingerprint", "encryption_only", True),
+            ("fingerprint", "obfusmem", False),
+            ("fingerprint", "oram", False),
+            ("type_recovery", "hide", True),
+            ("type_recovery", "obfusmem_auth", False),
+            ("footprint", "hide_encrypted", True),
+            ("footprint", "obfusmem", False),
+            ("channel_correlation", "unprotected", True),
+            ("channel_correlation", "obfusmem", False),
+            ("rebuild_timing", "oram_ring", True),
+            ("rebuild_timing", "pyramid", True),
+            ("rebuild_timing", "oram", False),
+            ("rebuild_timing", "obfusmem", False),
+            ("dictionary", "unprotected", True),
+            ("dictionary", "obfusmem", False),
+            ("tamper", "unprotected", True),
+            ("tamper", "obfusmem_auth", False),
+        ],
+    )
+    def test_prediction(self, attack, scheme, leaks):
+        attacker = get_attacker(attack)
+        assert attacker.expects_leak(expected_leakage(scheme)) is leaks

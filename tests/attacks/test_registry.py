@@ -1,0 +1,138 @@
+"""Attacker registry mechanics, base helpers and the --list-attacks CLI."""
+
+import argparse
+
+import pytest
+
+from repro.attacks import (
+    AttackInput,
+    AttackOutcome,
+    Attacker,
+    add_attack_arguments,
+    attacker_names,
+    available_attackers,
+    format_attack_list,
+    get_attacker,
+    hash_coin,
+    normalized_advantage,
+    register_attacker,
+    unregister_attacker,
+    wire_address,
+    wire_is_write,
+)
+from repro.errors import ConfigurationError
+
+EXPECTED_NAMES = [
+    "dictionary",
+    "fingerprint",
+    "type_recovery",
+    "footprint",
+    "channel_correlation",
+    "rebuild_timing",
+    "tamper",
+]
+
+
+class _StubAttacker(Attacker):
+    name = "stub"
+    summary = "does nothing"
+
+    def attack(self, observed):
+        return AttackOutcome(self.name, observed.scheme, 0.0, 0.0, 0.0)
+
+    def expects_leak(self, expected):
+        return False
+
+
+class TestRegistry:
+    def test_registration_order_is_stable(self):
+        assert attacker_names() == EXPECTED_NAMES
+        assert [a.name for a in available_attackers()] == EXPECTED_NAMES
+
+    def test_lookup_and_close_match_hint(self):
+        assert get_attacker("fingerprint").name == "fingerprint"
+        with pytest.raises(ConfigurationError, match="dictionary"):
+            get_attacker("dictionnary")
+
+    def test_register_unregister_roundtrip(self):
+        register_attacker(_StubAttacker())
+        try:
+            assert get_attacker("stub").summary == "does nothing"
+            with pytest.raises(ConfigurationError, match="already registered"):
+                register_attacker(_StubAttacker())
+            register_attacker(_StubAttacker(), replace=True)  # explicit replace ok
+        finally:
+            unregister_attacker("stub")
+        assert "stub" not in attacker_names()
+        unregister_attacker("stub")  # absent names are a no-op
+
+    def test_empty_name_rejected(self):
+        stub = _StubAttacker()
+        stub.name = ""
+        with pytest.raises(ConfigurationError):
+            register_attacker(stub)
+
+    def test_metadata_serializes(self):
+        payload = get_attacker("tamper").to_jsonable()
+        assert payload["name"] == "tamper"
+        assert payload["kind"] == "active"
+        assert payload["seeds_needed"] == 0
+        assert 0.0 < payload["leak_threshold"] <= 1.0
+        assert "describe" not in payload and "§3.5" in get_attacker("tamper").describe()
+
+
+class TestCli:
+    def test_listing_covers_every_attacker(self):
+        listing = format_attack_list()
+        for name in EXPECTED_NAMES:
+            assert name in listing
+
+    def test_list_attacks_flag_exits_cleanly(self, capsys):
+        parser = argparse.ArgumentParser()
+        add_attack_arguments(parser)
+        with pytest.raises(SystemExit) as excinfo:
+            parser.parse_args(["--list-attacks"])
+        assert excinfo.value.code == 0
+        assert "fingerprint" in capsys.readouterr().out
+
+
+class TestWireHelpers:
+    def test_wire_is_write_accepts_both_layouts(self):
+        assert wire_is_write(b"\x01" + b"\x00" * 8) is True
+        assert wire_is_write(b"\x00" + b"\x00" * 8) is False
+        assert wire_is_write(b"\x5b" + b"\x00" * 8) is True
+        assert wire_is_write(b"\x0a" + b"\x00" * 8) is False
+        assert wire_is_write(b"\x77" + b"\x00" * 8) is None
+        assert wire_is_write(b"") is None
+
+    def test_wire_address_decodes_the_address_field(self):
+        wire = b"\x00" + (0xABC0).to_bytes(8, "big") + b"\xff" * 7
+        assert wire_address(wire) == 0xABC0
+
+    def test_hash_coin_is_deterministic_and_in_range(self):
+        draws = [hash_coin(i, "salt", modulus=4) for i in range(64)]
+        assert draws == [hash_coin(i, "salt", modulus=4) for i in range(64)]
+        assert set(draws) <= {0, 1, 2, 3}
+        assert len(set(draws)) > 1  # not a constant
+        assert hash_coin("anything", modulus=0) == 0  # degenerate modulus
+
+
+class TestNormalizedAdvantage:
+    def test_scale_and_clipping(self):
+        assert normalized_advantage(1.0, 0.5) == 1.0
+        assert normalized_advantage(0.5, 0.5) == 0.0
+        assert normalized_advantage(0.25, 0.5) == 0.0  # below baseline clips
+        assert normalized_advantage(0.75, 0.5) == pytest.approx(0.5)
+        assert normalized_advantage(1.0, 1.0) == 0.0  # degenerate baseline
+
+    def test_outcome_json_roundtrip(self):
+        outcome = AttackOutcome(
+            "fingerprint", "obfusmem", 0.25, 0.5, 0.625, {"tests": 4}
+        )
+        assert AttackOutcome.from_jsonable(outcome.to_jsonable()) == outcome
+
+
+class TestAttackInput:
+    def test_workloads_sorted(self):
+        observed = AttackInput(scheme="x", channels=1, captures={"b": (), "a": ()})
+        assert observed.workloads() == ["a", "b"]

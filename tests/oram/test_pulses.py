@@ -1,0 +1,67 @@
+"""PULSE observability of the opaque ORAM package (§6.2 generalized).
+
+An opaque trusted memory exposes no wire, but its activity timing is still
+physically observable.  These tests pin the contract: per-access pulses for
+every backend, tight burst clusters only for backends that declare a
+maintenance cadence, nothing at all without a bus — and attaching a bus
+never changes simulated timing or stats.
+"""
+
+from functools import partial
+
+from repro.mem.bus import BusObserver, MemoryBus, TransferKind
+from repro.mem.request import MemoryRequest, RequestType
+from repro.oram.timing import OramMemoryModel
+from repro.sim.engine import Engine
+from repro.sim.statistics import StatRegistry
+
+ACCESSES = 32
+SPACING_PS = 500_000
+
+
+def drive(backend, bus=None):
+    engine = Engine()
+    stats = StatRegistry()
+    model = OramMemoryModel(engine, stats, backend=backend, bus=bus)
+    for i in range(ACCESSES):
+        request = MemoryRequest(address=i * 64, request_type=RequestType.READ)
+        engine.post(i * SPACING_PS, partial(model.issue, request, None))
+    engine.run()
+    return stats.as_dict(), engine.now_ps
+
+
+def pulses(observer):
+    return [t for t in observer.transfers if t.kind is TransferKind.PULSE]
+
+
+class TestPulseEmission:
+    def test_ring_emits_demand_pulses_plus_maintenance_bursts(self):
+        bus = MemoryBus()
+        observer = BusObserver()
+        bus.attach(observer)
+        drive("ring", bus=bus)
+        observed = pulses(observer)
+        # One demand pulse per access plus one 200-pulse burst per 8
+        # accesses (the Ring backend's declared eviction cadence).
+        assert len(observed) == ACCESSES + (ACCESSES // 8) * 200
+        assert all(t.wire_bytes == b"" for t in observed)
+        assert observer.transfers == observed  # pulses are all it emits
+
+    def test_path_emits_only_demand_pulses(self):
+        bus = MemoryBus()
+        observer = BusObserver()
+        bus.attach(observer)
+        drive("path", bus=bus)
+        assert len(pulses(observer)) == ACCESSES
+
+    def test_no_bus_means_no_observability_requirement(self):
+        stats, now = drive("ring", bus=None)
+        assert stats["oram.accesses"] == ACCESSES
+
+    def test_observer_never_perturbs_timing_or_stats(self):
+        bus = MemoryBus()
+        bus.attach(BusObserver())
+        silent_stats, silent_now = drive("ring", bus=None)
+        observed_stats, observed_now = drive("ring", bus=bus)
+        assert observed_stats == silent_stats
+        assert observed_now == silent_now

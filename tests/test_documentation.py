@@ -145,6 +145,7 @@ class TestServingManual:
             "GET /healthz",
             "GET /metrics",
             "GET /schemes",
+            "GET /attacks",
             "GET /jobs",
             "POST /jobs",
             "GET /jobs/<id>",
