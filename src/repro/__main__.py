@@ -9,6 +9,7 @@ table1 ...      shortcut: ``repro table1`` == ``repro experiments table1``
 attacks         run the §3.5 active-attack suite against the live stack
 report          full Markdown evaluation report (see experiments.report)
 serve           run the HTTP simulation service (see repro.serve)
+sweep           execute a declarative design-space sweep (repro.experiments.sweep)
 
 Every experiment command accepts ``--profile``, which wraps the cold
 simulations in cProfile + event accounting and writes hotspot reports next
@@ -183,6 +184,73 @@ def _cmd_attacks(args: argparse.Namespace) -> None:
         raise SystemExit(f"{failures} attack scenario(s) behaved unexpectedly")
 
 
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    from repro.experiments.checkpoints import CheckpointStore
+    from repro.experiments.export import write_pareto
+    from repro.experiments.pareto import ParetoAggregator
+    from repro.experiments.runner import configure_from_args, get_config
+    from repro.experiments.sweep import SweepSpec, plan_sweep, run_sweep
+
+    configure_from_args(args)
+    config = get_config()
+    try:
+        spec = SweepSpec.load(args.spec)
+        compiled = spec.compile()
+    except ConfigurationError as error:
+        raise SystemExit(str(error))
+    plan = plan_sweep(list(compiled.jobs))
+    print(
+        f"compiled {len(compiled.jobs)} job(s) from {compiled.requested} "
+        f"design point(s) ({compiled.duplicates_dropped} duplicate(s) dropped, "
+        f"{compiled.baselines_added} baseline anchor(s) added)"
+    )
+    print(plan.describe())
+    for warning in compiled.warnings:
+        print(f"  note: {warning}")
+    if args.dry_run:
+        return
+    cache = None
+    store = None
+    if config.cache_enabled:
+        from repro.experiments.executor import ResultCache
+
+        cache = ResultCache(config.cache_dir, max_bytes=config.cache_bytes)
+        store = CheckpointStore(config.cache_dir, max_bytes=config.cache_bytes)
+    aggregator = ParetoAggregator()
+    run = run_sweep(
+        compiled,
+        workers=config.workers,
+        cache=cache,
+        checkpoints=store,
+        aggregator=aggregator,
+        label=args.label,
+    )
+    manifest = run.manifest
+    print(
+        f"executed {manifest.jobs} job(s) in {run.wall_clock_s:.2f} s: "
+        f"{manifest.cache_hits} cache hit(s), {manifest.cache_misses} simulated, "
+        f"{manifest.checkpoint_hits} checkpoint warm-start(s), "
+        f"{manifest.events_resumed} event(s) resumed"
+    )
+    if config.cache_enabled:
+        manifest.write(config.cache_dir / "manifests" / f"{args.label}.json")
+    frontier = aggregator.frontier()
+    print(
+        f"pareto frontier: {len(frontier)} non-dominated of "
+        f"{len(aggregator.points())} point(s)"
+        + (f" ({aggregator.pending} pending without baseline)" if aggregator.pending else "")
+    )
+    for point in frontier:
+        print(
+            f"  {point.scheme:24s} {point.benchmark:10s} "
+            f"overhead {point.overhead_pct:8.2f}%  leakage {point.leakage:.2f}  "
+            f"energy {point.energy_pj_per_access:10.1f} pJ/access"
+        )
+    if args.pareto:
+        path = write_pareto(frontier, args.pareto)
+        print(f"frontier csv     : {path}")
+
+
 def _cmd_serve(args: argparse.Namespace) -> None:
     from repro.serve import cli as serve_cli
 
@@ -261,6 +329,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_serve_arguments(serve_parser)
 
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="execute a declarative design-space sweep"
+    )
+    sweep_parser.add_argument(
+        "--spec", required=True, help="sweep spec JSON file (see EXPERIMENTS.md)"
+    )
+    sweep_parser.add_argument(
+        "--pareto", default=None, help="write the Pareto frontier CSV here"
+    )
+    sweep_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the planned wave/warm-start schedule without simulating",
+    )
+    sweep_parser.add_argument(
+        "--label", default="sweep", help="manifest label (default: sweep)"
+    )
+    add_runner_arguments(sweep_parser)
+
     report_parser = subparsers.add_parser("report", help="full Markdown report")
     report_parser.add_argument("-o", "--output")
     report_parser.add_argument("--requests", type=int, default=4000)
@@ -279,6 +366,7 @@ def main(argv: list[str] | None = None) -> None:
         "experiments": _cmd_experiments,
         "attacks": _cmd_attacks,
         "serve": _cmd_serve,
+        "sweep": _cmd_sweep,
         "report": _cmd_report,
     }
     handler = handlers.get(args.command, _cmd_experiment_shortcut)

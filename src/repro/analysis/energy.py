@@ -16,9 +16,32 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.mem.dram_timing import PcmEnergy
 from repro.oram.backend import DEFAULT_BUCKET_SIZE, DEFAULT_LEVELS
 
 PCM_WRITE_TO_READ_ENERGY = 6.8  # Lee et al. ratio used in §5.2
+
+
+def measured_energy_pj(
+    stats: dict[str, float], energy: PcmEnergy | None = None
+) -> float:
+    """Total memory energy (pJ) one run spent, from its statistics.
+
+    Wire-level schemes run through the PCM model, which accumulates
+    ``*.energy_pj`` counters directly.  Opaque ORAM backends bypass the
+    PCM simulation entirely, so their energy is reconstructed from the
+    block traffic the backend reports (``oram.blocks_read`` /
+    ``oram.blocks_written``) priced at the same PCM array energies — the
+    §5.2 accounting, applied to measured rather than analytical counts.
+    """
+    direct = sum(value for key, value in stats.items() if key.endswith("energy_pj"))
+    if direct > 0:
+        return direct
+    model = energy or PcmEnergy()
+    return (
+        stats.get("oram.blocks_read", 0.0) * model.array_read_pj
+        + stats.get("oram.blocks_written", 0.0) * model.array_write_pj
+    )
 
 
 @dataclass(frozen=True)

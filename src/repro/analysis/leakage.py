@@ -323,6 +323,50 @@ class ExpectedLeakage:
     timing_bursts: bool = False
 
 
+@dataclass(frozen=True)
+class LeakageSurface:
+    """A scheme's exposure to a battery of attackers, from traits alone.
+
+    The sweep engine's Pareto axis: the fraction of a given adversary
+    battery whose trait-derived prediction (:meth:`Attacker.expects_leak`)
+    says the scheme leaks.  0.0 means no attacker in the battery is
+    expected to clear its leak threshold; 1.0 means all are.
+    """
+
+    scheme: str
+    #: Names of the attackers expected to succeed against this scheme.
+    leaky_attacks: tuple[str, ...]
+    #: Size of the battery the surface was scored against.
+    attacks_total: int
+
+    @property
+    def score(self) -> float:
+        """Expected leaky fraction of the battery (0.0 watertight, 1.0 open)."""
+        if self.attacks_total == 0:
+            return 0.0
+        return len(self.leaky_attacks) / self.attacks_total
+
+
+def leakage_surface(
+    scheme: ProtectionScheme | object, attackers
+) -> LeakageSurface:
+    """Score a scheme's expected leakage against an attacker battery.
+
+    ``attackers`` is any iterable of objects with a ``name`` and an
+    ``expects_leak(ExpectedLeakage) -> bool`` — duck-typed so this module
+    never imports :mod:`repro.attacks` (the dependency points the other
+    way).  Pass :func:`repro.attacks.available_attackers()` for the full
+    registered battery.
+    """
+    resolved = resolve_scheme(scheme)
+    expected = expected_leakage(resolved)
+    battery = list(attackers)
+    leaky = tuple(a.name for a in battery if a.expects_leak(expected))
+    return LeakageSurface(
+        scheme=resolved.name, leaky_attacks=leaky, attacks_total=len(battery)
+    )
+
+
 def expected_leakage(
     scheme: ProtectionScheme | object,
 ) -> ExpectedLeakage:

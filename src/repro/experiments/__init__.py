@@ -19,6 +19,13 @@
 - :mod:`repro.experiments.trace_cache` — persistent content-addressed
   cache of front-end traces, sharing the result cache's directory and
   byte budget.
+- :mod:`repro.experiments.checkpoints` — persistent checkpoint store and
+  warm-started execution for request-count sweep families.
+- :mod:`repro.experiments.sweep` — declarative design-space sweeps
+  (``SweepSpec``) compiled to deduplicated jobs and executed on a
+  prefix-sharing warm-start schedule (``plan_sweep``/``run_sweep``).
+- :mod:`repro.experiments.pareto` — streaming Pareto aggregation of sweep
+  results into the overhead/leakage/energy frontier.
 
 Each experiment module exposes ``run(...)`` returning structured results
 and a ``main()`` that prints the regenerated table; run them as scripts,
@@ -29,6 +36,7 @@ control parallel fan-out and the persistent result cache.
 """
 
 from repro.experiments.executor import JobSpec, ParallelRunner, ResultCache, RunManifest
+from repro.experiments.pareto import ParetoAggregator
 from repro.experiments.runner import (
     cached_run,
     clear_cache,
@@ -36,15 +44,20 @@ from repro.experiments.runner import (
     prefetch,
     select_benchmarks,
 )
+from repro.experiments.sweep import SweepSpec, plan_sweep, run_sweep
 
 __all__ = [
     "JobSpec",
     "ParallelRunner",
+    "ParetoAggregator",
     "ResultCache",
     "RunManifest",
+    "SweepSpec",
     "cached_run",
     "clear_cache",
     "configure",
+    "plan_sweep",
     "prefetch",
+    "run_sweep",
     "select_benchmarks",
 ]

@@ -267,25 +267,62 @@ def execute_with_checkpoints(
     spec: JobSpec,
     store: CheckpointStore | None,
     interval_events: int = DEFAULT_CHECKPOINT_INTERVAL_EVENTS,
+    save_milestones: tuple[float, ...] | None = None,
 ) -> CheckpointedRun:
     """Run one spec warm-from-checkpoint, saving new snapshots on the way.
 
-    The simulation executes in ``interval_events`` slices; at each slice
-    boundary that is still a safe prefix, a snapshot is persisted for
-    future (possibly longer) members of the spec family.  The result is
-    bit-identical to :meth:`JobSpec.execute` — the golden-determinism
-    suite holds this over the whole scheme grid.
+    The simulation executes in ``interval_events`` slices.  With the
+    default ``save_milestones=None``, a snapshot is persisted at *every*
+    slice boundary that is still a safe prefix (the original periodic
+    policy; fine for long jobs where the interval yields a handful of
+    saves).  A snapshot save costs a full world pickle — milliseconds —
+    while pausing the engine costs nothing, so schedulers that slice
+    finely pass ``save_milestones``: a sorted tuple of trace-progress
+    fractions, and a snapshot is saved only at the first boundary past
+    each milestone (``()`` forks from the store but never saves — right
+    for the deepest member of a sweep family, whose snapshots nobody
+    would ever fork from).  The result is bit-identical to
+    :meth:`JobSpec.execute` — the golden-determinism suite holds this
+    over the whole scheme grid.
     """
     world, forked_from = world_for_spec(spec, store)
     interval = max(1, int(interval_events))
     saved = 0
     if store is None:
         world.run()
-    else:
+    elif save_milestones is None:
         while not world.run(stop_after_events=interval):
             if world.safe_prefix:
                 store.put(spec, world.snapshot())
                 saved += 1
+    else:
+        # Adaptive probing: estimate the event cost of reaching the next
+        # milestone from the rate observed so far (events executed over
+        # trace progress), undershoot it slightly, and re-probe.  A run
+        # reaches each milestone in a handful of slices whatever the
+        # scheme's events-per-request rate — fixed-interval slicing would
+        # need hundreds of pauses on heavy schemes to catch a late
+        # milestone on light ones.
+        pending = sorted(save_milestones)
+        finished = False
+        while pending and not finished:
+            progress = world.trace_progress
+            if progress >= pending[0]:
+                if world.safe_prefix:
+                    store.put(spec, world.snapshot())
+                    saved += 1
+                pending = [m for m in pending if progress < m]
+                continue
+            if progress > 0 and world.events_executed > 0:
+                estimate = world.events_executed / progress
+                step = max(
+                    interval, int((pending[0] - progress) * estimate * 0.9)
+                )
+            else:
+                step = interval
+            finished = world.run(stop_after_events=step)
+        if not finished:
+            world.run()
     return CheckpointedRun(
         result=world.result(),
         forked_from_events=forked_from,
@@ -294,23 +331,38 @@ def execute_with_checkpoints(
     )
 
 
-def _checkpointed_job(item: tuple) -> tuple[RunResult, float]:
-    """Worker entry point used by :class:`ParallelRunner` (fork-pool safe)."""
-    spec, directory, max_bytes, interval = item
+def _checkpointed_job(item: tuple) -> "ExecutionOutcome":
+    """Worker entry point used by :class:`ParallelRunner` (fork-pool safe).
+
+    Returns an :class:`~repro.experiments.executor.ExecutionOutcome` whose
+    provenance fields record whether (and how deep) the job forked from a
+    stored snapshot, so the run manifest can audit warm starts.
+    """
+    from repro.experiments.executor import ExecutionOutcome
+
+    spec, directory, max_bytes, interval, milestones = item
     store = CheckpointStore(directory, max_bytes=max_bytes)
     started = time.perf_counter()
-    run = execute_with_checkpoints(spec, store, interval_events=interval)
-    return run.result, (time.perf_counter() - started) * 1000.0
+    run = execute_with_checkpoints(
+        spec, store, interval_events=interval, save_milestones=milestones
+    )
+    return ExecutionOutcome(
+        result=run.result,
+        wall_ms=(time.perf_counter() - started) * 1000.0,
+        checkpoint_hits=1 if run.forked_from_events > 0 else 0,
+        resumed_from_events=run.forked_from_events,
+    )
 
 
 def checkpointed_jobs(
     store: CheckpointStore,
     interval_events: int,
     specs: list[JobSpec],
+    save_milestones: tuple[float, ...] | None = None,
 ) -> tuple:
     """(callable, payloads) pair for the runner's execution fan-out."""
     items = [
-        (spec, str(store.directory), store.max_bytes, interval_events)
+        (spec, str(store.directory), store.max_bytes, interval_events, save_milestones)
         for spec in specs
     ]
     return _checkpointed_job, items

@@ -70,7 +70,8 @@ CACHE_SCHEMA_VERSION = 1
 #: Version of the run-manifest JSON layout.  :meth:`RunManifest.load` rejects
 #: files written under a different version (or damaged files) by returning
 #: ``None`` — version skew degrades to "no manifest", never to a crash.
-MANIFEST_SCHEMA_VERSION = 1
+#: v2 added checkpoint warm-start provenance per record and sweep warnings.
+MANIFEST_SCHEMA_VERSION = 2
 
 #: Default location of the persistent result cache, relative to the working
 #: directory.  Override with ``--cache-dir`` or ``REPRO_CACHE_DIR``.
@@ -179,6 +180,51 @@ class JobSpec:
         )
 
 
+#: Sweep-construction warnings waiting to be attached to the next manifest.
+#: :func:`sweep_specs` notes duplicate-axis canonicalizations here and
+#: :meth:`ParallelRunner.run` drains the list into its
+#: :attr:`RunManifest.warnings`, so a silently-redundant axis is visible in
+#: the sweep's audit trail, not just on stderr.
+_pending_warnings: list[str] = []
+
+
+def note_sweep_warning(message: str) -> None:
+    """Queue a sweep-construction warning for the next run's manifest."""
+    _pending_warnings.append(message)
+
+
+def drain_sweep_warnings() -> list[str]:
+    """Take (and clear) every queued sweep-construction warning."""
+    drained = list(_pending_warnings)
+    _pending_warnings.clear()
+    return drained
+
+
+def canonicalize_axis(name: str, values, key=None) -> list:
+    """Drop duplicate axis values (order-preserving), warning when any drop.
+
+    ``key`` maps a value to its identity (defaults to the value itself);
+    duplicates are redundant design points that would survive only until
+    digest-level dedup, so they are removed here and the removal is noted
+    via :func:`note_sweep_warning` for the next manifest.
+    """
+    seen: set = set()
+    canonical = []
+    for value in values:
+        identity = key(value) if key is not None else value
+        if identity in seen:
+            continue
+        seen.add(identity)
+        canonical.append(value)
+    dropped = len(list(values)) - len(canonical)
+    if dropped:
+        note_sweep_warning(
+            f"axis {name!r}: dropped {dropped} duplicate value(s) "
+            f"(kept {len(canonical)} unique)"
+        )
+    return canonical
+
+
 def sweep_specs(
     benchmarks: list[str],
     levels: list[ProtectionLevel | str],
@@ -187,8 +233,16 @@ def sweep_specs(
     seed: int = DEFAULT_SEED,
     cores: int = 1,
 ) -> list[JobSpec]:
-    """The full (benchmark x level) grid as specs, in deterministic order."""
+    """The full (benchmark x level) grid as specs, in deterministic order.
+
+    Duplicate axis values (a benchmark listed twice, two spellings of one
+    scheme) are canonicalized away rather than compiled into redundant
+    specs; each canonicalization is queued for the next run manifest's
+    ``warnings`` via :func:`note_sweep_warning`.
+    """
     machine = machine or MachineConfig()
+    benchmarks = canonicalize_axis("benchmarks", list(benchmarks))
+    levels = canonicalize_axis("levels", list(levels), key=scheme_name_of)
     return [
         JobSpec(benchmark, level, machine, num_requests, seed, cores)
         for benchmark in benchmarks
@@ -501,7 +555,14 @@ class ResultCache(JsonFileCache):
 
 @dataclass(frozen=True)
 class JobRecord:
-    """One manifest line: a job's identity, cache provenance and wall-clock."""
+    """One manifest line: a job's identity, cache provenance and wall-clock.
+
+    ``checkpoint_hits`` / ``resumed_from_events`` record checkpoint
+    warm-start provenance: a job that forked from a stored snapshot carries
+    the number of snapshots it consumed (0 or 1) and the kernel-event depth
+    it resumed from, so a warm-started sweep's speedup is auditable from
+    the manifest instead of looking identical to a cold run.
+    """
 
     digest: str
     benchmark: str
@@ -512,17 +573,27 @@ class JobRecord:
     seed: int
     source: str  # "memory" | "disk" | "simulated"
     wall_ms: float
+    #: Stored checkpoints this job consumed (0 = cold start, 1 = warm fork).
+    checkpoint_hits: int = 0
+    #: Kernel-event depth the job resumed from (0 for a cold start).
+    resumed_from_events: int = 0
 
 
 @dataclass
 class RunManifest:
-    """What one sweep did: job list, cache hits/misses, timing, workers."""
+    """What one sweep did: job list, cache hits/misses, timing, workers.
+
+    ``warnings`` carries sweep-construction notices (duplicate axis values
+    canonicalized away, design points dropped by digest dedup) so audit
+    trails capture what the sweep compiler changed, not just what ran.
+    """
 
     label: str
     workers: int
     records: list[JobRecord]
     wall_clock_s: float
     stats: dict[str, float] = field(default_factory=dict)
+    warnings: list[str] = field(default_factory=list)
 
     @property
     def jobs(self) -> int:
@@ -539,6 +610,16 @@ class RunManifest:
         """Jobs that had to be simulated."""
         return sum(1 for record in self.records if record.source == "simulated")
 
+    @property
+    def checkpoint_hits(self) -> int:
+        """Simulated jobs that warm-started from a stored checkpoint."""
+        return sum(1 for record in self.records if record.checkpoint_hits > 0)
+
+    @property
+    def events_resumed(self) -> int:
+        """Total kernel events skipped by forking from checkpoints."""
+        return sum(record.resumed_from_events for record in self.records)
+
     def to_jsonable(self) -> dict:
         """The manifest as a JSON-ready dict."""
         return {
@@ -548,8 +629,11 @@ class RunManifest:
             "jobs": self.jobs,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "checkpoint_hits": self.checkpoint_hits,
+            "events_resumed": self.events_resumed,
             "wall_clock_s": self.wall_clock_s,
             "stats": dict(self.stats),
+            "warnings": list(self.warnings),
             "records": [dataclasses.asdict(record) for record in self.records],
         }
 
@@ -575,7 +659,7 @@ class RunManifest:
                 return None
             field_names = {f.name for f in dataclasses.fields(JobRecord)}
             records = [
-                JobRecord(**{name: record[name] for name in field_names})
+                JobRecord(**{name: record[name] for name in field_names if name in record})
                 for record in payload["records"]
             ]
             return cls(
@@ -584,16 +668,34 @@ class RunManifest:
                 records=records,
                 wall_clock_s=float(payload["wall_clock_s"]),
                 stats={str(k): float(v) for k, v in payload.get("stats", {}).items()},
+                warnings=[str(w) for w in payload.get("warnings", [])],
             )
         except (OSError, ValueError, KeyError, TypeError):
             return None
 
 
-def _execute_job(spec: JobSpec) -> tuple[RunResult, float]:
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """What executing one cache-missing job produced (worker wire format).
+
+    Checkpoint-aware executors fill the provenance fields; the plain path
+    leaves them at their cold-start defaults, so the manifest can always
+    tell a warm fork from a cold run.
+    """
+
+    result: RunResult
+    wall_ms: float
+    #: Stored checkpoints consumed by this execution (0 or 1).
+    checkpoint_hits: int = 0
+    #: Kernel-event depth the execution resumed from (0 = cold).
+    resumed_from_events: int = 0
+
+
+def _execute_job(spec: JobSpec) -> ExecutionOutcome:
     """Worker entry point: simulate one spec, timing the job's wall-clock."""
     started = time.perf_counter()
     result = spec.execute()
-    return result, (time.perf_counter() - started) * 1000.0
+    return ExecutionOutcome(result, (time.perf_counter() - started) * 1000.0)
 
 
 def _fork_context():
@@ -625,6 +727,7 @@ class ParallelRunner:
         stats: StatRegistry | None = None,
         checkpoints=None,
         checkpoint_interval_events: int | None = None,
+        checkpoint_save_milestones: tuple[float, ...] | None = None,
     ):
         self.workers = max(1, int(workers))
         self.cache = cache
@@ -639,6 +742,10 @@ class ParallelRunner:
         #: pays for each shared trace prefix once.
         self.checkpoints = checkpoints
         self.checkpoint_interval_events = checkpoint_interval_events
+        #: Trace-progress fractions at which checkpointed jobs save
+        #: snapshots (None = periodic per-interval saves; () = fork but
+        #: never save).  See :func:`~repro.experiments.checkpoints.execute_with_checkpoints`.
+        self.checkpoint_save_milestones = checkpoint_save_milestones
 
     def lookup(self, spec: JobSpec) -> tuple[RunResult | None, str]:
         """Probe both cache layers for one spec: ``(result, source)``.
@@ -668,6 +775,7 @@ class ParallelRunner:
         specs: list[JobSpec],
         label: str = "sweep",
         progress=None,
+        warnings: list[str] | None = None,
     ) -> list[RunResult]:
         """Resolve every spec (cache or simulation); ordered like ``specs``.
 
@@ -675,6 +783,10 @@ class ParallelRunner:
         :class:`JobRecord` as it resolves — cache hits during the probe
         pass, simulated jobs as each worker outcome lands — so callers can
         stream sweep progress instead of waiting for the manifest.
+
+        ``warnings`` seeds the manifest's warning list; any warnings queued
+        by sweep construction (:func:`note_sweep_warning`) are drained into
+        it as well.
         """
         specs = list(specs)
         started = time.perf_counter()
@@ -687,7 +799,13 @@ class ParallelRunner:
         pending: list[int] = []
         digests = [spec.digest() for spec in specs]
 
-        def resolve(index: int, source: str, wall_ms: float) -> None:
+        def resolve(
+            index: int,
+            source: str,
+            wall_ms: float,
+            checkpoint_hits: int = 0,
+            resumed_from_events: int = 0,
+        ) -> None:
             spec = specs[index]
             record = JobRecord(
                 digest=digests[index],
@@ -699,6 +817,8 @@ class ParallelRunner:
                 seed=spec.seed,
                 source=source,
                 wall_ms=wall_ms,
+                checkpoint_hits=checkpoint_hits,
+                resumed_from_events=resumed_from_events,
             )
             records[index] = record
             if progress is not None:
@@ -721,14 +841,19 @@ class ParallelRunner:
 
         if pending:
 
-            def on_outcome(position: int, outcome: tuple[RunResult, float]) -> None:
+            def on_outcome(position: int, outcome: ExecutionOutcome) -> None:
                 index = pending[position]
-                result, wall_ms = outcome
-                results[index] = result
-                self.memory[digests[index]] = result
+                results[index] = outcome.result
+                self.memory[digests[index]] = outcome.result
                 if self.cache is not None:
-                    self.cache.put(specs[index], result)
-                resolve(index, "simulated", wall_ms)
+                    self.cache.put(specs[index], outcome.result)
+                resolve(
+                    index,
+                    "simulated",
+                    outcome.wall_ms,
+                    checkpoint_hits=outcome.checkpoint_hits,
+                    resumed_from_events=outcome.resumed_from_events,
+                )
 
             self._execute([specs[index] for index in pending], on_outcome)
 
@@ -742,6 +867,10 @@ class ParallelRunner:
             for target in (group, lifetime):
                 target.add("jobs")
                 target.add(counter)
+            if record.checkpoint_hits:
+                for target in (group, lifetime):
+                    target.add("checkpoint_forks")
+                group.add("events_resumed", record.resumed_from_events)
             group.record("job_wall_ms", record.wall_ms, bucket_width=100.0)
         wall_clock_s = time.perf_counter() - started
         self.manifest = RunManifest(
@@ -750,14 +879,15 @@ class ParallelRunner:
             records=records,  # type: ignore[arg-type]
             wall_clock_s=wall_clock_s,
             stats=sweep_stats.as_dict(),
+            warnings=list(warnings or []) + drain_sweep_warnings(),
         )
         return results  # type: ignore[return-value]
 
     def _execute(self, specs: list[JobSpec], on_outcome) -> None:
         """Simulate ``specs`` (parallel when possible), streaming outcomes.
 
-        ``on_outcome(position, (result, wall_ms))`` is called once per spec
-        in list order, as each outcome becomes available.
+        ``on_outcome(position, outcome)`` is called once per spec in list
+        order with each job's :class:`ExecutionOutcome` as it lands.
         """
         if self.checkpoints is not None:
             # Imported lazily: the checkpoint store builds on this module.
@@ -772,7 +902,10 @@ class ParallelRunner:
                 else self.checkpoint_interval_events
             )
             execute_one, payloads = checkpointed_jobs(
-                self.checkpoints, interval, specs
+                self.checkpoints,
+                interval,
+                specs,
+                save_milestones=self.checkpoint_save_milestones,
             )
         else:
             execute_one, payloads = _execute_job, specs

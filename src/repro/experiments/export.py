@@ -15,6 +15,7 @@ from repro.experiments.energy import EnergyResult
 from repro.experiments.figure4 import Figure4Result
 from repro.experiments.figure5 import Figure5Result
 from repro.experiments.matrix import MatrixResult
+from repro.experiments.pareto import FrontierPoint
 from repro.experiments.table1 import Table1Row
 from repro.experiments.table3 import Table3Result
 from repro.experiments.table4 import Table4Result
@@ -171,6 +172,46 @@ def write_matrix(result: MatrixResult, path: str | Path) -> Path:
                 int(cell.agrees),
             ]
             for cell in result.cells
+        ],
+    )
+
+
+def write_pareto(points: list[FrontierPoint], path: str | Path) -> Path:
+    """Write Pareto frontier points (or the full cloud) to CSV.
+
+    Pass :meth:`ParetoAggregator.frontier` for the non-dominated report or
+    :meth:`ParetoAggregator.points` for every design point; returns the path.
+    """
+    return _write(
+        path,
+        [
+            "scheme",
+            "benchmark",
+            "channels",
+            "num_requests",
+            "seed",
+            "cores",
+            "overhead_pct",
+            "leakage",
+            "energy_pj_per_access",
+            "execution_time_ns",
+            "digest",
+        ],
+        [
+            [
+                point.scheme,
+                point.benchmark,
+                point.channels,
+                point.num_requests,
+                point.seed,
+                point.cores,
+                f"{point.overhead_pct:.4f}",
+                f"{point.leakage:.4f}",
+                f"{point.energy_pj_per_access:.4f}",
+                f"{point.execution_time_ns:.4f}",
+                point.digest,
+            ]
+            for point in points
         ],
     )
 

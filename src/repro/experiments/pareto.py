@@ -1,0 +1,224 @@
+"""Streaming Pareto-frontier aggregation over sweep results.
+
+ObfusMem's whole argument is a trade: performance overhead bought back
+against access-pattern leakage, with energy as the third axis (§5).  A
+design-space sweep produces hundreds of :class:`~repro.system.simulator.RunResult`\\ s;
+this module folds them — *as they land*, not post-hoc — into the frontier
+of non-dominated designs:
+
+* **overhead_pct** — execution-time overhead vs the matching
+  ``unprotected`` baseline anchor (same benchmark, machine, request count,
+  seed, cores).  Points whose anchor never arrives stay pending and are
+  reported separately rather than silently dropped.
+* **leakage** — the scheme's expected leaky fraction of the
+  :mod:`repro.attacks` battery (:func:`repro.analysis.leakage.leakage_surface`),
+  optionally overridden per scheme by measured advantage from a
+  scheme×attack matrix run.
+* **energy_pj_per_access** — measured memory energy per request
+  (:func:`repro.analysis.energy.measured_energy_pj`).
+
+All three axes are minimized.  Point *a* dominates *b* when it is no worse
+on every axis and strictly better on at least one; the aggregator maintains
+the frontier incrementally (each insert evicts newly dominated members), so
+:meth:`ParetoAggregator.frontier` is O(frontier) at read time.  The
+:meth:`aggregate_digest` content hash over every folded point lets the
+sweep-scaling benchmark assert bit-identical aggregates between scheduled
+and naive executions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.analysis.energy import measured_energy_pj
+from repro.analysis.leakage import leakage_surface
+from repro.experiments.executor import JobSpec
+from repro.schemes import scheme_name_of
+from repro.system.config import ProtectionLevel
+from repro.system.simulator import RunResult
+
+#: The frontier's objective axes, in report order; all are minimized.
+OBJECTIVES = ("overhead_pct", "leakage", "energy_pj_per_access")
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One design point positioned in the overhead/leakage/energy space."""
+
+    scheme: str
+    benchmark: str
+    channels: int
+    num_requests: int
+    seed: int
+    cores: int
+    overhead_pct: float
+    #: Expected (or measured, when supplied) leaky fraction in [0, 1].
+    leakage: float
+    energy_pj_per_access: float
+    execution_time_ns: float
+    #: Content digest of the originating :class:`JobSpec`.
+    digest: str
+
+    def objectives(self) -> tuple[float, float, float]:
+        """The minimized coordinates, in :data:`OBJECTIVES` order."""
+        return (self.overhead_pct, self.leakage, self.energy_pj_per_access)
+
+    def dominates(self, other: "FrontierPoint") -> bool:
+        """True when this point is no worse everywhere and better somewhere."""
+        mine, theirs = self.objectives(), other.objectives()
+        return all(a <= b for a, b in zip(mine, theirs)) and any(
+            a < b for a, b in zip(mine, theirs)
+        )
+
+
+def _anchor_key(spec: JobSpec) -> str:
+    """The baseline identity: everything about a spec except its scheme."""
+    payload = spec.to_jsonable()
+    payload.pop("level", None)
+    return json.dumps(payload, sort_keys=True)
+
+
+class ParetoAggregator:
+    """Folds ``(spec, result)`` pairs into a live Pareto frontier.
+
+    Feed it every result of a sweep — baselines and protected points in any
+    order.  ``unprotected`` results become baseline anchors; every other
+    result waits (pending) until its anchor arrives, then materializes as a
+    :class:`FrontierPoint` and is offered to the frontier, which prunes
+    dominated members on the spot.
+
+    ``attackers`` defaults to the full registered battery from
+    :mod:`repro.attacks`; ``measured_leakage`` maps scheme name to a
+    measured advantage in [0, 1] that overrides the trait-derived surface
+    for that scheme (the matrix's measured column).
+    """
+
+    def __init__(self, attackers=None, measured_leakage: dict | None = None):
+        if attackers is None:
+            from repro.attacks import available_attackers
+
+            attackers = available_attackers()
+        self._attackers = list(attackers)
+        self._measured = dict(measured_leakage or {})
+        self._surface_cache: dict[str, float] = {}
+        self._baselines: dict[str, RunResult] = {}
+        self._waiting: dict[str, list[tuple[JobSpec, RunResult]]] = {}
+        self._points: list[FrontierPoint] = []
+        self._frontier: list[FrontierPoint] = []
+
+    # -- folding -------------------------------------------------------------
+
+    def _leakage_for(self, spec: JobSpec) -> float:
+        name = scheme_name_of(spec.level)
+        if name in self._measured:
+            return float(self._measured[name])
+        if name not in self._surface_cache:
+            self._surface_cache[name] = leakage_surface(
+                spec.level, self._attackers
+            ).score
+        return self._surface_cache[name]
+
+    def _materialize(
+        self, spec: JobSpec, result: RunResult, baseline: RunResult
+    ) -> None:
+        point = FrontierPoint(
+            scheme=scheme_name_of(spec.level),
+            benchmark=spec.benchmark,
+            channels=spec.machine.channels,
+            num_requests=spec.num_requests,
+            seed=spec.seed,
+            cores=spec.cores,
+            overhead_pct=result.overhead_pct(baseline),
+            leakage=self._leakage_for(spec),
+            energy_pj_per_access=measured_energy_pj(result.stats)
+            / max(1, result.num_requests),
+            execution_time_ns=result.execution_time_ns,
+            digest=spec.digest(),
+        )
+        self._points.append(point)
+        if any(member.dominates(point) for member in self._frontier):
+            return
+        self._frontier = [m for m in self._frontier if not point.dominates(m)]
+        self._frontier.append(point)
+
+    def add(self, spec: JobSpec, result: RunResult) -> None:
+        """Fold one sweep result in; order-independent and idempotent-free.
+
+        An ``unprotected`` result registers as the baseline anchor for its
+        configuration and flushes any protected points already waiting on
+        it; any other result materializes immediately when its anchor is
+        known, or queues until it is.
+        """
+        key = _anchor_key(spec)
+        if scheme_name_of(spec.level) == scheme_name_of(ProtectionLevel.UNPROTECTED):
+            self._baselines[key] = result
+            for waiting_spec, waiting_result in self._waiting.pop(key, []):
+                self._materialize(waiting_spec, waiting_result, result)
+            return
+        baseline = self._baselines.get(key)
+        if baseline is None:
+            self._waiting.setdefault(key, []).append((spec, result))
+            return
+        self._materialize(spec, result, baseline)
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Protected points still waiting for their baseline anchor."""
+        return sum(len(queue) for queue in self._waiting.values())
+
+    def points(self) -> list[FrontierPoint]:
+        """Every materialized point, in fold order (dominated ones included)."""
+        return list(self._points)
+
+    def frontier(self) -> list[FrontierPoint]:
+        """The non-dominated set, sorted by ascending overhead.
+
+        Every returned point is guaranteed non-dominated with respect to
+        every point ever folded in (pending points excluded — they have no
+        coordinates yet).
+        """
+        return sorted(self._frontier, key=lambda p: p.objectives())
+
+    def aggregate_digest(self) -> str:
+        """Content hash over every folded point, independent of fold order.
+
+        Two executions of the same compiled sweep — whatever their schedule
+        — must produce the same digest; the sweep-scaling benchmark holds
+        the prefix-sharing scheduler to exactly that.
+        """
+        rows = sorted(
+            (
+                point.digest,
+                f"{point.overhead_pct:.9f}",
+                f"{point.leakage:.9f}",
+                f"{point.energy_pj_per_access:.9f}",
+                f"{point.execution_time_ns:.6f}",
+            )
+            for point in self._points
+        )
+        blob = json.dumps(rows).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass
+class ParetoReport:
+    """The finished report: frontier, full cloud, and bookkeeping."""
+
+    frontier: list[FrontierPoint]
+    points: list[FrontierPoint]
+    pending: int
+    digest: str = field(default="")
+
+    @classmethod
+    def from_aggregator(cls, aggregator: ParetoAggregator) -> "ParetoReport":
+        """Freeze an aggregator's current state into a report."""
+        return cls(
+            frontier=aggregator.frontier(),
+            points=aggregator.points(),
+            pending=aggregator.pending,
+            digest=aggregator.aggregate_digest(),
+        )

@@ -1,0 +1,728 @@
+"""Fleet-scale design-space sweeps: declarative specs, prefix-sharing waves.
+
+The repo's execution machinery — :class:`~repro.experiments.executor.ParallelRunner`,
+the persistent result/trace caches, the :class:`~repro.experiments.checkpoints.CheckpointStore`
+— answered the paper's six tables one hand-written module at a time.  This
+module turns it into an instrument: describe *thousands* of design points
+declaratively, compile them to deduplicated :class:`~repro.experiments.executor.JobSpec`\\ s,
+and execute them on a schedule that **plans** the sharing the lower layers
+only make possible.
+
+Three pieces:
+
+* :class:`SweepSpec` — a declarative sweep: named axes (``benchmark``,
+  ``level``, ``num_requests``, ``seed``, ``cores`` and any
+  ``machine.<field>`` knob of :class:`~repro.system.config.MachineConfig`)
+  combined by ``grid`` (cartesian product, via the
+  :func:`~repro.experiments.executor.sweep_specs` primitive), ``zip``
+  (element-wise) or ``random`` (seeded sampling of the grid).  Compilation
+  canonicalizes duplicate axis values, dedups design points by content
+  digest, and can add the ``unprotected`` baseline anchor each
+  configuration needs for overhead reporting.
+
+* the **prefix-sharing scheduler** (:func:`plan_sweep` /
+  :func:`run_sweep`) — the performance core.  Compiled specs are grouped
+  into *families* by :meth:`~repro.experiments.executor.JobSpec.prefix_digest`
+  (everything but ``num_requests``); members of a family simulate the same
+  world over a shared trace prefix.  The plan orders execution in
+  topological *waves*: wave 0 runs each family's shortest point cold and
+  seeds the checkpoint store, wave *k+1* forks each next-longer point from
+  the snapshots wave *k* left behind, so a family of request counts
+  ``n_1 < n_2 < ... < n_k`` costs roughly ``n_k`` events instead of
+  ``sum(n_i)``.  A :class:`CostModel` decides per point whether forking is
+  worth the checkpoint save/restore overhead (singleton families skip the
+  store entirely), and each wave is sorted so same-workload points land
+  adjacent — trace-cache-aware batching.
+
+* the streaming Pareto aggregation lives in
+  :mod:`repro.experiments.pareto`: :func:`run_sweep` streams every
+  resolved result into a :class:`~repro.experiments.pareto.ParetoAggregator`
+  so the overhead/leakage/energy frontier is ready the moment the last
+  wave lands.
+
+CLI: ``python -m repro sweep --spec sweep.json [--workers N] [--pareto
+out.csv] [--dry-run]``.  ``--dry-run`` prints the planned waves and
+warm-start counts without simulating anything.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cpu.spec_profiles import SPEC_PROFILES
+from repro.errors import ConfigurationError
+from repro.experiments.executor import (
+    DEFAULT_REQUESTS,
+    DEFAULT_SEED,
+    JobSpec,
+    ParallelRunner,
+    ResultCache,
+    RunManifest,
+    _dataclass_from_jsonable,
+    canonicalize_axis,
+    drain_sweep_warnings,
+    sweep_specs,
+)
+from repro.schemes import resolve_scheme, scheme_name_of
+from repro.system.config import MachineConfig, ProtectionLevel
+from repro.system.simulator import RunResult
+
+#: Version token embedded in sweep-spec files; unknown versions are
+#: rejected loudly rather than silently compiled to the wrong grid.
+SWEEP_SCHEMA_VERSION = 1
+
+#: Axis names addressing :class:`JobSpec` scalars directly.
+SCALAR_AXES = ("benchmark", "level", "num_requests", "seed", "cores")
+
+#: Prefix addressing :class:`MachineConfig` fields (``machine.channels``).
+MACHINE_AXIS_PREFIX = "machine."
+
+_MODES = ("grid", "zip", "random")
+
+
+def _machine_field_names() -> set[str]:
+    """Every MachineConfig field addressable as a ``machine.<name>`` axis."""
+    import dataclasses
+
+    return {f.name for f in dataclasses.fields(MachineConfig)}
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One named axis of a sweep: a knob and the values it ranges over."""
+
+    name: str
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ConfigurationError(f"axis {self.name!r} has no values")
+        if self.name in SCALAR_AXES:
+            self._validate_scalar()
+        elif self.name.startswith(MACHINE_AXIS_PREFIX):
+            fname = self.name[len(MACHINE_AXIS_PREFIX) :]
+            if fname not in _machine_field_names():
+                known = sorted(_machine_field_names())
+                raise ConfigurationError(
+                    f"unknown machine axis {self.name!r}; machine fields: {known}"
+                )
+        else:
+            raise ConfigurationError(
+                f"unknown axis {self.name!r}; choose from {SCALAR_AXES} "
+                f"or '{MACHINE_AXIS_PREFIX}<field>'"
+            )
+
+    def _validate_scalar(self) -> None:
+        if self.name == "benchmark":
+            unknown = [v for v in self.values if v not in SPEC_PROFILES]
+            if unknown:
+                raise ConfigurationError(f"unknown benchmarks: {unknown}")
+        elif self.name == "level":
+            for value in self.values:
+                resolve_scheme(value)  # fails fast with a close-match hint
+        else:
+            for value in self.values:
+                if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                    raise ConfigurationError(
+                        f"axis {self.name!r} needs positive integers, got {value!r}"
+                    )
+
+
+@dataclass(frozen=True)
+class CompiledSweep:
+    """A sweep spec flattened to executable jobs, with its audit trail."""
+
+    spec: "SweepSpec"
+    #: Deduplicated job specs, in deterministic compile order (baseline
+    #: anchors, when added, come last).
+    jobs: tuple[JobSpec, ...]
+    #: Design points described by the spec before digest-level dedup.
+    requested: int
+    #: Digest-identical points removed by dedup.
+    duplicates_dropped: int
+    #: ``unprotected`` anchor jobs added for overhead reporting.
+    baselines_added: int
+    #: Compile-time notices, destined for the run manifest.
+    warnings: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative design-space sweep over simulation knobs.
+
+    ``mode`` selects how axes combine: ``grid`` takes the cartesian
+    product, ``zip`` walks all axes in lockstep (length-1 axes broadcast),
+    ``random`` draws ``samples`` seeded points from the grid.  Axes may
+    address :class:`~repro.experiments.executor.JobSpec` scalars
+    (``benchmark``, ``level``, ``num_requests``, ``seed``, ``cores``) or
+    any :class:`~repro.system.config.MachineConfig` field via
+    ``machine.<field>`` (enum values spelled as their JSON form, e.g.
+    ``"opt"`` for a channel-injection mode).
+
+    With ``baselines`` set (the default), compilation appends one
+    ``unprotected`` job per distinct (benchmark, machine, num_requests,
+    seed, cores) configuration so the Pareto report can compute overheads
+    without a separate baseline sweep.
+    """
+
+    axes: tuple[SweepAxis, ...]
+    mode: str = "grid"
+    samples: int = 0
+    sample_seed: int = DEFAULT_SEED
+    baselines: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ConfigurationError(f"unknown sweep mode {self.mode!r}; one of {_MODES}")
+        if not self.axes:
+            raise ConfigurationError("a sweep needs at least one axis")
+        names = [axis.name for axis in self.axes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate axes: {sorted(names)}")
+        for required in ("benchmark", "level"):
+            if required not in names:
+                raise ConfigurationError(
+                    f"a sweep needs a {required!r} axis (a single value is fine)"
+                )
+        if self.mode == "random" and self.samples < 1:
+            raise ConfigurationError("random mode needs samples >= 1")
+        if self.mode == "zip":
+            lengths = {len(axis.values) for axis in self.axes if len(axis.values) > 1}
+            if len(lengths) > 1:
+                raise ConfigurationError(
+                    f"zip mode needs equal-length axes (or length 1); got {sorted(lengths)}"
+                )
+
+    # -- wire form -----------------------------------------------------------
+
+    def to_jsonable(self) -> dict:
+        """The spec as a JSON-ready dict (inverse of :meth:`from_jsonable`)."""
+        return {
+            "schema": SWEEP_SCHEMA_VERSION,
+            "mode": self.mode,
+            "axes": {axis.name: list(axis.values) for axis in self.axes},
+            "samples": self.samples,
+            "sample_seed": self.sample_seed,
+            "baselines": self.baselines,
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "SweepSpec":
+        """Build a spec from its JSON form; raises ``ConfigurationError``."""
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"expected a sweep-spec object, got {type(payload).__name__}"
+            )
+        schema = payload.get("schema", SWEEP_SCHEMA_VERSION)
+        if schema != SWEEP_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"sweep schema {schema!r} != {SWEEP_SCHEMA_VERSION}"
+            )
+        axes_payload = payload.get("axes")
+        if not isinstance(axes_payload, dict) or not axes_payload:
+            raise ConfigurationError("a sweep spec needs a non-empty 'axes' object")
+        known = {"schema", "mode", "axes", "samples", "sample_seed", "baselines"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(f"unknown sweep-spec fields: {unknown}")
+        axes = tuple(
+            SweepAxis(name, tuple(values if isinstance(values, list) else [values]))
+            for name, values in axes_payload.items()
+        )
+        return cls(
+            axes=axes,
+            mode=str(payload.get("mode", "grid")),
+            samples=int(payload.get("samples", 0)),
+            sample_seed=int(payload.get("sample_seed", DEFAULT_SEED)),
+            baselines=bool(payload.get("baselines", True)),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SweepSpec":
+        """Read a spec from a JSON file; raises ``ConfigurationError``."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read sweep spec {path}: {exc}") from None
+        except ValueError as exc:
+            raise ConfigurationError(f"sweep spec {path} is not JSON: {exc}") from None
+        return cls.from_jsonable(payload)
+
+    # -- compilation ---------------------------------------------------------
+
+    def _canonical_axes(self) -> list[SweepAxis]:
+        """Axes with duplicate values removed (queuing manifest warnings)."""
+        canonical = []
+        for axis in self.axes:
+            key = scheme_name_of if axis.name == "level" else None
+            if axis.name.startswith(MACHINE_AXIS_PREFIX):
+                key = lambda v: json.dumps(v, sort_keys=True)  # noqa: E731
+            values = canonicalize_axis(axis.name, list(axis.values), key=key)
+            canonical.append(SweepAxis(axis.name, tuple(values)))
+        return canonical
+
+    def _points(self) -> list[dict]:
+        """Every described design point as an axis-name -> value dict."""
+        axes = self._canonical_axes()
+        if self.mode == "zip":
+            length = max(len(axis.values) for axis in axes)
+            rows = []
+            for i in range(length):
+                rows.append(
+                    {
+                        axis.name: axis.values[i if len(axis.values) > 1 else 0]
+                        for axis in axes
+                    }
+                )
+            return rows
+        if self.mode == "random":
+            rng = random.Random(self.sample_seed)
+            return [
+                {axis.name: rng.choice(axis.values) for axis in axes}
+                for _ in range(self.samples)
+            ]
+        names = [axis.name for axis in axes]
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(axis.values for axis in axes))
+        ]
+
+    @staticmethod
+    def _machine_for(point: dict) -> MachineConfig:
+        """Build the point's machine config from its ``machine.*`` entries."""
+        payload = {
+            name[len(MACHINE_AXIS_PREFIX) :]: value
+            for name, value in point.items()
+            if name.startswith(MACHINE_AXIS_PREFIX)
+        }
+        if not payload:
+            return MachineConfig()
+        return _dataclass_from_jsonable(MachineConfig, payload)
+
+    def compile(self) -> CompiledSweep:
+        """Flatten the spec to deduplicated jobs plus its audit trail.
+
+        Grid mode rides the :func:`~repro.experiments.executor.sweep_specs`
+        primitive: for each combination of the non-(benchmark, level) axes
+        the (benchmark x level) inner grid is built by that function, so
+        the two layers cannot drift apart.  Every mode dedups the final
+        job list by content digest and (optionally) appends ``unprotected``
+        baseline anchors.
+        """
+        points = self._points()
+        specs: list[JobSpec] = []
+        if self.mode == "grid":
+            benchmarks = [a for a in self._canonical_axes() if a.name == "benchmark"][0]
+            levels = [a for a in self._canonical_axes() if a.name == "level"][0]
+            outer_names = [
+                a.name
+                for a in self._canonical_axes()
+                if a.name not in ("benchmark", "level")
+            ]
+            seen_outer = set()
+            for point in points:
+                outer_key = json.dumps(
+                    {name: point[name] for name in outer_names}, sort_keys=True
+                )
+                if outer_key in seen_outer:
+                    continue
+                seen_outer.add(outer_key)
+                specs.extend(
+                    sweep_specs(
+                        list(benchmarks.values),
+                        list(levels.values),
+                        machine=self._machine_for(point),
+                        num_requests=int(point.get("num_requests", DEFAULT_REQUESTS)),
+                        seed=int(point.get("seed", DEFAULT_SEED)),
+                        cores=int(point.get("cores", 1)),
+                    )
+                )
+        else:
+            for point in points:
+                specs.append(
+                    JobSpec(
+                        benchmark=point["benchmark"],
+                        level=point["level"],
+                        machine=self._machine_for(point),
+                        num_requests=int(point.get("num_requests", DEFAULT_REQUESTS)),
+                        seed=int(point.get("seed", DEFAULT_SEED)),
+                        cores=int(point.get("cores", 1)),
+                    )
+                )
+        requested = len(specs)
+        deduped: list[JobSpec] = []
+        seen: set[str] = set()
+        for spec in specs:
+            digest = spec.digest()
+            if digest in seen:
+                continue
+            seen.add(digest)
+            deduped.append(spec)
+        duplicates = requested - len(deduped)
+        warnings = drain_sweep_warnings()
+        if duplicates:
+            warnings.append(
+                f"compile: dropped {duplicates} digest-identical design point(s)"
+            )
+        baselines_added = 0
+        if self.baselines:
+            for spec in list(deduped):
+                anchor = JobSpec(
+                    spec.benchmark,
+                    ProtectionLevel.UNPROTECTED,
+                    spec.machine,
+                    spec.num_requests,
+                    spec.seed,
+                    spec.cores,
+                )
+                digest = anchor.digest()
+                if digest not in seen:
+                    seen.add(digest)
+                    deduped.append(anchor)
+                    baselines_added += 1
+            if baselines_added:
+                warnings.append(
+                    f"compile: added {baselines_added} unprotected baseline anchor(s)"
+                )
+        return CompiledSweep(
+            spec=self,
+            jobs=tuple(deduped),
+            requested=requested,
+            duplicates_dropped=duplicates,
+            baselines_added=baselines_added,
+            warnings=tuple(warnings),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Prefix-sharing scheduler
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Decides when forking from a checkpoint beats running cold.
+
+    The decision is made at plan time from request counts alone (requests
+    are the spec-level proxy for kernel events, which scale linearly with
+    them).  Forking pays a fixed restore-and-retarget toll plus periodic
+    snapshot saves, so tiny shared prefixes are not worth it: a point
+    warm-starts only when the shared prefix clears both an absolute floor
+    and a fraction of its own length.
+    """
+
+    #: Minimum shared-prefix length (requests) that can amortize one
+    #: checkpoint restore + retarget.
+    min_shared_requests: int = 100
+    #: Minimum fraction of the point's own length the shared prefix must
+    #: cover for the fork to matter.
+    min_shared_fraction: float = 0.10
+    #: Conservative kernel-events-per-request floor across schemes (an
+    #: opaque ORAM backend runs ~2 events/request; wire schemes run 3-11).
+    #: Sizing the probe slice from the floor guarantees several slice
+    #: boundaries land inside even the lightest scheme's shared prefix.
+    min_events_per_request: float = 2.0
+    #: Trace-progress fraction at which seeding runs persist a snapshot.
+    #: Saves cost a full world pickle each (milliseconds — comparable to
+    #: simulating thousands of events), so each seeding member saves once,
+    #: as late as the probe granularity can catch: the deeper the
+    #: snapshot, the less of its prefix the next family member replays.
+    save_milestones: tuple[float, ...] = (0.9,)
+
+    def interval_for(self, plan: "SweepPlan") -> int | None:
+        """A probe-slice interval sized to the plan's shortest fork.
+
+        Slice boundaries are where progress is checked against
+        :attr:`save_milestones`, so one must land between the last
+        milestone and the end of even the *lightest* scheme's shortest
+        seeding run (~``min_events_per_request`` events per request) — or
+        that run finishes before ever observing the milestone and its
+        family runs cold.  Pausing the engine this often is free; the
+        50k-event default assumes full-length jobs and overshoots short
+        sweep families entirely.  Returns ``None`` when the plan has no
+        warm starts (the interval is then irrelevant).
+        """
+        shared = [
+            job.shared_requests
+            for wave in plan.waves
+            for job in wave
+            if job.warm_start
+        ]
+        if not shared:
+            return None
+        tail = 1.0 - max(self.save_milestones)
+        events = min(shared) * self.min_events_per_request
+        return max(32, int(events * tail / 2))
+
+    def worth_forking(self, shared_requests: int, total_requests: int) -> bool:
+        """True when forking from a ``shared_requests``-deep snapshot pays."""
+        if shared_requests <= 0 or total_requests <= 0:
+            return False
+        return (
+            shared_requests >= self.min_shared_requests
+            and shared_requests / total_requests >= self.min_shared_fraction
+        )
+
+
+@dataclass(frozen=True)
+class PlannedJob:
+    """One scheduled design point: its family, wave and execution flavour."""
+
+    spec: JobSpec
+    #: The spec family (prefix digest) this point belongs to.
+    family: str
+    #: Topological wave index; wave *k* runs only after wave *k-1*.
+    wave: int
+    #: Whether the scheduler expects this point to fork from a snapshot a
+    #: shorter family member left behind.
+    warm_start: bool
+    #: Planned fork depth in requests (the preceding member's length).
+    shared_requests: int
+    #: Whether the point runs through the checkpoint store at all (it
+    #: forks, or a longer member will fork from its snapshots).
+    use_store: bool
+    #: Whether the point should persist snapshots as it runs — True only
+    #: when the next family member is planned to fork from them; the
+    #: family's deepest member reads the store but never writes it.
+    save_snapshots: bool = False
+
+
+@dataclass
+class SweepPlan:
+    """The scheduler's output: jobs ordered into warm-start waves."""
+
+    waves: list[list[PlannedJob]]
+    families: int
+    singletons: int
+
+    @property
+    def jobs(self) -> int:
+        """Total planned design points across all waves."""
+        return sum(len(wave) for wave in self.waves)
+
+    @property
+    def warm_starts_planned(self) -> int:
+        """Points the scheduler expects to fork from a checkpoint."""
+        return sum(1 for wave in self.waves for job in wave if job.warm_start)
+
+    @property
+    def requests_total(self) -> int:
+        """Requests a naive cold execution would simulate."""
+        return sum(job.spec.num_requests for wave in self.waves for job in wave)
+
+    @property
+    def requests_shared(self) -> int:
+        """Requests the warm-start schedule expects to skip."""
+        return sum(
+            job.shared_requests for wave in self.waves for job in wave if job.warm_start
+        )
+
+    def describe(self) -> str:
+        """Human-readable plan summary (the ``--dry-run`` output)."""
+        lines = [
+            f"sweep plan: {self.jobs} jobs, {self.families} families "
+            f"({self.singletons} singleton), {len(self.waves)} wave(s)",
+            f"warm starts planned: {self.warm_starts_planned}",
+            f"requests: {self.requests_total} cold, "
+            f"~{self.requests_shared} shared via checkpoints "
+            f"({100.0 * self.requests_shared / max(1, self.requests_total):.0f}%)",
+        ]
+        for index, wave in enumerate(self.waves):
+            warm = sum(1 for job in wave if job.warm_start)
+            stored = sum(1 for job in wave if job.use_store)
+            workloads = len({(j.spec.benchmark, j.spec.seed, j.spec.cores) for j in wave})
+            lines.append(
+                f"  wave {index}: {len(wave)} job(s), {warm} warm-start, "
+                f"{stored} through the store, {workloads} workload batch(es)"
+            )
+        return "\n".join(lines)
+
+
+def _wave_sort_key(job: PlannedJob) -> tuple:
+    """Trace-cache-aware batching: same-workload points land adjacent.
+
+    Points sharing (benchmark, seed, cores, num_requests) replay one cached
+    trace; sorting each wave by that key (then scheme, then digest) keeps
+    them on the same stretch of the worker pool so the first one to run
+    warms the persistent trace cache for its batch-mates.
+    """
+    spec = job.spec
+    return (
+        spec.benchmark,
+        spec.seed,
+        spec.cores,
+        spec.num_requests,
+        scheme_name_of(spec.level),
+        spec.digest(),
+    )
+
+
+def plan_sweep(
+    jobs: list[JobSpec] | tuple[JobSpec, ...],
+    cost_model: CostModel | None = None,
+) -> SweepPlan:
+    """Group jobs into prefix families and order them into warm-start waves.
+
+    Families (same :meth:`~repro.experiments.executor.JobSpec.prefix_digest`)
+    are sorted shortest-first; member *k* is planned for wave *k* when the
+    cost model judges its fork worthwhile, so every point's seed snapshot
+    exists before the point runs.  Points whose fork is not worth the toll
+    stay in the earliest wave consistent with their family's snapshot
+    needs; singleton families bypass the checkpoint store entirely.
+    """
+    model = cost_model or CostModel()
+    families: dict[str, list[JobSpec]] = {}
+    for spec in jobs:
+        families.setdefault(spec.prefix_digest(), []).append(spec)
+    waves: dict[int, list[PlannedJob]] = {}
+    singletons = 0
+    for family, members in families.items():
+        members = sorted(members, key=lambda spec: spec.num_requests)
+        if len(members) == 1:
+            singletons += 1
+            waves.setdefault(0, []).append(
+                PlannedJob(members[0], family, 0, False, 0, False)
+            )
+            continue
+        warm_flags = [
+            rank > 0
+            and model.worth_forking(
+                members[rank - 1].num_requests, spec.num_requests
+            )
+            for rank, spec in enumerate(members)
+        ]
+        depth = 0
+        for rank, spec in enumerate(members):
+            warm = warm_flags[rank]
+            if warm:
+                depth += 1
+            saves = rank + 1 < len(members) and warm_flags[rank + 1]
+            waves.setdefault(depth, []).append(
+                PlannedJob(
+                    spec=spec,
+                    family=family,
+                    wave=depth,
+                    warm_start=warm,
+                    shared_requests=members[rank - 1].num_requests if warm else 0,
+                    use_store=warm or saves,
+                    save_snapshots=saves,
+                )
+            )
+    ordered = [sorted(waves[index], key=_wave_sort_key) for index in sorted(waves)]
+    return SweepPlan(waves=ordered, families=len(families), singletons=singletons)
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepRun:
+    """What one scheduled sweep execution produced."""
+
+    plan: SweepPlan
+    #: Result per job digest (every planned job resolves exactly once).
+    results: dict[str, RunResult]
+    #: Merged manifest over every wave batch, in execution order.
+    manifest: RunManifest
+    wall_clock_s: float
+
+    def result_for(self, spec: JobSpec) -> RunResult:
+        """The resolved result for one compiled spec; KeyError if absent."""
+        return self.results[spec.digest()]
+
+
+def run_sweep(
+    compiled: CompiledSweep | list[JobSpec],
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    checkpoints=None,
+    checkpoint_interval_events: int | None = None,
+    cost_model: CostModel | None = None,
+    label: str = "sweep",
+    progress=None,
+    aggregator=None,
+) -> SweepRun:
+    """Execute a compiled sweep on the prefix-sharing schedule.
+
+    Each wave runs through :class:`~repro.experiments.executor.ParallelRunner`
+    in two batches — checkpoint-store jobs (they fork and/or seed snapshots)
+    and pure cold jobs — sharing one in-memory result dict and the given
+    persistent ``cache``.  Wave *k+1* starts only after wave *k* finishes,
+    so every planned warm start finds its seed snapshot.  Results are
+    bit-identical to cold execution (the checkpoint protocol guarantees it;
+    the sweep-scaling benchmark asserts it end to end).
+
+    ``progress(record)`` streams each job's manifest record as it resolves;
+    ``aggregator`` (a :class:`~repro.experiments.pareto.ParetoAggregator`)
+    is fed every ``(spec, result)`` pair as waves land, keeping the Pareto
+    fold streaming rather than post-hoc.
+    """
+    import time as _time
+
+    if isinstance(compiled, CompiledSweep):
+        jobs = list(compiled.jobs)
+        warnings = list(compiled.warnings)
+    else:
+        jobs = list(compiled)
+        warnings = []
+    model = cost_model or CostModel()
+    plan = plan_sweep(jobs, cost_model=model)
+    if checkpoint_interval_events is None and checkpoints is not None:
+        checkpoint_interval_events = model.interval_for(plan)
+    started = _time.perf_counter()
+    memory: dict[str, RunResult] = {}
+    records = []
+    results: dict[str, RunResult] = {}
+
+    def run_batch(specs: list[JobSpec], store, milestones) -> None:
+        if not specs:
+            return
+        runner = ParallelRunner(
+            workers=workers,
+            cache=cache,
+            memory=memory,
+            checkpoints=store,
+            checkpoint_interval_events=checkpoint_interval_events,
+            checkpoint_save_milestones=milestones,
+        )
+        batch_results = runner.run(specs, label=label, progress=progress)
+        assert runner.manifest is not None
+        records.extend(runner.manifest.records)
+        for spec, result in zip(specs, batch_results):
+            results[spec.digest()] = result
+            if aggregator is not None:
+                aggregator.add(spec, result)
+
+    for wave in plan.waves:
+        # Three execution flavours per wave: members that seed snapshots
+        # for the next wave, members that only fork (the family's deepest),
+        # and cold singletons that should skip the store's overhead.
+        run_batch(
+            [job.spec for job in wave if job.use_store and job.save_snapshots],
+            checkpoints,
+            model.save_milestones,
+        )
+        run_batch(
+            [job.spec for job in wave if job.use_store and not job.save_snapshots],
+            checkpoints,
+            (),
+        )
+        run_batch([job.spec for job in wave if not job.use_store], None, None)
+
+    wall_clock_s = _time.perf_counter() - started
+    manifest = RunManifest(
+        label=label,
+        workers=workers,
+        records=records,
+        wall_clock_s=wall_clock_s,
+        warnings=warnings,
+    )
+    return SweepRun(
+        plan=plan, results=results, manifest=manifest, wall_clock_s=wall_clock_s
+    )

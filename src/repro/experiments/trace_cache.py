@@ -32,6 +32,12 @@ lease (:attr:`~repro.experiments.executor.JsonFileCache.EVICTOR_LEASE_NAME`),
 so concurrent evictors never double-unlink or over-evict; a process that
 loses the lease race simply skips eviction until its next write.
 
+In front of the persistent store sits a small always-on in-process memo
+(:data:`MEMO_MAX_ENTRIES` traces, LRU): a design-space sweep replays the
+same trace under every scheme and machine configuration, and re-reading —
+let alone regenerating — it per job dominated front-end cost.  Traces are
+immutable once built, so handing the same object to many worlds is safe.
+
 Hit/miss counters are process-wide (:func:`counters`); the serving layer
 ships them back from its persistent pool workers and reports the hit
 ratio in ``/metrics``.
@@ -285,6 +291,38 @@ _lock = threading.Lock()
 _hits = 0
 _misses = 0
 
+#: Upper bound on in-process memoized traces.  Traces are a few hundred
+#: kilobytes at sweep-scale request counts, so this caps the memo at a few
+#: megabytes while still covering every family of a large design-space sweep
+#: (a sweep axis over schemes or machine knobs reuses one trace per
+#: (benchmark, num_requests, seed) point).
+MEMO_MAX_ENTRIES = 32
+
+_memo: dict[str, Trace] = {}
+
+
+def clear_memo() -> None:
+    """Drop every in-process memoized trace (config changes and tests)."""
+    with _lock:
+        _memo.clear()
+
+
+def _memo_get(digest: str) -> Trace | None:
+    with _lock:
+        trace = _memo.get(digest)
+        if trace is not None:
+            # dict preserves insertion order; re-insert to mark recency.
+            del _memo[digest]
+            _memo[digest] = trace
+        return trace
+
+
+def _memo_put(digest: str, trace: Trace) -> None:
+    with _lock:
+        _memo[digest] = trace
+        while len(_memo) > MEMO_MAX_ENTRIES:
+            _memo.pop(next(iter(_memo)))
+
 
 def configure(
     enabled: bool | None = None,
@@ -311,6 +349,7 @@ def sync(enabled: bool, directory: str | Path, max_bytes: int | None) -> None:
     _config.enabled = bool(enabled)
     _config.directory = Path(directory)
     _config.max_bytes = max_bytes if max_bytes is None else max(0, int(max_bytes))
+    clear_memo()
 
 
 def get_config() -> TraceCacheConfig:
@@ -322,6 +361,7 @@ def reset_config() -> TraceCacheConfig:
     """Re-derive the config from the environment (mainly for tests)."""
     global _config
     _config = _config_from_env()
+    clear_memo()
     return _config
 
 
@@ -356,22 +396,33 @@ def _count(hit: bool) -> None:
 
 
 def cached_trace(spec: TraceSpec) -> Trace:
-    """Resolve one trace spec through the cache; build-and-store on a miss.
+    """Resolve one trace spec through the memo and cache tiers.
 
-    With caching disabled every call is a (counted) miss that builds
-    without persisting — so hit-ratio metrics stay meaningful under
-    ``--no-cache``.
+    Two tiers, checked in order: a small in-process memo (always on — a
+    sweep replays the same trace under many schemes and machine configs,
+    and rebuilding or re-reading it per job dominated front-end cost), then
+    the persistent on-disk store when caching is enabled.  A hit in either
+    tier counts toward :func:`counters`; with ``--no-cache`` only rebuilds
+    the memo cannot absorb are counted as misses, so hit-ratio metrics
+    still reflect front-end work actually skipped.
     """
+    digest = spec.digest()
+    trace = _memo_get(digest)
+    if trace is not None:
+        _count(hit=True)
+        return trace
     cache = active_cache()
     if cache is not None:
         trace = cache.get(spec)
         if trace is not None:
             _count(hit=True)
+            _memo_put(digest, trace)
             return trace
     _count(hit=False)
     trace = spec.build()
     if cache is not None:
         cache.put(spec, trace)
+    _memo_put(digest, trace)
     return trace
 
 

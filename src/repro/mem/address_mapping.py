@@ -95,6 +95,20 @@ class AddressMapping:
             for channel in range(channels)
         ]
 
+    def __getstate__(self) -> dict:
+        """Pickle without the decode memo.
+
+        The memo is a pure function of the address and grows with every
+        distinct block a run touches — under address randomization that is
+        most of the snapshot payload of a checkpointed world.  Dropping it
+        is invisible to resumed runs (entries regenerate on demand,
+        bit-identically) and keeps checkpoint size O(machine), not
+        O(footprint).
+        """
+        state = self.__dict__.copy()
+        state["_decode_cache"] = {}
+        return state
+
     def decode(self, address: int) -> DecodedAddress:
         """Split a block-aligned byte address into device coordinates."""
         cached = self._decode_cache.get(address)

@@ -221,6 +221,22 @@ class SimWorld:
             core._index < len(core._records) for core in self.cores
         )
 
+    @property
+    def trace_progress(self) -> float:
+        """Fraction of the slowest core's trace already issued, in [0, 1].
+
+        The scheduler's save-policy signal: kernel-event counts vary by an
+        order of magnitude across schemes for the same request count, but
+        trace position is scheme-independent, so "snapshot near the end of
+        the shared prefix" can be expressed as a progress fraction.
+        """
+        if not self.cores:
+            return 1.0
+        return min(
+            core._index / len(core._records) if core._records else 1.0
+            for core in self.cores
+        )
+
     def snapshot(self) -> "SimCheckpoint":
         """Freeze the paused world into a content-addressed checkpoint."""
         with profiling.phase("checkpoint_save"):

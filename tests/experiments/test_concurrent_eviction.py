@@ -11,7 +11,9 @@ two guarantees must hold across processes, not just threads:
   byte-budget enforcement never double-evicts or crashes.
 
 The hammer test forks two children (one result lane, one trace lane)
-against a shared tightly-budgeted directory; the lease tests pin the
+against a shared tightly-budgeted directory; the checkpoint race forks
+two lanes of one snapshot *family* so every ``put``'s family pruning
+unlinks entries the other lane is writing; the lease tests pin the
 flock protocol directly with a second process holding the lease.
 """
 
@@ -20,6 +22,11 @@ import multiprocessing
 
 import pytest
 
+from repro.experiments.checkpoints import (
+    KEEP_PER_FAMILY,
+    CheckpointStore,
+    world_for_spec,
+)
 from repro.experiments.executor import (
     CACHE_SCHEMA_VERSION,
     JobSpec,
@@ -94,6 +101,49 @@ def _assert_no_torn_entries(directory):
         json.loads(text)
 
 
+def checkpoint_spec(num_requests: int) -> JobSpec:
+    """One family member: same prefix for every ``num_requests`` value."""
+    return JobSpec(
+        benchmark="astar",
+        level=ProtectionLevel.UNPROTECTED,
+        num_requests=num_requests,
+        seed=11,
+    )
+
+
+def _genuine_snapshots(spec, limit=6):
+    """A deepening sequence of real unfinished snapshots of ``spec``."""
+    world, _ = world_for_spec(spec, None)
+    snapshots = []
+    finished = False
+    while not finished and len(snapshots) < limit:
+        finished = world.run(stop_after_events=40)
+        if not finished:
+            snapshots.append(world.snapshot())
+    assert len(snapshots) >= 2, "spec too small to snapshot mid-run"
+    return snapshots
+
+
+def _hammer_checkpoints(directory, num_requests, rounds):
+    """Child lane: re-put a family's snapshots while siblings get pruned.
+
+    Every ``put`` ends in ``_prune_family``, so two lanes in one family
+    continuously unlink entries the other lane just wrote or is about to
+    re-write; reads through ``deepest``/``candidates`` must only ever see
+    whole entries or misses.
+    """
+    spec = checkpoint_spec(num_requests)
+    snapshots = _genuine_snapshots(spec)
+    store = CheckpointStore(directory)
+    for i in range(rounds):
+        store.put(spec, snapshots[i % len(snapshots)])
+        found = store.deepest(spec)
+        assert found is None or found.checkpoint.events_executed > 0
+        for entry in store.candidates(spec):  # both lanes' lengths show up
+            assert entry.checkpoint.events_executed > 0
+    _assert_no_torn_entries(directory)
+
+
 def _hold_lease(directory, held, release):
     """Child: grab the evictor lease, report, and hold until released."""
     handle = open(directory / JsonFileCache.EVICTOR_LEASE_NAME, "a+")
@@ -164,6 +214,46 @@ class TestConcurrentHammer:
         # Unbudgeted run: all six digests must still load as valid results.
         for seed in range(SEEDS_PER_LANE):
             assert isinstance(cache.get(result_spec(seed)), RunResult)
+
+
+class TestPruneVsPutRace:
+    def test_family_pruning_races_concurrent_puts_safely(self, tmp_path):
+        """Two processes put-and-prune one checkpoint family at once.
+
+        The lanes share a prefix digest but target different request
+        counts, so each ``put``'s :meth:`CheckpointStore._prune_family`
+        walks (and unlinks within) a family the other lane is actively
+        writing.  Nothing may tear, pruning must never cross into the
+        other length's entries, and each length must settle at no more
+        than ``KEEP_PER_FAMILY`` snapshots.
+        """
+        context = _context()
+        lengths = (60, 90)
+        lanes = [
+            context.Process(
+                target=_hammer_checkpoints, args=(tmp_path, length, ROUNDS)
+            )
+            for length in lengths
+        ]
+        for lane in lanes:
+            lane.start()
+        for lane in lanes:
+            lane.join(timeout=120)
+        assert [lane.exitcode for lane in lanes] == [0, 0]
+
+        assert list(tmp_path.glob("*.tmp")) == []
+        for length in lengths:
+            spec = checkpoint_spec(length)
+            prefix32 = spec.prefix_digest()[:32]
+            survivors = list(
+                tmp_path.glob(f"ckpt-{prefix32}-{length:09d}-*.json")
+            )
+            assert 0 < len(survivors) <= KEEP_PER_FAMILY
+            # The deepest surviving snapshot still thaws into a live world.
+            found = CheckpointStore(tmp_path).deepest(spec)
+            assert found is not None
+            world = found.checkpoint.thaw()
+            assert world.events_executed == found.checkpoint.events_executed
 
 
 @pytest.mark.skipif(fcntl is None, reason="needs POSIX file locks")

@@ -19,9 +19,13 @@ import repro
 from repro.experiments import runner
 from repro.experiments.executor import (
     CACHE_SCHEMA_VERSION,
+    MANIFEST_SCHEMA_VERSION,
+    JobRecord,
     JobSpec,
     ParallelRunner,
     ResultCache,
+    RunManifest,
+    drain_sweep_warnings,
     result_from_jsonable,
     result_to_jsonable,
     sweep_specs,
@@ -190,6 +194,113 @@ class TestParallelRunner:
         record = payload["records"][0]
         assert record["benchmark"] == "astar"
         assert record["source"] == "simulated"
+
+
+class TestWarmStartProvenance:
+    """Checkpoint forks must be auditable from the manifest (not invisible)."""
+
+    def _record(self, digest="d", hits=0, resumed=0, source="simulated"):
+        return JobRecord(
+            digest=digest,
+            benchmark="astar",
+            level="unprotected",
+            channels=1,
+            cores=1,
+            num_requests=300,
+            seed=7,
+            source=source,
+            wall_ms=1.5,
+            checkpoint_hits=hits,
+            resumed_from_events=resumed,
+        )
+
+    def test_manifest_aggregates_checkpoint_provenance(self):
+        manifest = RunManifest(
+            label="warm",
+            workers=1,
+            records=[
+                self._record("a"),
+                self._record("b", hits=1, resumed=4000),
+                self._record("c", hits=1, resumed=2500),
+            ],
+            wall_clock_s=0.1,
+        )
+        assert manifest.checkpoint_hits == 2
+        assert manifest.events_resumed == 6500
+
+    def test_provenance_round_trips_through_write_and_load(self, tmp_path):
+        manifest = RunManifest(
+            label="warm",
+            workers=2,
+            records=[self._record("a", hits=1, resumed=1234)],
+            wall_clock_s=0.2,
+            warnings=["axis 'levels': dropped 1 duplicate value(s)"],
+        )
+        path = manifest.write(tmp_path / "warm.json")
+        loaded = RunManifest.load(path)
+        assert loaded is not None
+        assert loaded.records == manifest.records
+        assert loaded.warnings == manifest.warnings
+        assert loaded.events_resumed == 1234
+        payload = json.loads(path.read_text())
+        assert payload["checkpoint_hits"] == 1
+        assert payload["events_resumed"] == 1234
+
+    def test_schema_skew_loads_as_none(self, tmp_path):
+        manifest = RunManifest("warm", 1, [self._record()], 0.1)
+        path = manifest.write(tmp_path / "old.json")
+        payload = json.loads(path.read_text())
+        payload["schema"] = MANIFEST_SCHEMA_VERSION - 1
+        path.write_text(json.dumps(payload))
+        assert RunManifest.load(path) is None
+
+    def test_runner_records_actual_warm_starts(self, tmp_path):
+        from repro.experiments.checkpoints import CheckpointStore
+
+        store = CheckpointStore(tmp_path)
+        seeder = ParallelRunner(
+            workers=1,
+            checkpoints=store,
+            checkpoint_interval_events=100,
+            checkpoint_save_milestones=(0.5,),
+        )
+        seeder.run([_spec(num_requests=300)], label="seed")
+        (record,) = seeder.manifest.records
+        assert record.checkpoint_hits == 0 and record.resumed_from_events == 0
+
+        forker = ParallelRunner(workers=1, checkpoints=store)
+        forker.run([_spec(num_requests=600)], label="fork")
+        (record,) = forker.manifest.records
+        assert record.checkpoint_hits == 1
+        assert record.resumed_from_events > 0
+        assert forker.manifest.checkpoint_hits == 1
+        assert forker.manifest.events_resumed == record.resumed_from_events
+
+
+class TestSweepSpecsCanonicalization:
+    """Duplicate axis values compile away, loudly."""
+
+    def test_duplicate_benchmarks_and_level_spellings_collapse(self):
+        drain_sweep_warnings()  # isolate from earlier queued notes
+        specs = sweep_specs(
+            ["astar", "astar"],
+            [ProtectionLevel.ENCRYPTION_ONLY, "encryption_only"],
+            num_requests=100,
+        )
+        assert len(specs) == 1
+        warnings = drain_sweep_warnings()
+        assert any("'benchmarks'" in w for w in warnings)
+        assert any("'levels'" in w for w in warnings)
+
+    def test_warnings_drain_into_the_next_manifest(self):
+        drain_sweep_warnings()
+        specs = sweep_specs(["astar"], ["unprotected", "unprotected"], num_requests=100)
+        executor = ParallelRunner(workers=1)
+        executor.run(specs, label="canon")
+        assert any("duplicate value" in w for w in executor.manifest.warnings)
+        # Drained: the next run's manifest starts clean.
+        executor.run(specs, label="clean")
+        assert executor.manifest.warnings == []
 
 
 class TestCachedRunKeying:

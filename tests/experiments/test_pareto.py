@@ -1,0 +1,191 @@
+"""Streaming Pareto aggregation: anchors, dominance, digests.
+
+Results are fed synthetically (hand-built :class:`RunResult`\\ s) so every
+coordinate is controlled: leakage through ``measured_leakage`` overrides,
+energy through explicit ``*.energy_pj`` counters, overhead through chosen
+execution times.  A separate test pins the trait-derived leakage surface
+with stub attackers.
+"""
+
+import pytest
+
+from repro.experiments.executor import JobSpec
+from repro.experiments.pareto import (
+    FrontierPoint,
+    ParetoAggregator,
+    ParetoReport,
+)
+from repro.system.simulator import RunResult
+
+SEED = 13
+LEAKAGE = {
+    "encryption_only": 0.8,
+    "obfusmem_auth": 0.1,
+    "oram": 0.0,
+}
+
+
+def spec(level: str, num_requests: int = 200) -> JobSpec:
+    return JobSpec("astar", level, num_requests=num_requests, seed=SEED)
+
+
+def result(
+    level: str,
+    execution_time_ns: float,
+    energy_pj: float = 1000.0,
+    num_requests: int = 200,
+) -> RunResult:
+    return RunResult(
+        benchmark="astar",
+        level=level,
+        channels=1,
+        execution_time_ns=execution_time_ns,
+        num_requests=num_requests,
+        instructions=num_requests * 1000.0,
+        stats={"pcm.energy_pj": energy_pj},
+    )
+
+
+def aggregator() -> ParetoAggregator:
+    return ParetoAggregator(attackers=(), measured_leakage=LEAKAGE)
+
+
+class TestAnchoring:
+    def test_points_wait_until_their_baseline_lands(self):
+        agg = aggregator()
+        agg.add(spec("encryption_only"), result("encryption_only", 1500.0))
+        assert agg.pending == 1 and agg.points() == []
+        agg.add(spec("unprotected"), result("unprotected", 1000.0))
+        assert agg.pending == 0
+        (point,) = agg.points()
+        assert point.overhead_pct == pytest.approx(50.0)
+        assert point.leakage == pytest.approx(0.8)
+        assert point.energy_pj_per_access == pytest.approx(1000.0 / 200)
+
+    def test_fold_order_does_not_change_the_aggregate(self):
+        pairs = [
+            (spec("unprotected"), result("unprotected", 1000.0)),
+            (spec("encryption_only"), result("encryption_only", 1500.0)),
+            (spec("obfusmem_auth"), result("obfusmem_auth", 1800.0)),
+        ]
+        forward, backward = aggregator(), aggregator()
+        for job, res in pairs:
+            forward.add(job, res)
+        for job, res in reversed(pairs):
+            backward.add(job, res)
+        assert forward.aggregate_digest() == backward.aggregate_digest()
+        assert len(forward.points()) == len(backward.points()) == 2
+
+    def test_anchors_are_per_configuration(self):
+        agg = aggregator()
+        agg.add(spec("unprotected", 200), result("unprotected", 1000.0))
+        # A different request count is a different configuration: no anchor.
+        agg.add(
+            spec("encryption_only", 400),
+            result("encryption_only", 1500.0, num_requests=400),
+        )
+        assert agg.pending == 1
+
+
+class TestDominance:
+    def point(self, scheme, overhead, leakage, energy):
+        return FrontierPoint(
+            scheme=scheme,
+            benchmark="astar",
+            channels=1,
+            num_requests=200,
+            seed=SEED,
+            overhead_pct=overhead,
+            leakage=leakage,
+            energy_pj_per_access=energy,
+            execution_time_ns=1000.0,
+            cores=1,
+            digest=scheme,
+        )
+
+    def test_dominates_needs_no_worse_everywhere_and_better_somewhere(self):
+        cheap = self.point("a", 10.0, 0.5, 5.0)
+        costly = self.point("b", 20.0, 0.5, 5.0)
+        tradeoff = self.point("c", 5.0, 0.9, 5.0)
+        assert cheap.dominates(costly)
+        assert not costly.dominates(cheap)
+        assert not cheap.dominates(tradeoff)  # better leakage, worse overhead
+        assert not cheap.dominates(cheap)  # a point never dominates itself
+
+    def test_frontier_keeps_only_non_dominated_points(self):
+        agg = aggregator()
+        agg.add(spec("unprotected"), result("unprotected", 1000.0))
+        # Three points spanning the trade: encryption_only is cheap but
+        # leaky, obfusmem_auth costs more for near-tightness, oram is
+        # hugely expensive but watertight — none dominates another.
+        agg.add(spec("encryption_only"), result("encryption_only", 1200.0))
+        agg.add(spec("obfusmem_auth"), result("obfusmem_auth", 1500.0))
+        agg.add(spec("oram"), result("oram", 9000.0, energy_pj=9000.0))
+        frontier = agg.frontier()
+        for mine in frontier:
+            assert not any(other.dominates(mine) for other in frontier)
+        # oram survives on its 0.0 leakage despite 800% overhead.
+        assert {p.scheme for p in frontier} == {
+            "encryption_only",
+            "obfusmem_auth",
+            "oram",
+        }
+
+    def test_dominated_points_are_pruned_on_insert(self):
+        agg = ParetoAggregator(
+            attackers=(),
+            measured_leakage={"encryption_only": 0.8, "obfusmem_auth": 0.8},
+        )
+        agg.add(spec("unprotected"), result("unprotected", 1000.0))
+        agg.add(spec("encryption_only"), result("encryption_only", 1500.0))
+        assert len(agg.frontier()) == 1
+        # Same leakage, lower overhead and energy: evicts the incumbent.
+        agg.add(
+            spec("obfusmem_auth"), result("obfusmem_auth", 1200.0, energy_pj=500.0)
+        )
+        assert [p.scheme for p in agg.frontier()] == ["obfusmem_auth"]
+        # ... but the cloud still remembers every materialized point.
+        assert len(agg.points()) == 2
+
+
+class TestLeakageSources:
+    def test_trait_surface_is_used_without_an_override(self):
+        class Doomsayer:
+            name = "doomsayer"
+
+            def expects_leak(self, expected) -> bool:
+                return True
+
+        class Optimist:
+            name = "optimist"
+
+            def expects_leak(self, expected) -> bool:
+                return False
+
+        agg = ParetoAggregator(attackers=(Doomsayer(), Optimist()))
+        agg.add(spec("unprotected"), result("unprotected", 1000.0))
+        agg.add(spec("encryption_only"), result("encryption_only", 1500.0))
+        (point,) = agg.points()
+        assert point.leakage == pytest.approx(0.5)  # 1 of 2 attackers
+
+    def test_measured_leakage_overrides_the_surface(self):
+        agg = ParetoAggregator(
+            attackers=(), measured_leakage={"encryption_only": 0.25}
+        )
+        agg.add(spec("unprotected"), result("unprotected", 1000.0))
+        agg.add(spec("encryption_only"), result("encryption_only", 1500.0))
+        (point,) = agg.points()
+        assert point.leakage == pytest.approx(0.25)
+
+
+class TestReport:
+    def test_report_freezes_the_aggregator_state(self):
+        agg = aggregator()
+        agg.add(spec("unprotected"), result("unprotected", 1000.0))
+        agg.add(spec("encryption_only"), result("encryption_only", 1500.0))
+        agg.add(spec("obfusmem_auth", 400), result("obfusmem_auth", 999.0))
+        report = ParetoReport.from_aggregator(agg)
+        assert report.pending == 1  # the 400-request point has no anchor
+        assert len(report.points) == 1
+        assert report.frontier == agg.frontier()
+        assert report.digest == agg.aggregate_digest()

@@ -160,9 +160,27 @@ class TestCachedTrace:
         spec = small_spec()
         first = trace_cache.cached_trace(spec)
         second = trace_cache.cached_trace(spec)
-        assert first.records == second.records  # deterministic rebuilds
-        assert trace_cache.counters() == (0, 2)  # every call is a miss
+        assert second is first  # the in-process memo still serves repeats
+        assert trace_cache.counters() == (1, 1)  # build once, memo-hit once
         assert not (tmp_path / "off").exists()  # and nothing was written
+
+    def test_memo_serves_repeats_and_clears(self, tmp_path):
+        trace_cache.sync(enabled=False, directory=tmp_path / "off", max_bytes=None)
+        spec = small_spec()
+        first = trace_cache.cached_trace(spec)
+        assert trace_cache.cached_trace(spec) is first
+        trace_cache.clear_memo()
+        rebuilt = trace_cache.cached_trace(spec)
+        assert rebuilt is not first  # cold again after an explicit clear
+        assert rebuilt.records == first.records
+
+    def test_memo_is_bounded_lru(self, tmp_path):
+        trace_cache.sync(enabled=False, directory=tmp_path / "off", max_bytes=None)
+        specs = [small_spec(seed) for seed in range(trace_cache.MEMO_MAX_ENTRIES + 1)]
+        built = [trace_cache.cached_trace(spec) for spec in specs]
+        # The oldest entry was evicted; the newest survives.
+        assert trace_cache.cached_trace(specs[-1]) is built[-1]
+        assert trace_cache.cached_trace(specs[0]) is not built[0]
 
     def test_traces_for_benchmark_matches_simulator_seeding(self):
         traces = trace_cache.traces_for_benchmark("astar", 120, seed=7, cores=2)
